@@ -1,0 +1,133 @@
+// Fig. 4 optimization: with the blocking protocol (Fig. 2) every node
+// stays stopped until ALL nodes finish their local checkpoints; with the
+// optimized protocol a node resumes as soon as its own save completes
+// (once the coordinator has confirmed communication is disabled
+// everywhere).
+//
+// To expose the difference, the cluster is heterogeneous: node 1 has a
+// disk 8x slower than the others. Each node runs a counter pod; the
+// per-pod stall (the interval during which its counter does not advance
+// around the checkpoint) is measured for both protocol variants. Under
+// Fig. 2 every pod stalls for ~the slowest node's save; under Fig. 4 the
+// fast nodes stall only for their own save.
+#include <cstdio>
+#include <vector>
+
+#include "apps/programs.h"
+#include "cruz/cluster.h"
+
+namespace {
+
+using namespace cruz;
+
+struct StallResult {
+  std::vector<double> stall_ms;  // per node
+  double latency_ms = 0;
+};
+
+StallResult MeasureStalls(coord::ProtocolVariant variant) {
+  constexpr std::uint32_t kNodes = 4;
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.node_template.disk_write_bytes_per_sec = 8 * kMiB;
+  Cluster cluster(config);
+  cluster.node(0).set_disk_write_bytes_per_sec(1 * kMiB);  // the straggler
+
+  std::vector<os::PodId> pods;
+  std::vector<os::Pid> vpids;
+  std::vector<coord::Coordinator::Member> members;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    pods.push_back(cluster.CreatePod(i, "cnt" + std::to_string(i)));
+    vpids.push_back(cluster.pods(i).SpawnInPod(
+        pods.back(), "cruz.counter", apps::CounterArgs(1u << 30)));
+    members.push_back(cluster.MemberFor(i, pods.back()));
+  }
+  cluster.sim().RunFor(100 * kMillisecond);
+
+  // Sample each counter every 500 us; a stall is a maximal run of samples
+  // with no progress around the checkpoint.
+  struct Track {
+    std::vector<std::pair<TimeNs, std::uint64_t>> samples;
+  };
+  std::vector<Track> tracks(kNodes);
+  bool sampling = true;
+  std::function<void()> sample = [&] {
+    if (!sampling) return;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      os::Pid real = cluster.pods(i).ToRealPid(pods[i], vpids[i]);
+      os::Process* proc = cluster.node(i).os().FindProcess(real);
+      if (proc != nullptr) {
+        tracks[i].samples.emplace_back(cluster.sim().Now(),
+                                       apps::ReadCounter(*proc));
+      }
+    }
+    cluster.sim().Schedule(500 * kMicrosecond, sample);
+  };
+  cluster.sim().Schedule(0, sample);
+
+  coord::Coordinator::Options options;
+  options.variant = variant;
+  options.image_prefix = variant == coord::ProtocolVariant::kOptimized
+                             ? "/ckpt/fig4opt"
+                             : "/ckpt/fig4blk";
+  auto stats = cluster.RunCheckpoint(members, options);
+  cluster.sim().RunFor(2 * kSecond);
+  sampling = false;
+  cluster.sim().RunFor(2 * kMillisecond);
+
+  StallResult result;
+  result.latency_ms = ToMillis(stats.checkpoint_latency);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    TimeNs stall_start = 0, stall_end = 0, longest = 0;
+    const auto& s = tracks[i].samples;
+    for (std::size_t k = 1; k < s.size(); ++k) {
+      if (s[k].second == s[k - 1].second) {
+        if (stall_start == 0) stall_start = s[k - 1].first;
+        stall_end = s[k].first;
+        longest = std::max<TimeNs>(longest, stall_end - stall_start);
+      } else {
+        stall_start = 0;
+      }
+    }
+    result.stall_ms.push_back(ToMillis(longest));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 4 optimization: per-node stall during a "
+              "coordinated checkpoint ==\n");
+  std::printf("(4 nodes; node1's disk is 8x slower than the others)\n\n");
+
+  StallResult blocking =
+      MeasureStalls(cruz::coord::ProtocolVariant::kBlocking);
+  StallResult optimized =
+      MeasureStalls(cruz::coord::ProtocolVariant::kOptimized);
+
+  std::printf("%8s %22s %22s\n", "node", "blocking stall (ms)",
+              "optimized stall (ms)");
+  for (std::size_t i = 0; i < blocking.stall_ms.size(); ++i) {
+    std::printf("%8zu %22.1f %22.1f\n", i + 1, blocking.stall_ms[i],
+                optimized.stall_ms[i]);
+  }
+  std::printf("\ncheckpoint latency: blocking %.1f ms, optimized %.1f "
+              "ms\n",
+              blocking.latency_ms, optimized.latency_ms);
+
+  // Shape: under Fig. 2, fast nodes stall ~ as long as the slow node;
+  // under Fig. 4, fast nodes stall only for their own (short) save.
+  double fast_blocking = blocking.stall_ms[1];
+  double fast_optimized = optimized.stall_ms[1];
+  double slow_blocking = blocking.stall_ms[0];
+  bool ok = fast_blocking > 0.7 * slow_blocking &&
+            fast_optimized < 0.5 * fast_blocking;
+  std::printf("\npaper: the optimization lets nodes continue without "
+              "waiting for all checkpoints to complete\n");
+  std::printf("shape check: fast nodes stalled %.1f ms under Fig. 2 vs "
+              "%.1f ms under Fig. 4 (%s)\n",
+              fast_blocking, fast_optimized,
+              ok ? "optimization effective" : "NO BENEFIT");
+  return ok ? 0 : 1;
+}

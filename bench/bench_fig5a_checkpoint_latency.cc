@@ -1,0 +1,36 @@
+// Fig. 5(a): total checkpoint latency for the slm benchmark, 2-8 nodes.
+//
+// Paper result: ~1 second for every node configuration, dominated by the
+// time to write the pod state (mostly the non-zero virtual memory) to
+// disk, with small error bars and no growth with the node count.
+#include <cstdio>
+
+#include "slm_sweep.h"
+
+int main() {
+  using namespace cruz;
+  using namespace cruz::bench;
+
+  std::printf("== Fig. 5(a): total checkpoint latency (slm, checkpoints "
+              "every 8 s) ==\n\n");
+  std::printf("%6s %18s %12s %16s %10s\n", "nodes", "latency (ms)",
+              "stddev", "max local (ms)", "samples");
+  SweepOptions opt;
+  double min_mean = 1e18, max_mean = 0;
+  for (std::uint32_t n = opt.min_nodes; n <= opt.max_nodes; ++n) {
+    SweepResult r = RunSlmSweep(n, opt);
+    std::printf("%6u %18.1f %12.2f %16.1f %10u\n", r.nodes,
+                r.mean_latency_ms, r.stddev_latency_ms, r.mean_local_ms,
+                r.samples);
+    min_mean = std::min(min_mean, r.mean_latency_ms);
+    max_mean = std::max(max_mean, r.mean_latency_ms);
+  }
+  std::printf("\npaper: ~1000 ms, flat across 2-8 nodes "
+              "(dominated by writing state to disk)\n");
+  bool flat = max_mean - min_mean < 0.2 * max_mean;
+  bool second_scale = min_mean > 500 && max_mean < 2000;
+  std::printf("shape check: latency is %s and %s\n",
+              flat ? "flat across node counts" : "NOT FLAT",
+              second_scale ? "on the ~1 s scale" : "OFF SCALE");
+  return (flat && second_scale) ? 0 : 1;
+}

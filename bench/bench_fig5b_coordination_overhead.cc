@@ -1,0 +1,43 @@
+// Fig. 5(b): coordination overhead of the distributed checkpoint, 2-8
+// nodes.
+//
+// Paper result: 350-550 us total — negligible against the ~1 s local
+// checkpoint — growing by roughly 50 us per node beyond 4 nodes (the
+// coordinator's serialized processing of converging <done>/<continue-done>
+// datagrams). Overhead = full operation latency minus the maxima of the
+// local checkpoint and continue times, exactly as §6 computes it.
+#include <cstdio>
+#include <vector>
+
+#include "slm_sweep.h"
+
+int main() {
+  using namespace cruz;
+  using namespace cruz::bench;
+
+  std::printf("== Fig. 5(b): coordination overhead (slm, checkpoints "
+              "every 8 s) ==\n\n");
+  std::printf("%6s %20s %12s %10s\n", "nodes", "overhead (us)", "stddev",
+              "samples");
+  SweepOptions opt;
+  std::vector<double> overheads;
+  for (std::uint32_t n = opt.min_nodes; n <= opt.max_nodes; ++n) {
+    SweepResult r = RunSlmSweep(n, opt);
+    std::printf("%6u %20.1f %12.2f %10u\n", r.nodes, r.mean_overhead_us,
+                r.stddev_overhead_us, r.samples);
+    overheads.push_back(r.mean_overhead_us);
+  }
+  std::printf("\npaper: 350-550 us total, increasing ~50 us per node "
+              "beyond 4 nodes\n");
+  double slope =
+      (overheads.back() - overheads.front()) /
+      static_cast<double>(opt.max_nodes - opt.min_nodes);
+  bool microsecond_scale =
+      overheads.front() > 100 && overheads.back() < 2000;
+  bool grows_slowly = slope > 10 && slope < 200;
+  std::printf("shape check: overhead is %s (sub-ms, vs ~1 s local "
+              "checkpoint) and grows ~%.0f us/node (%s)\n",
+              microsecond_scale ? "on the paper's scale" : "OFF SCALE",
+              slope, grows_slowly ? "paper-like slope" : "UNEXPECTED");
+  return (microsecond_scale && grows_slowly) ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Ablation: live (pre-copy) migration vs stop-and-copy, across pod sizes.
+//
+// The paper's migration use case (§1) is downtime-sensitive maintenance;
+// stop-and-copy downtime grows linearly with the pod's memory, while
+// pre-copy (built on the dirty-page tracking of the incremental
+// checkpointing extension) moves memory while the pod runs and stops
+// only for the final dirty set.
+#include <cstdio>
+
+#include "apps/programs.h"
+#include "ckpt/live_migrate.h"
+#include "cruz/cluster.h"
+
+namespace {
+
+using namespace cruz;
+
+struct Row {
+  double pod_mib;
+  double naive_ms;
+  double live_ms;
+  int rounds;
+};
+
+Row Measure(std::uint64_t static_pages) {
+  Row row{};
+  row.pod_mib = static_cast<double>(static_pages * os::kPageSize) /
+                static_cast<double>(kMiB);
+  for (int mode = 0; mode < 2; ++mode) {
+    ClusterConfig config;
+    config.num_nodes = 2;
+    Cluster c(config);
+    os::PodId id = c.CreatePod(0, "pod");
+    os::Pid vpid = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                        apps::CounterArgs(1u << 30));
+    os::Process* proc =
+        c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, vpid));
+    cruz::Bytes page(os::kPageSize, 0x42);
+    for (std::uint64_t i = 0; i < static_pages; ++i) {
+      proc->memory().InstallPage(0x1000 + i, page);
+    }
+    c.sim().RunFor(20 * kMillisecond);
+    bool done = false;
+    ckpt::LiveMigrateStats stats;
+    auto on_done = [&](const ckpt::LiveMigrateStats& s) {
+      stats = s;
+      done = true;
+    };
+    if (mode == 0) {
+      ckpt::LiveMigrator::StopAndCopy(c.pods(0), c.pods(1), id, {},
+                                      on_done);
+    } else {
+      ckpt::LiveMigrator::Migrate(c.pods(0), c.pods(1), id, {}, on_done);
+    }
+    c.sim().RunWhile([&] { return done; }, c.sim().Now() + 600 * kSecond);
+    if (mode == 0) {
+      row.naive_ms = ToMillis(stats.downtime);
+    } else {
+      row.live_ms = ToMillis(stats.downtime);
+      row.rounds = stats.rounds;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Live (pre-copy) migration vs stop-and-copy ==\n\n");
+  std::printf("%12s %22s %18s %8s\n", "pod (MiB)", "stop-and-copy (ms)",
+              "pre-copy (ms)", "rounds");
+  bool ok = true;
+  for (std::uint64_t pages : {512u, 2048u, 8192u, 32768u}) {
+    Row row = Measure(pages);
+    std::printf("%12.0f %22.1f %18.2f %8d\n", row.pod_mib, row.naive_ms,
+                row.live_ms, row.rounds);
+    // Stop-and-copy downtime scales with memory; pre-copy downtime stays
+    // roughly constant (final dirty set + kernel state only).
+    if (row.live_ms > row.naive_ms / 5) ok = false;
+  }
+  std::printf("\nshape check: %s\n",
+              ok ? "pre-copy downtime is independent of pod size "
+                   "(stop-and-copy grows linearly)"
+                 : "UNEXPECTED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the substrates the experiments
+// sit on: checkpoint image codec, TCP connection machinery, sparse
+// memory, CRC32, and single-node capture/restore.
+#include <benchmark/benchmark.h>
+
+#include "apps/programs.h"
+#include "ckpt/engine.h"
+#include "common/crc32.h"
+#include "cruz/cluster.h"
+#include "tcp/connection.h"
+
+namespace {
+
+using namespace cruz;
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(1 << 20);
+
+void BM_MemorySparseWrite(benchmark::State& state) {
+  Bytes chunk(4096, 0x5A);
+  for (auto _ : state) {
+    os::Memory mem;
+    for (int i = 0; i < state.range(0); ++i) {
+      mem.WriteBytes(static_cast<std::uint64_t>(i) * os::kPageSize, chunk);
+    }
+    benchmark::DoNotOptimize(mem.PageCount());
+  }
+}
+BENCHMARK(BM_MemorySparseWrite)->Arg(64)->Arg(512);
+
+void BM_TcpSegmentCodec(benchmark::State& state) {
+  tcp::TcpSegment seg;
+  seg.src_port = 1;
+  seg.dst_port = 2;
+  seg.seq = 12345;
+  seg.ack = 67890;
+  seg.ack_flag = true;
+  seg.payload = Bytes(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    Bytes wire = seg.Encode();
+    benchmark::DoNotOptimize(tcp::TcpSegment::Decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TcpSegmentCodec)->Arg(64)->Arg(1460);
+
+// Simulated TCP throughput: how much simulated data the whole
+// stack (program -> syscalls -> TCP -> switch) moves per wall-second.
+void BM_SimulatedStreamTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.num_nodes = 2;
+    Cluster cluster(config);
+    os::PodId rp = cluster.CreatePod(1, "r");
+    net::Ipv4Address rip = cluster.pods(1).Find(rp)->ip;
+    cluster.pods(1).SpawnInPod(rp, "cruz.stream_receiver",
+                               apps::StreamReceiverArgs(9100));
+    cluster.sim().RunFor(5 * kMillisecond);
+    os::PodId sp = cluster.CreatePod(0, "s");
+    cluster.pods(0).SpawnInPod(
+        sp, "cruz.stream_sender",
+        apps::StreamSenderArgs(
+            rip, 9100, static_cast<std::uint64_t>(state.range(0))));
+    cluster.sim().RunFor(30 * kSecond);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimulatedStreamTransfer)->Arg(1 << 20)->Unit(
+    benchmark::kMillisecond);
+
+// Image serialize + deserialize for a pod with a grid-sized process.
+void BM_CheckpointImageCodec(benchmark::State& state) {
+  ClusterConfig config;
+  config.num_nodes = 1;
+  Cluster cluster(config);
+  os::PodId pod = cluster.CreatePod(0, "job");
+  cluster.pods(0).SpawnInPod(pod, "cruz.counter",
+                             apps::CounterArgs(1u << 30));
+  cluster.sim().RunFor(kMillisecond);
+  // Give the process a multi-megabyte address space.
+  os::Pid real = cluster.pods(0).ToRealPid(pod, 1);
+  os::Process* proc = cluster.node(0).os().FindProcess(real);
+  Bytes page(os::kPageSize, 0x3C);
+  for (int i = 0; i < state.range(0); ++i) {
+    proc->memory().InstallPage(0x1000 + static_cast<std::uint64_t>(i),
+                               page);
+  }
+  ckpt::PodCheckpoint ck =
+      ckpt::CheckpointEngine::CapturePod(cluster.pods(0), pod);
+  for (auto _ : state) {
+    Bytes image = ck.Serialize();
+    benchmark::DoNotOptimize(ckpt::PodCheckpoint::Deserialize(image));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * os::kPageSize);
+}
+BENCHMARK(BM_CheckpointImageCodec)->Arg(256)->Arg(1024)->Unit(
+    benchmark::kMillisecond);
+
+// Full single-node capture+restore cycle.
+void BM_CaptureRestoreCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.num_nodes = 1;
+    Cluster cluster(config);
+    os::PodId pod = cluster.CreatePod(0, "job");
+    cluster.pods(0).SpawnInPod(pod, "cruz.counter",
+                               apps::CounterArgs(1u << 30));
+    cluster.sim().RunFor(10 * kMillisecond);
+    ckpt::PodCheckpoint ck =
+        ckpt::CheckpointEngine::CapturePod(cluster.pods(0), pod);
+    cluster.pods(0).DestroyPod(pod);
+    os::PodId restored =
+        ckpt::CheckpointEngine::RestorePod(cluster.pods(0), ck);
+    ckpt::CheckpointEngine::ResumePod(cluster.pods(0), restored);
+    cluster.sim().RunFor(kMillisecond);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_CaptureRestoreCycle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

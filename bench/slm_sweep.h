@@ -1,0 +1,145 @@
+// Shared harness for the §6 slm experiments (Fig. 5a / 5b and the restart
+// analogue): builds an N-node cluster calibrated to the paper's testbed
+// behaviour, runs the slm benchmark with periodic coordinated checkpoints,
+// and collects the coordinator-side timing statistics.
+//
+// Calibration notes (paper testbed: dual 1 GHz P-III, gigabit Ethernet,
+// local disk): per-rank slm state is sized so that writing a checkpoint
+// image takes ~1 s at the configured disk rate, matching the flat ~1 s
+// total checkpoint latency of Fig. 5a; small-message one-way latency is
+// ~50 us (2005-era kernel UDP stacks), and per-datagram protocol
+// processing at the coordinator is ~25 us; with two protocol phases
+// queueing there, the Fig. 5b overhead grows ~50 us per node.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/slm.h"
+#include "cruz/cluster.h"
+
+namespace cruz::bench {
+
+struct SweepResult {
+  std::uint32_t nodes = 0;
+  double mean_latency_ms = 0;   // Fig. 5a: total checkpoint latency
+  double stddev_latency_ms = 0;
+  double mean_overhead_us = 0;  // Fig. 5b: coordination overhead
+  double stddev_overhead_us = 0;
+  double mean_local_ms = 0;     // max local checkpoint time
+  std::uint32_t samples = 0;
+  std::uint32_t messages_per_op = 0;
+  std::vector<std::string> last_images;  // for restart benches
+};
+
+struct SweepOptions {
+  std::uint32_t min_nodes = 2;
+  std::uint32_t max_nodes = 8;
+  // Application runs this much simulated time; checkpoints every 8 s of
+  // execution as in §6.
+  DurationNs app_duration = 40 * kSecond;
+  DurationNs checkpoint_interval = 8 * kSecond;
+  coord::ProtocolVariant variant = coord::ProtocolVariant::kBlocking;
+  // Grid sized for a ~2 MiB image; the disk rate makes that ~1 s.
+  std::uint32_t grid_rows = 512;
+  std::uint32_t grid_cols = 512;
+  std::uint64_t disk_bytes_per_sec = static_cast<std::uint64_t>(2.2 * kMiB);
+};
+
+inline ClusterConfig CalibratedClusterConfig(std::uint32_t nodes,
+                                             const SweepOptions& opt) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.link.propagation_delay = 50 * kMicrosecond;
+  config.node_template.disk_write_bytes_per_sec = opt.disk_bytes_per_sec;
+  return config;
+}
+
+inline void CalibrateUdpProcessing(Cluster& cluster) {
+  // 2005-era per-datagram UDP receive processing, serialized on the
+  // protocol CPU of each node. 25 us per datagram; both protocol phases
+  // queue at the coordinator, so the overhead grows ~50 us per node.
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    cluster.node(i).stack().set_udp_service_processing_cost(
+        25 * kMicrosecond);
+  }
+  cluster.coordinator_node().stack().set_udp_service_processing_cost(
+      25 * kMicrosecond);
+}
+
+// Runs the slm benchmark on `nodes` nodes with periodic checkpoints and
+// returns aggregated coordinator statistics.
+inline SweepResult RunSlmSweep(std::uint32_t nodes,
+                               const SweepOptions& opt) {
+  apps::RegisterSlmProgram();
+  Cluster cluster(CalibratedClusterConfig(nodes, opt));
+  CalibrateUdpProcessing(cluster);
+
+  // One rank pod per node.
+  apps::SlmConfig base;
+  base.nranks = nodes;
+  base.rows = opt.grid_rows;
+  base.cols = opt.grid_cols;
+  base.compute_per_iteration = 2 * kMillisecond;
+  base.iterations = static_cast<std::uint32_t>(
+      opt.app_duration / base.compute_per_iteration);
+  base.exit_when_done = false;
+  std::vector<os::PodId> pods;
+  std::vector<coord::Coordinator::Member> members;
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    pods.push_back(cluster.CreatePod(r, "slm" + std::to_string(r)));
+    base.peers.push_back(cluster.pods(r).Find(pods.back())->ip);
+    members.push_back(cluster.MemberFor(r, pods.back()));
+  }
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    apps::SlmConfig cfg = base;
+    cfg.rank = r;
+    cluster.pods(r).SpawnInPod(pods[r], "cruz.slm_rank",
+                               apps::SlmArgs(cfg));
+  }
+  cluster.sim().RunFor(kSecond);  // ring establishment
+
+  std::vector<double> latencies_ms, overheads_us, locals_ms;
+  SweepResult result;
+  result.nodes = nodes;
+  TimeNs end = cluster.sim().Now() + opt.app_duration;
+  std::uint32_t generation = 0;
+  while (cluster.sim().Now() < end) {
+    cluster.sim().RunFor(opt.checkpoint_interval);
+    coord::Coordinator::Options options;
+    options.variant = opt.variant;
+    options.image_prefix =
+        "/ckpt/sweep_n" + std::to_string(nodes) + "_g" +
+        std::to_string(generation++);
+    auto stats = cluster.RunCheckpoint(members, options);
+    if (!stats.success) continue;
+    latencies_ms.push_back(ToMillis(stats.checkpoint_latency));
+    overheads_us.push_back(ToMicros(stats.coordination_overhead));
+    locals_ms.push_back(ToMillis(stats.max_local));
+    result.messages_per_op = stats.total_messages;
+    result.last_images = stats.image_paths;
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  auto stddev = [&](const std::vector<double>& v, double m) {
+    if (v.size() < 2) return 0.0;
+    double s = 0;
+    for (double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+  };
+  result.samples = static_cast<std::uint32_t>(latencies_ms.size());
+  result.mean_latency_ms = mean(latencies_ms);
+  result.stddev_latency_ms = stddev(latencies_ms, result.mean_latency_ms);
+  result.mean_overhead_us = mean(overheads_us);
+  result.stddev_overhead_us =
+      stddev(overheads_us, result.mean_overhead_us);
+  result.mean_local_ms = mean(locals_ms);
+  return result;
+}
+
+}  // namespace cruz::bench

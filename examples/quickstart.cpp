@@ -1,0 +1,103 @@
+// Quickstart: checkpoint a live networked service and restart it on
+// another machine — without the service or its client noticing.
+//
+//   1. Build a simulated 2-node cluster (plus a coordinator node).
+//   2. Run a TCP echo server inside a pod on node 1.
+//   3. Talk to it from a plain client process on node 2.
+//   4. Take a coordinated checkpoint of the pod, then kill it.
+//   5. Restart the pod from the image on node 2.
+//   6. The client keeps using the SAME connection to the SAME address.
+#include <cstdio>
+
+#include "apps/programs.h"
+#include "cruz/cluster.h"
+
+using namespace cruz;
+
+int main() {
+  std::printf("== Cruz quickstart ==\n\n");
+
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster cluster(config);
+
+  // --- a service in a pod -------------------------------------------------
+  os::PodId pod = cluster.CreatePod(/*node=*/0, "echo-service");
+  net::Ipv4Address service_ip = cluster.pods(0).Find(pod)->ip;
+  cluster.pods(0).SpawnInPod(pod, "cruz.echo_server",
+                             apps::EchoServerArgs(7));
+  std::printf("[%6.3fs] echo service up in pod '%s' at %s:7 on node1\n",
+              ToSeconds(cluster.sim().Now()), "echo-service",
+              service_ip.ToString().c_str());
+  cluster.sim().RunFor(10 * kMillisecond);
+
+  // --- an ordinary client, NOT under Cruz control -------------------------
+  os::Pid client = cluster.node(1).os().Spawn(
+      "cruz.echo_client",
+      apps::EchoClientArgs(service_ip, 7, /*messages=*/40, /*msg_len=*/128,
+                           /*interval=*/5 * kMillisecond));
+  auto client_status = [&] {
+    os::Process* proc = cluster.node(1).os().FindProcess(client);
+    return proc != nullptr ? apps::ReadEchoClientStatus(*proc)
+                           : apps::EchoClientStatus{};
+  };
+  cluster.sim().RunWhile(
+      [&] { return client_status().messages_done >= 10; },
+      cluster.sim().Now() + 30 * kSecond);
+  std::printf("[%6.3fs] client exchanged %llu verified messages\n",
+              ToSeconds(cluster.sim().Now()),
+              static_cast<unsigned long long>(
+                  client_status().messages_done));
+
+  // --- checkpoint ------------------------------------------------------------
+  coord::Coordinator::Options options;
+  options.image_prefix = "/ckpt/quickstart";
+  auto stats =
+      cluster.RunCheckpoint({cluster.MemberFor(0, pod)}, options);
+  std::printf(
+      "[%6.3fs] checkpoint done: latency %.3f ms, coordination overhead "
+      "%.1f us, image %s\n",
+      ToSeconds(cluster.sim().Now()), ToMillis(stats.checkpoint_latency),
+      ToMicros(stats.coordination_overhead),
+      stats.image_paths[0].c_str());
+
+  // --- crash the original -----------------------------------------------------
+  cluster.pods(0).DestroyPod(pod);
+  std::printf("[%6.3fs] pod destroyed on node1 (simulated crash)\n",
+              ToSeconds(cluster.sim().Now()));
+  cluster.sim().RunFor(100 * kMillisecond);
+
+  // --- restart on node2 ---------------------------------------------------------
+  auto restart = cluster.RunRestart({cluster.MemberFor(1, pod)},
+                                    stats.image_paths, options);
+  std::printf("[%6.3fs] pod restarted on node2 (%s still owns %s)\n",
+              ToSeconds(cluster.sim().Now()),
+              restart.success ? "ok" : "FAILED",
+              service_ip.ToString().c_str());
+
+  // --- the client never noticed ---------------------------------------------------
+  int exit_code = -1;
+  apps::EchoClientStatus final_status;
+  cluster.node(1).os().set_process_exit_hook(
+      [&](os::Pid p, int code) {
+        if (p == client) {
+          exit_code = code;
+          final_status = apps::ReadEchoClientStatus(
+              *cluster.node(1).os().FindProcess(p));
+        }
+      });
+  cluster.sim().RunFor(120 * kSecond);
+  std::printf(
+      "[%6.3fs] client finished: exit=%d, %llu/40 messages, %llu "
+      "corrupted bytes\n",
+      ToSeconds(cluster.sim().Now()), exit_code,
+      static_cast<unsigned long long>(final_status.messages_done),
+      static_cast<unsigned long long>(final_status.mismatches));
+
+  bool ok = exit_code == 0 && final_status.messages_done == 40 &&
+            final_status.mismatches == 0;
+  std::printf("\n%s\n", ok ? "SUCCESS: the connection survived the "
+                             "checkpoint, crash, and cross-node restart."
+                           : "FAILURE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Ring collectives over plain TCP — an MPI-style workload.
+//
+// The paper's coordinated checkpoint works "for general TCP-based
+// applications (including MPI and PVM applications) without any changes
+// to applications or libraries" (§2). This program exercises exactly that
+// pattern: every iteration performs a ring all-reduce (the communication
+// kernel of MPI_Allreduce) where each rank contributes a deterministic
+// value and verifies the reduced sum against the closed-form result. Any
+// lost, duplicated, or reordered message — e.g. from a checkpoint landing
+// mid-collective — would corrupt the sum and be counted as a mismatch.
+//
+// Program name: "cruz.allreduce_rank".
+// Status (kStatusAddr): +0 iterations completed, +8 mismatches,
+// +16 last reduced sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "os/program.h"
+
+namespace cruz::apps {
+
+struct AllreduceConfig {
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 1;
+  std::uint16_t port = 9300;
+  std::vector<net::Ipv4Address> peers;
+  std::uint32_t iterations = 100;
+  DurationNs compute_per_iteration = 500 * kMicrosecond;
+  bool exit_when_done = true;
+};
+
+cruz::Bytes AllreduceArgs(const AllreduceConfig& config);
+
+struct AllreduceStatus {
+  std::uint64_t iterations = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t last_sum = 0;
+};
+AllreduceStatus ReadAllreduceStatus(const os::Process& proc);
+
+// The value rank `r` contributes in iteration `t`, and the expected
+// all-reduce result.
+std::uint64_t AllreduceContribution(std::uint32_t rank, std::uint64_t t);
+std::uint64_t AllreduceExpected(std::uint32_t nranks, std::uint64_t t);
+
+// Registers "cruz.allreduce_rank" (idempotent).
+void RegisterCollectivesProgram();
+
+}  // namespace cruz::apps

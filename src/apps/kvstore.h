@@ -1,0 +1,51 @@
+// A small in-memory key-value database served over TCP.
+//
+// The paper's motivation names databases among the "complex applications"
+// the enhanced Zap can checkpoint and restart (§1, §2). This is that
+// workload class in miniature: a request/response server whose entire
+// table lives in checkpointable process memory (open-addressed hash
+// table), and a client that mirrors the expected contents and verifies
+// every GET. A checkpoint can land between a request and its response;
+// transparency means the client still sees exactly-once, consistent
+// semantics.
+//
+// Wire protocol (fixed size, binary):
+//   request : u8 op (1=PUT, 2=GET), u32 key, u64 value (PUT only; 0 for GET)
+//   response: u8 status (1=ok, 0=missing), u64 value
+//
+// Programs:
+//   cruz.kv_server — args: u16 port
+//   cruz.kv_client — args: u32 ip, u16 port, u32 operations, u64 seed,
+//                    u64 think_time_ns
+//
+// Status (kStatusAddr): server: +0 requests served;
+// client: +0 operations done, +8 verification failures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "os/program.h"
+
+namespace cruz::apps {
+
+constexpr std::size_t kKvRequestSize = 13;
+constexpr std::size_t kKvResponseSize = 9;
+
+cruz::Bytes KvServerArgs(std::uint16_t port);
+cruz::Bytes KvClientArgs(net::Ipv4Address server_ip, std::uint16_t port,
+                         std::uint32_t operations, std::uint64_t seed,
+                         DurationNs think_time);
+
+struct KvClientStatus {
+  std::uint64_t operations_done = 0;
+  std::uint64_t verification_failures = 0;
+};
+KvClientStatus ReadKvClientStatus(const os::Process& proc);
+std::uint64_t ReadKvServerRequests(const os::Process& proc);
+
+// Registers both programs (idempotent).
+void RegisterKvPrograms();
+
+}  // namespace cruz::apps

@@ -1,0 +1,46 @@
+// Mini message-passing helpers for state-machine programs.
+//
+// The paper's point about message-passing applications is that Cruz needs
+// NO changes to the library or the application (§5): checkpoint-restart
+// works underneath arbitrary TCP-based communication layers. This header
+// is that communication layer for our simulated programs: whole-message
+// send/receive over stream sockets, with transfer progress kept in a
+// caller-supplied register so a checkpoint can land anywhere inside a
+// message and the restored process resumes the transfer exactly where it
+// stopped. Nothing in here knows checkpoints exist.
+#pragma once
+
+#include <cstdint>
+
+#include "os/program.h"
+
+namespace cruz::apps {
+
+enum class IoStatus {
+  kDone,     // the full message moved
+  kBlocked,  // would block; the thread has been parked, re-enter later
+  kError,    // connection failed (peer reset, timeout, ...)
+  kEof,      // clean remote close mid-receive
+};
+
+// Sends bytes [progress, len) of the message stored at `addr` in process
+// memory. `progress` must live in a register (or checkpointed memory);
+// it advances as bytes are accepted. On kDone, progress == len and the
+// caller should reset it for the next message.
+IoStatus SendAll(os::ProcessCtx& ctx, os::Fd fd, std::uint64_t addr,
+                 std::uint64_t len, std::uint64_t& progress);
+
+// Receives bytes [progress, len) of a message into `addr`.
+IoStatus RecvAll(os::ProcessCtx& ctx, os::Fd fd, std::uint64_t addr,
+                 std::uint64_t len, std::uint64_t& progress);
+
+// Drives a nonblocking connect to completion: returns kDone once
+// established, kBlocked while in progress (thread parked), kError on
+// refusal/timeout.
+IoStatus ConnectTo(os::ProcessCtx& ctx, os::Fd fd, net::Endpoint remote);
+
+// Accepts one connection on a listening fd: on kDone the new fd is stored
+// in `out_fd`.
+IoStatus AcceptOne(os::ProcessCtx& ctx, os::Fd listen_fd, os::Fd* out_fd);
+
+}  // namespace cruz::apps

@@ -1,0 +1,81 @@
+// Reusable application programs for tests, examples, and benchmarks.
+//
+// All programs follow the transparent-checkpoint contract (see
+// os/program.h): state lives exclusively in process memory and thread
+// registers, so any of them can be checkpointed at an arbitrary instant
+// and restored on another node. Progress counters are written to a
+// well-known memory address (kStatusAddr) so harnesses can observe
+// progress from outside without perturbing the process.
+//
+// Registered program names:
+//   cruz.counter          — CPU loop; args: u64 iterations
+//   cruz.echo_server      — TCP echo server; args: u16 port
+//   cruz.echo_client      — TCP echo client; args: u32 ip, u16 port,
+//                           u32 messages, u32 msg_len, u64 interval_ns
+//   cruz.stream_sender    — max-rate TCP sender; args: u32 ip, u16 port,
+//                           u64 total_bytes (0 = unbounded)
+//   cruz.stream_receiver  — TCP sink verifying the pattern; args: u16 port
+//   cruz.sysbench         — syscall-intensive loop for the runtime-overhead
+//                           bench; args: u64 iterations, u64 cpu_ns_per_iter,
+//                           u32 syscalls_per_iter
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "os/program.h"
+
+namespace cruz::apps {
+
+// Where programs publish progress counters (see each program's layout).
+constexpr std::uint64_t kStatusAddr = 0x200000;
+
+// Deterministic byte pattern used by the streaming pair; both ends compute
+// it independently from the absolute stream offset, which makes loss,
+// duplication, or reordering across a checkpoint detectable.
+inline std::uint8_t PatternByte(std::uint64_t offset) {
+  std::uint64_t x = offset * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::uint8_t>(x >> 56);
+}
+
+// Ensures the program factories above are registered (call once; idempotent).
+void RegisterPrograms();
+
+// --- argument builders -------------------------------------------------------
+
+cruz::Bytes CounterArgs(std::uint64_t iterations);
+cruz::Bytes EchoServerArgs(std::uint16_t port);
+cruz::Bytes EchoClientArgs(net::Ipv4Address server_ip, std::uint16_t port,
+                           std::uint32_t messages, std::uint32_t msg_len,
+                           DurationNs interval);
+cruz::Bytes StreamSenderArgs(net::Ipv4Address server_ip, std::uint16_t port,
+                             std::uint64_t total_bytes);
+// burst_interval > 0 makes the receiver a bursty consumer: it drains up
+// to burst_bytes, then sleeps for the interval. This leaves data in the
+// TCP receive buffer at any instant — which is what produces the Fig. 6
+// "pulse" of buffered data delivered right after a checkpoint completes.
+cruz::Bytes StreamReceiverArgs(std::uint16_t port,
+                               DurationNs burst_interval = 0,
+                               std::uint32_t burst_bytes = 65536);
+cruz::Bytes SysbenchArgs(std::uint64_t iterations,
+                         DurationNs cpu_per_iteration,
+                         std::uint32_t syscalls_per_iteration);
+
+// --- status readers (harness side) ---------------------------------------------
+
+struct EchoClientStatus {
+  std::uint64_t messages_done = 0;
+  std::uint64_t mismatches = 0;
+};
+EchoClientStatus ReadEchoClientStatus(const os::Process& proc);
+
+struct StreamStatus {
+  std::uint64_t bytes = 0;       // sent or received
+  std::uint64_t mismatches = 0;  // receiver only
+};
+StreamStatus ReadStreamStatus(const os::Process& proc);
+
+std::uint64_t ReadCounter(const os::Process& proc);
+
+}  // namespace cruz::apps

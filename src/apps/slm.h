@@ -1,0 +1,66 @@
+// slm — semi-Lagrangian atmospheric model surrogate (paper §6).
+//
+// The paper's parallel benchmark is a weather-prediction code; what the
+// checkpoint experiments depend on is its *shape*: a domain-decomposed
+// iterative stencil whose per-rank state is a large grid in memory
+// (checkpoint size), with per-iteration halo exchange between neighbours
+// over TCP (communication that must survive checkpoints) and a fixed
+// amount of computation per iteration (execution time that strong-scales
+// with the number of nodes).
+//
+// Ranks are arranged in a directed ring: rank r listens on the common
+// port and connects to rank (r+1) mod N. Each iteration, a rank sends its
+// boundary row to its right neighbour, receives its left neighbour's
+// boundary, then computes a relaxation step over its private grid.
+// All state — the grid, iteration counter, transfer progress — lives in
+// checkpointable memory and registers; the program builds only on the
+// minimsg helpers, which know nothing about Cruz.
+//
+// Program name: "cruz.slm_rank".
+// Status (kStatusAddr): +0 iterations completed, +8 checksum of the grid
+// edge (progress witness), +16 exchange bytes moved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "os/program.h"
+
+namespace cruz::apps {
+
+struct SlmConfig {
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 1;
+  std::uint16_t port = 9200;            // every rank's pod listens here
+  std::vector<net::Ipv4Address> peers;  // pod address of each rank
+  std::uint32_t rows = 64;              // grid rows per rank
+  std::uint32_t cols = 512;             // doubles per row
+  std::uint32_t iterations = 1000;
+  DurationNs compute_per_iteration = 2 * kMillisecond;
+  // When false the rank idles after finishing (status remains readable)
+  // instead of exiting; long-running-service mode for harnesses.
+  bool exit_when_done = true;
+};
+
+// Serialized into the program args blob.
+cruz::Bytes SlmArgs(const SlmConfig& config);
+
+struct SlmStatus {
+  std::uint64_t iterations = 0;
+  std::uint64_t edge_checksum = 0;
+  std::uint64_t bytes_exchanged = 0;
+};
+SlmStatus ReadSlmStatus(const os::Process& proc);
+
+// Registers "cruz.slm_rank" (idempotent).
+void RegisterSlmProgram();
+
+// Reference model: grid edge checksum after `iterations` of the stencil,
+// computed without any OS in the way. Tests compare a distributed run
+// (with checkpoints and restarts in the middle) against this.
+std::uint64_t SlmReferenceChecksum(const SlmConfig& config,
+                                   std::uint32_t iterations);
+
+}  // namespace cruz::apps

@@ -1,0 +1,73 @@
+// Single-node checkpoint-restart engine (paper §3-§4).
+//
+// Capture: SIGSTOPs all processes in the pod, then extracts their state —
+// including live socket state under the (simulated) network-stack lock —
+// into a PodCheckpoint. Capture is non-destructive: the pod can be
+// resumed afterwards (checkpoint-and-continue) or destroyed (migration).
+//
+// Restore: rebuilds the pod on any node — the VIF with the same IP and
+// MAC identity, SysV objects, pipes, sockets (listeners, accept queues,
+// connections with the §4.1 send-buffer replay and alternate receive
+// buffers), and finally the processes with their memory images and
+// register files, mapped to fresh real pids behind the pod's stable
+// virtual pids. Restored processes are left SIGSTOPped so a coordinator
+// can resume all pods only after every node has finished restoring.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/image.h"
+#include "pod/pod.h"
+
+namespace cruz::ckpt {
+
+struct CaptureStats {
+  std::uint32_t processes = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t tcp_connections = 0;
+  std::uint32_t listeners = 0;
+  std::uint32_t pipes = 0;
+  std::uint64_t state_bytes = 0;
+  // Time the network stack's locks were held while the socket state was
+  // extracted (the paper holds them "only for the duration needed to save
+  // the socket states").
+  DurationNs network_lock_hold = 0;
+};
+
+struct CaptureOptions {
+  // Incremental checkpointing (paper §5.2): capture only memory pages
+  // dirtied since the previous capture. The produced image records its
+  // parent so restore can resolve the chain.
+  bool incremental = false;
+  std::string parent_image;
+  std::uint32_t generation = 0;
+};
+
+class CheckpointEngine {
+ public:
+  // Stops the pod's processes and captures a checkpoint. The pod is left
+  // stopped; call ResumePod (checkpoint-and-continue) or DestroyPod
+  // (migration) afterwards. Every capture (full or incremental) resets
+  // the dirty-page baseline for the next incremental capture.
+  static PodCheckpoint CapturePod(pod::PodManager& pods, os::PodId id,
+                                  CaptureStats* stats = nullptr);
+  static PodCheckpoint CapturePod(pod::PodManager& pods, os::PodId id,
+                                  const CaptureOptions& options,
+                                  CaptureStats* stats = nullptr);
+
+  // Loads a checkpoint image from the shared filesystem, resolving the
+  // incremental parent chain (oldest-to-newest page overlay). Throws
+  // CodecError on corruption, UsageError on a missing link.
+  static PodCheckpoint LoadImageChain(os::NetworkFileSystem& fs,
+                                      const std::string& path);
+
+  // Rebuilds a pod from a checkpoint. Processes are installed SIGSTOPped;
+  // call ResumePod to let them run.
+  static os::PodId RestorePod(pod::PodManager& pods,
+                              const PodCheckpoint& ck);
+
+  static void StopPod(pod::PodManager& pods, os::PodId id);
+  static void ResumePod(pod::PodManager& pods, os::PodId id);
+};
+
+}  // namespace cruz::ckpt

@@ -1,0 +1,146 @@
+#include "ckpt/live_migrate.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/simulator.h"
+
+namespace cruz::ckpt {
+
+namespace {
+
+DurationNs TransferTime(std::uint64_t bytes,
+                        const LiveMigrateOptions& options) {
+  return options.network_bytes_per_sec == 0
+             ? 0
+             : bytes * kSecond / options.network_bytes_per_sec;
+}
+
+// Counts the pod's current dirty bytes and clears the tracking, starting
+// the next pre-copy window. The pod keeps running.
+std::uint64_t SweepDirtyBytes(pod::PodManager& pods, os::PodId id) {
+  os::Os& os = pods.node().os();
+  std::uint64_t bytes = 0;
+  for (os::Pid pid : os.PodProcesses(id)) {
+    os::Process* proc = os.FindProcess(pid);
+    if (proc == nullptr) continue;
+    bytes += proc->memory().dirty_pages().size() * os::kPageSize;
+    proc->memory().ClearDirty();
+  }
+  return bytes;
+}
+
+std::uint64_t ResidentBytes(pod::PodManager& pods, os::PodId id) {
+  os::Os& os = pods.node().os();
+  std::uint64_t bytes = 0;
+  for (os::Pid pid : os.PodProcesses(id)) {
+    os::Process* proc = os.FindProcess(pid);
+    if (proc != nullptr) bytes += proc->memory().ResidentBytes();
+  }
+  return bytes;
+}
+
+// The shared final phase: stop, capture, move the pod, resume, report.
+// `residual_bytes` is what still has to cross the network while the pod
+// is stopped.
+void FinalPhase(pod::PodManager& source, pod::PodManager& target,
+                os::PodId id, const LiveMigrateOptions& options,
+                TimeNs started, LiveMigrateStats stats,
+                LiveMigrator::DoneFn done) {
+  sim::Simulator& sim = source.node().os().sim();
+  TimeNs stop_time = sim.Now();
+  CheckpointEngine::StopPod(source, id);
+  PodCheckpoint ck = CheckpointEngine::CapturePod(source, id);
+  // Residual transfer: the final dirty pages plus the non-memory state
+  // (sockets, pipes, IPC — everything except the pre-copied pages).
+  std::uint64_t page_bytes = 0;
+  for (const ProcessRecord& proc : ck.processes) {
+    page_bytes += proc.pages.size() * os::kPageSize;
+  }
+  std::uint64_t kernel_state =
+      ck.StateBytes() > page_bytes ? ck.StateBytes() - page_bytes : 0;
+  stats.final_bytes += kernel_state;
+  std::uint64_t final_bytes = stats.final_bytes;
+  DurationNs transfer = TransferTime(final_bytes, options);
+  source.DestroyPod(id);
+  sim.Schedule(transfer, [&target, ck = std::move(ck), stats, stop_time,
+                          started, done = std::move(done)]() mutable {
+    sim::Simulator& sim2 = target.node().os().sim();
+    os::PodId restored = CheckpointEngine::RestorePod(target, ck);
+    CheckpointEngine::ResumePod(target, restored);
+    stats.pod = restored;
+    stats.downtime = sim2.Now() - stop_time;
+    stats.total_duration = sim2.Now() - started;
+    CRUZ_INFO("migrate") << "pod " << restored << " migrated: rounds="
+                         << stats.rounds << " downtime="
+                         << ToMillis(stats.downtime) << "ms";
+    done(stats);
+  });
+}
+
+void PrecopyRound(pod::PodManager& source, pod::PodManager& target,
+                  os::PodId id, LiveMigrateOptions options, TimeNs started,
+                  LiveMigrateStats stats, LiveMigrator::DoneFn done) {
+  sim::Simulator& sim = source.node().os().sim();
+  // Copy this round's pages while the pod runs: round 1 copies the whole
+  // resident set; later rounds copy what the previous round dirtied.
+  std::uint64_t round_bytes;
+  if (stats.rounds == 0) {
+    SweepDirtyBytes(source, id);  // start the first dirty window
+    round_bytes = ResidentBytes(source, id);
+  } else {
+    round_bytes = SweepDirtyBytes(source, id);
+  }
+  stats.rounds += 1;
+  stats.precopy_bytes += round_bytes;
+  DurationNs transfer = TransferTime(round_bytes, options);
+  sim.Schedule(transfer, [&source, &target, id, options, started, stats,
+                          done = std::move(done)]() mutable {
+    if (source.Find(id) == nullptr) return;  // pod vanished mid-migration
+    // Peek at what got dirtied while this round was in flight.
+    std::uint64_t dirty_now = 0;
+    os::Os& os = source.node().os();
+    for (os::Pid pid : os.PodProcesses(id)) {
+      os::Process* proc = os.FindProcess(pid);
+      if (proc != nullptr) {
+        dirty_now += proc->memory().dirty_pages().size() * os::kPageSize;
+      }
+    }
+    if (dirty_now > options.stop_threshold_bytes &&
+        stats.rounds < options.max_rounds) {
+      PrecopyRound(source, target, id, options, started, stats,
+                   std::move(done));
+      return;
+    }
+    stats.final_bytes = dirty_now;
+    FinalPhase(source, target, id, options, started, stats,
+               std::move(done));
+  });
+}
+
+}  // namespace
+
+void LiveMigrator::Migrate(pod::PodManager& source,
+                           pod::PodManager& target, os::PodId pod,
+                           const LiveMigrateOptions& options, DoneFn done) {
+  CRUZ_CHECK(source.Find(pod) != nullptr, "Migrate: no such pod");
+  LiveMigrateStats stats;
+  TimeNs started = source.node().os().sim().Now();
+  PrecopyRound(source, target, pod, options, started, stats,
+               std::move(done));
+}
+
+void LiveMigrator::StopAndCopy(pod::PodManager& source,
+                               pod::PodManager& target, os::PodId pod,
+                               const LiveMigrateOptions& options,
+                               DoneFn done) {
+  CRUZ_CHECK(source.Find(pod) != nullptr, "StopAndCopy: no such pod");
+  LiveMigrateStats stats;
+  TimeNs started = source.node().os().sim().Now();
+  stats.final_bytes = ResidentBytes(source, pod);
+  FinalPhase(source, target, pod, options, started, stats,
+             std::move(done));
+}
+
+}  // namespace cruz::ckpt

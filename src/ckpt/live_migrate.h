@@ -1,0 +1,63 @@
+// Live (pre-copy) pod migration.
+//
+// The paper's migration path (§1: "reduce application downtime during
+// hardware and operating system maintenance by migrating the application
+// to a different machine") is stop-and-copy: downtime covers the whole
+// state transfer. Pre-copy — iteratively transferring memory while the
+// pod keeps running, then stopping only for the (small) final dirty set —
+// is the standard refinement, and the dirty-page tracking built for
+// incremental checkpointing (§5.2) provides exactly the machinery.
+//
+// Rounds: round 1 copies all pages over the network while the pod runs;
+// each later round copies the pages dirtied during the previous round;
+// when the dirty set stops shrinking (or a round/threshold limit hits),
+// the pod is stopped, the residual state (last dirty pages + kernel
+// state: sockets, pipes, IPC) moves, and the pod resumes on the target.
+// Downtime covers only that final phase.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ckpt/engine.h"
+#include "pod/pod.h"
+
+namespace cruz::ckpt {
+
+struct LiveMigrateOptions {
+  int max_rounds = 5;
+  // Pre-copy stops early once a round's dirty set is this small.
+  std::uint64_t stop_threshold_bytes = 128 * 1024;
+  // Migration-stream bandwidth (gigabit-class by default).
+  std::uint64_t network_bytes_per_sec = 110 * kMiB;
+};
+
+struct LiveMigrateStats {
+  int rounds = 0;                  // pre-copy rounds executed
+  std::uint64_t precopy_bytes = 0;  // transferred while running
+  std::uint64_t final_bytes = 0;    // transferred during the stop
+  DurationNs downtime = 0;          // pod stopped -> resumed on target
+  DurationNs total_duration = 0;    // start -> resumed on target
+  os::PodId pod = os::kNoPod;       // id on the target (preserved)
+};
+
+class LiveMigrator {
+ public:
+  using DoneFn = std::function<void(const LiveMigrateStats&)>;
+
+  // Migrates `pod` from `source`'s node to `target`'s node. Asynchronous:
+  // runs over simulated time and invokes `done` once the pod is resumed
+  // on the target. The pod id, addresses, and all connections are
+  // preserved exactly as in checkpoint-restart.
+  static void Migrate(pod::PodManager& source, pod::PodManager& target,
+                      os::PodId pod, const LiveMigrateOptions& options,
+                      DoneFn done);
+
+  // Baseline for comparison: classic stop-and-copy (stop, transfer
+  // everything, restore, resume). Same interface.
+  static void StopAndCopy(pod::PodManager& source, pod::PodManager& target,
+                          os::PodId pod, const LiveMigrateOptions& options,
+                          DoneFn done);
+};
+
+}  // namespace cruz::ckpt

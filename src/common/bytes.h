@@ -1,0 +1,157 @@
+// Bounds-checked binary codecs.
+//
+// ByteWriter appends fixed-width integers (network byte order), blobs, and
+// length-prefixed strings to a growable buffer. ByteReader consumes the same
+// encoding and throws CodecError on any truncation or overrun, so corrupted
+// packets and checkpoint images fail loudly instead of propagating garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cruz {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void PutU32(std::uint32_t v) {
+    PutU16(static_cast<std::uint16_t>(v >> 16));
+    PutU16(static_cast<std::uint16_t>(v));
+  }
+  void PutU64(std::uint64_t v) {
+    PutU32(static_cast<std::uint32_t>(v >> 32));
+    PutU32(static_cast<std::uint32_t>(v));
+  }
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutBytes(ByteSpan data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void PutBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  // Length-prefixed (u32) blob.
+  void PutBlob(ByteSpan data) {
+    PutU32(static_cast<std::uint32_t>(data.size()));
+    PutBytes(data);
+  }
+  // Length-prefixed (u32) string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    PutBytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  // Overwrites a previously written u16 at `offset` (e.g. a length or
+  // checksum field patched after the payload is known).
+  void PatchU16(std::size_t offset, std::uint16_t v) {
+    CRUZ_CHECK(offset + 2 <= buf_.size(), "PatchU16 out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+  void PatchU32(std::size_t offset, std::uint32_t v) {
+    CRUZ_CHECK(offset + 4 <= buf_.size(), "PatchU32 out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+    buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 3] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t GetU8() {
+    Need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t GetU16() {
+    Need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t GetU32() {
+    std::uint32_t hi = GetU16();
+    return (hi << 16) | GetU16();
+  }
+  std::uint64_t GetU64() {
+    std::uint64_t hi = GetU32();
+    return (hi << 32) | GetU32();
+  }
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+  bool GetBool() { return GetU8() != 0; }
+
+  Bytes GetBytes(std::size_t n) {
+    Need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  ByteSpan GetSpan(std::size_t n) {
+    Need(n);
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  Bytes GetBlob() {
+    std::uint32_t n = GetU32();
+    return GetBytes(n);
+  }
+  std::string GetString() {
+    std::uint32_t n = GetU32();
+    ByteSpan s = GetSpan(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  void Skip(std::size_t n) {
+    Need(n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void Need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw CodecError("ByteReader: truncated input (need " +
+                       std::to_string(n) + " bytes at offset " +
+                       std::to_string(pos_) + ", have " +
+                       std::to_string(data_.size() - pos_) + ")");
+    }
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cruz

@@ -1,0 +1,42 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace cruz {
+namespace {
+
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32Accumulator::Update(ByteSpan data) {
+  const auto& table = Table();
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32(ByteSpan data) {
+  Crc32Accumulator acc;
+  acc.Update(data);
+  return acc.Finish();
+}
+
+}  // namespace cruz

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial), used to protect checkpoint image sections
+// and to implement the simulated Ethernet frame check sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace cruz {
+
+std::uint32_t Crc32(ByteSpan data);
+
+// Incremental form: feed chunks, then Finish().
+class Crc32Accumulator {
+ public:
+  void Update(ByteSpan data);
+  std::uint32_t Finish() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace cruz

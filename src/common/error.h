@@ -1,0 +1,50 @@
+// Exception hierarchy for the Cruz library.
+//
+// Exceptions signal failures to perform a required task (I.10): codec
+// corruption, violated invariants, misuse of the public API. Expected,
+// recoverable conditions inside the simulated OS (EAGAIN, ECONNREFUSED, ...)
+// are reported through errno-style syscall results instead (see sysresult.h),
+// mirroring the kernel ABI the paper's system lives behind.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cruz {
+
+// Base class for all errors raised by the Cruz library.
+class CruzError : public std::runtime_error {
+ public:
+  explicit CruzError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when decoding a packet or checkpoint image fails (truncation, bad
+// magic, CRC mismatch, out-of-range field).
+class CodecError : public CruzError {
+ public:
+  explicit CodecError(const std::string& what) : CruzError(what) {}
+};
+
+// Raised when a caller violates an API precondition.
+class UsageError : public CruzError {
+ public:
+  explicit UsageError(const std::string& what) : CruzError(what) {}
+};
+
+// Raised when an internal invariant is violated; indicates a bug in the
+// library, never a recoverable condition.
+class InvariantError : public CruzError {
+ public:
+  explicit InvariantError(const std::string& what) : CruzError(what) {}
+};
+
+// CRUZ_CHECK: precondition/invariant check that survives release builds.
+#define CRUZ_CHECK(cond, msg)                                     \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw ::cruz::InvariantError(std::string("CRUZ_CHECK failed: ") + \
+                                   #cond + ": " + (msg));         \
+    }                                                             \
+  } while (0)
+
+}  // namespace cruz

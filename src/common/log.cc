@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace cruz {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::uint64_t (*g_time_provider)() = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+std::uint64_t Logger::CurrentSimTime() {
+  return g_time_provider ? g_time_provider() : ~0ull;
+}
+
+void Logger::SetSimTimeProvider(std::uint64_t (*provider)()) {
+  g_time_provider = provider;
+}
+
+void Logger::Write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (level < g_level) return;
+  std::uint64_t t = CurrentSimTime();
+  if (t == ~0ull) {
+    std::fprintf(stderr, "[   --.------] %s %-10s %s\n", LevelName(level),
+                 component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%5llu.%06llu] %s %-10s %s\n",
+                 static_cast<unsigned long long>(t / 1000000000ull),
+                 static_cast<unsigned long long>((t % 1000000000ull) / 1000),
+                 LevelName(level), component.c_str(), message.c_str());
+  }
+}
+
+}  // namespace cruz

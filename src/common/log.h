@@ -1,0 +1,63 @@
+// Minimal leveled logger for the simulation.
+//
+// Log lines are tagged with the simulated timestamp (supplied by the caller
+// through a thread-local hook installed by the Simulator) and a component
+// tag. Default level is kWarn so tests and benchmarks stay quiet; examples
+// raise it to kInfo to narrate what the system does.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace cruz {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  // Hook used by the Simulator so log lines carry simulated time.
+  // Returns UINT64_MAX when no simulation is active.
+  static std::uint64_t CurrentSimTime();
+  static void SetSimTimeProvider(std::uint64_t (*provider)());
+
+  static void Write(LogLevel level, const std::string& component,
+                    const std::string& message);
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LineBuilder() { Logger::Write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define CRUZ_LOG(lvl, component)                       \
+  if (::cruz::Logger::level() <= (lvl))                \
+  ::cruz::log_internal::LineBuilder((lvl), (component))
+
+#define CRUZ_TRACE(component) CRUZ_LOG(::cruz::LogLevel::kTrace, component)
+#define CRUZ_DEBUG(component) CRUZ_LOG(::cruz::LogLevel::kDebug, component)
+#define CRUZ_INFO(component) CRUZ_LOG(::cruz::LogLevel::kInfo, component)
+#define CRUZ_WARN(component) CRUZ_LOG(::cruz::LogLevel::kWarn, component)
+#define CRUZ_ERROR(component) CRUZ_LOG(::cruz::LogLevel::kError, component)
+
+}  // namespace cruz

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every source of randomness in the simulation (link loss, jitter, workload
+// data) draws from an explicitly seeded Rng so that a run is reproducible
+// bit-for-bit from its seed. No global RNG exists by design.
+#pragma once
+
+#include <cstdint>
+
+namespace cruz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform over [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  std::uint64_t NextRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Derives an independent child stream (for per-component determinism).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cruz

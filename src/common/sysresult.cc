@@ -1,0 +1,56 @@
+#include "common/sysresult.h"
+
+namespace cruz {
+
+const char* ErrnoName(Errno e) {
+  switch (e) {
+    case CRUZ_EOK: return "OK";
+    case CRUZ_EPERM: return "EPERM";
+    case CRUZ_ENOENT: return "ENOENT";
+    case CRUZ_ESRCH: return "ESRCH";
+    case CRUZ_EINTR: return "EINTR";
+    case CRUZ_EIO: return "EIO";
+    case CRUZ_EBADF: return "EBADF";
+    case CRUZ_ECHILD: return "ECHILD";
+    case CRUZ_EAGAIN: return "EAGAIN";
+    case CRUZ_ENOMEM: return "ENOMEM";
+    case CRUZ_EACCES: return "EACCES";
+    case CRUZ_EFAULT: return "EFAULT";
+    case CRUZ_EBUSY: return "EBUSY";
+    case CRUZ_EEXIST: return "EEXIST";
+    case CRUZ_ENODEV: return "ENODEV";
+    case CRUZ_ENOTDIR: return "ENOTDIR";
+    case CRUZ_EISDIR: return "EISDIR";
+    case CRUZ_EINVAL: return "EINVAL";
+    case CRUZ_ENFILE: return "ENFILE";
+    case CRUZ_EMFILE: return "EMFILE";
+    case CRUZ_ENOTTY: return "ENOTTY";
+    case CRUZ_EFBIG: return "EFBIG";
+    case CRUZ_ENOSPC: return "ENOSPC";
+    case CRUZ_ESPIPE: return "ESPIPE";
+    case CRUZ_EROFS: return "EROFS";
+    case CRUZ_EPIPE: return "EPIPE";
+    case CRUZ_ENOSYS: return "ENOSYS";
+    case CRUZ_ENOTEMPTY: return "ENOTEMPTY";
+    case CRUZ_ENOTSOCK: return "ENOTSOCK";
+    case CRUZ_EDESTADDRREQ: return "EDESTADDRREQ";
+    case CRUZ_EMSGSIZE: return "EMSGSIZE";
+    case CRUZ_EOPNOTSUPP: return "EOPNOTSUPP";
+    case CRUZ_EADDRINUSE: return "EADDRINUSE";
+    case CRUZ_EADDRNOTAVAIL: return "EADDRNOTAVAIL";
+    case CRUZ_ENETUNREACH: return "ENETUNREACH";
+    case CRUZ_ECONNABORTED: return "ECONNABORTED";
+    case CRUZ_ECONNRESET: return "ECONNRESET";
+    case CRUZ_ENOBUFS: return "ENOBUFS";
+    case CRUZ_EISCONN: return "EISCONN";
+    case CRUZ_ENOTCONN: return "ENOTCONN";
+    case CRUZ_ETIMEDOUT: return "ETIMEDOUT";
+    case CRUZ_ECONNREFUSED: return "ECONNREFUSED";
+    case CRUZ_EHOSTUNREACH: return "EHOSTUNREACH";
+    case CRUZ_EALREADY: return "EALREADY";
+    case CRUZ_EINPROGRESS: return "EINPROGRESS";
+  }
+  return "E???";
+}
+
+}  // namespace cruz

@@ -1,0 +1,75 @@
+// Errno-style syscall results for the simulated OS.
+//
+// The simulated kernel exposes the same convention as Linux: syscalls return
+// a non-negative value on success and -errno on failure. Keeping this ABI
+// (rather than exceptions or std::expected) is deliberate: the Zap/Cruz
+// interposition layer wraps syscalls, and faithful error propagation through
+// the wrappers is part of what the paper's mechanism must preserve.
+#pragma once
+
+#include <cstdint>
+
+namespace cruz {
+
+using SysResult = std::int64_t;
+
+// Simulated errno values. Numeric values match Linux x86-64 so that traces
+// read naturally; only the constants used by the simulation are defined.
+enum Errno : int {
+  CRUZ_EOK = 0,
+  CRUZ_EPERM = 1,
+  CRUZ_ENOENT = 2,
+  CRUZ_ESRCH = 3,
+  CRUZ_EINTR = 4,
+  CRUZ_EIO = 5,
+  CRUZ_EBADF = 9,
+  CRUZ_ECHILD = 10,
+  CRUZ_EAGAIN = 11,
+  CRUZ_ENOMEM = 12,
+  CRUZ_EACCES = 13,
+  CRUZ_EFAULT = 14,
+  CRUZ_EBUSY = 16,
+  CRUZ_EEXIST = 17,
+  CRUZ_ENODEV = 19,
+  CRUZ_ENOTDIR = 20,
+  CRUZ_EISDIR = 21,
+  CRUZ_EINVAL = 22,
+  CRUZ_ENFILE = 23,
+  CRUZ_EMFILE = 24,
+  CRUZ_ENOTTY = 25,
+  CRUZ_EFBIG = 27,
+  CRUZ_ENOSPC = 28,
+  CRUZ_ESPIPE = 29,
+  CRUZ_EROFS = 30,
+  CRUZ_EPIPE = 32,
+  CRUZ_ENOSYS = 38,
+  CRUZ_ENOTEMPTY = 39,
+  CRUZ_ENOTSOCK = 88,
+  CRUZ_EDESTADDRREQ = 89,
+  CRUZ_EMSGSIZE = 90,
+  CRUZ_EOPNOTSUPP = 95,
+  CRUZ_EADDRINUSE = 98,
+  CRUZ_EADDRNOTAVAIL = 99,
+  CRUZ_ENETUNREACH = 101,
+  CRUZ_ECONNABORTED = 103,
+  CRUZ_ECONNRESET = 104,
+  CRUZ_ENOBUFS = 105,
+  CRUZ_EISCONN = 106,
+  CRUZ_ENOTCONN = 107,
+  CRUZ_ETIMEDOUT = 110,
+  CRUZ_ECONNREFUSED = 111,
+  CRUZ_EHOSTUNREACH = 113,
+  CRUZ_EALREADY = 114,
+  CRUZ_EINPROGRESS = 115,
+};
+
+constexpr SysResult SysErr(Errno e) { return -static_cast<SysResult>(e); }
+constexpr bool SysOk(SysResult r) { return r >= 0; }
+constexpr Errno SysErrno(SysResult r) {
+  return r >= 0 ? CRUZ_EOK : static_cast<Errno>(-r);
+}
+
+// Human-readable errno name, for logs and test diagnostics.
+const char* ErrnoName(Errno e);
+
+}  // namespace cruz

@@ -1,0 +1,42 @@
+// Simulated-time and data-size units.
+//
+// All simulated time is an absolute count of nanoseconds since simulation
+// start (TimeNs). Durations are also in nanoseconds. Helper constants keep
+// call sites readable: `sim.RunFor(5 * kMillisecond)`.
+#pragma once
+
+#include <cstdint>
+
+namespace cruz {
+
+using TimeNs = std::uint64_t;
+using DurationNs = std::uint64_t;
+
+constexpr DurationNs kNanosecond = 1;
+constexpr DurationNs kMicrosecond = 1000 * kNanosecond;
+constexpr DurationNs kMillisecond = 1000 * kMicrosecond;
+constexpr DurationNs kSecond = 1000 * kMillisecond;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+// Converts a payload size and link rate (bits/s) to serialization time.
+constexpr DurationNs TransmitTimeNs(std::uint64_t bytes,
+                                    std::uint64_t bits_per_second) {
+  return bits_per_second == 0
+             ? 0
+             : (bytes * 8ull * kSecond) / bits_per_second;
+}
+
+constexpr double ToSeconds(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToMicros(DurationNs d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+}  // namespace cruz

@@ -1,0 +1,400 @@
+#include "coord/agent.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/simulator.h"
+
+namespace cruz::coord {
+
+namespace {
+// Local operation cost model (gigahertz-era machine, per paper §6).
+constexpr DurationNs kFilterConfigCost = 10 * kMicrosecond;
+constexpr DurationNs kPerProcessStopCost = 20 * kMicrosecond;
+constexpr DurationNs kPerProcessResumeCost = 10 * kMicrosecond;
+constexpr std::uint64_t kSerializeBytesPerSec = 1 * kGiB;
+// Flush baseline: per-channel drain time before acking a marker.
+constexpr DurationNs kChannelDrainCost = 200 * kMicrosecond;
+}  // namespace
+
+CheckpointAgent::CheckpointAgent(os::Node& node, pod::PodManager& pods)
+    : node_(node), pods_(pods) {
+  node_.stack().RegisterUdpService(
+      kAgentPort, [this](net::Endpoint from, const cruz::Bytes& payload) {
+        OnDatagram(from, payload);
+      });
+}
+
+CheckpointAgent::~CheckpointAgent() {
+  node_.stack().UnregisterUdpService(kAgentPort);
+}
+
+void CheckpointAgent::Send(net::Endpoint to, CoordMessage m) {
+  net::UdpDatagram dgram;
+  dgram.src_port = kAgentPort;
+  dgram.dst_port = to.port;
+  dgram.payload = m.Encode();
+  net::Ipv4Packet pkt;
+  pkt.src = node_.ip();  // node address, never the pod's (footnote 4)
+  pkt.dst = to.ip;
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  node_.stack().SendIpv4(std::move(pkt));
+}
+
+void CheckpointAgent::OnDatagram(net::Endpoint from,
+                                 const cruz::Bytes& payload) {
+  CoordMessage m;
+  try {
+    m = CoordMessage::Decode(payload);
+  } catch (const cruz::CodecError&) {
+    return;
+  }
+  switch (m.type) {
+    case MsgType::kCheckpoint:
+      HandleCheckpoint(m, from);
+      break;
+    case MsgType::kRestart:
+      HandleRestart(m, from);
+      break;
+    case MsgType::kContinue:
+      HandleContinue(m);
+      break;
+    case MsgType::kAbort:
+      HandleAbort(m);
+      break;
+    case MsgType::kFlushMarker:
+      HandleFlushMarker(m, from);
+      break;
+    case MsgType::kFlushAck:
+      HandleFlushAck(m);
+      break;
+    default:
+      break;
+  }
+}
+
+void CheckpointAgent::InstallDropFilter(net::Ipv4Address pod_ip) {
+  op_.filter_id = node_.stack().AddFilter(
+      [pod_ip](const net::Ipv4Packet& pkt) {
+        return pkt.src == pod_ip || pkt.dst == pod_ip;
+      });
+}
+
+void CheckpointAgent::RemoveDropFilter() {
+  if (op_.filter_id != 0) {
+    node_.stack().RemoveFilter(op_.filter_id);
+    op_.filter_id = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+void CheckpointAgent::HandleCheckpoint(const CoordMessage& m,
+                                       net::Endpoint from) {
+  if (op_active_) {
+    // Duplicate of the in-flight request (coordinator retransmission):
+    // re-send any reply the coordinator may have missed.
+    if (m.op_id == op_.op_id && op_.done_sent) {
+      Send(op_.coordinator, last_done_reply_);
+    }
+    return;  // one coordinated operation at a time
+  }
+  if (m.op_id == last_completed_op_) {
+    // Fully served already; the coordinator lost our replies.
+    Send(from, last_done_reply_);
+    Send(from, last_continue_done_reply_);
+    return;
+  }
+  op_ = ActiveOp{};
+  op_active_ = true;
+  op_.op_id = m.op_id;
+  op_.pod = m.pod_id;
+  op_.variant = m.variant;
+  op_.coordinator = from;
+  op_.started = node_.os().sim().Now();
+  op_.pending_request = m;
+
+  if (m.variant == ProtocolVariant::kFlushBaseline && !m.peers.empty()) {
+    // Baseline: flush every channel with markers before checkpointing —
+    // the O(N²) step Cruz eliminates.
+    for (std::uint32_t peer : m.peers) {
+      if (net::Ipv4Address{peer} == node_.ip()) continue;
+      CoordMessage marker;
+      marker.type = MsgType::kFlushMarker;
+      marker.op_id = m.op_id;
+      marker.sender_index = node_.ip().value;
+      Send(net::Endpoint{net::Ipv4Address{peer}, kAgentPort}, marker);
+      ++op_.flush_messages;
+      op_.flush_acks_pending.insert(peer);
+    }
+    if (!op_.flush_acks_pending.empty()) {
+      return;  // StartLocalCheckpoint resumes once all acks are in
+    }
+  }
+  StartLocalCheckpoint(m);
+}
+
+void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
+  pod::Pod* pod = pods_.Find(m.pod_id);
+  if (pod == nullptr) {
+    CRUZ_WARN("agent") << node_.name() << ": checkpoint for unknown pod "
+                       << m.pod_id;
+    op_active_ = false;
+    return;
+  }
+  // Step 1: configure the packet filter (Cruz protocol; the flush baseline
+  // has already drained channels and does not need it, but stopping the
+  // pod still requires isolation, so both install it).
+  InstallDropFilter(pod->ip);
+
+  // Step 2: stop the pod's processes and take the local checkpoint. The
+  // state snapshot happens now; the durations below model how long the
+  // real extraction and disk write take.
+  ckpt::CaptureOptions capture;
+  auto previous = last_image_.find(m.pod_id);
+  if (m.incremental && previous != last_image_.end()) {
+    capture.incremental = true;
+    capture.parent_image = previous->second.first;
+    capture.generation = previous->second.second + 1;
+  }
+  ckpt::CaptureStats stats;
+  ckpt::PodCheckpoint ck =
+      ckpt::CheckpointEngine::CapturePod(pods_, m.pod_id, capture, &stats);
+  cruz::Bytes image = ck.Serialize();
+  std::uint64_t image_bytes = image.size();
+  node_.os().fs().WriteFile(m.image_path, std::move(image));
+  last_image_[m.pod_id] = {m.image_path, capture.generation};
+
+  DurationNs capture_cost = kFilterConfigCost +
+                            stats.processes * kPerProcessStopCost +
+                            stats.network_lock_hold;
+  DurationNs local =
+      capture_cost + image_bytes * kSecond / kSerializeBytesPerSec +
+      node_.DiskWriteDuration(image_bytes);
+  op_.local_duration = local;
+  ++checkpoints_served_;
+
+  // Copy-on-write (§5.2): the state is snapshotted in memory; the pod may
+  // resume as soon as the capture itself is done, while the serialization
+  // and disk write proceed in the background.
+  if (m.copy_on_write) {
+    std::uint64_t cow_op = op_.op_id;
+    node_.os().sim().Schedule(capture_cost, [this, cow_op] {
+      if (!op_active_ || op_.op_id != cow_op) return;
+      op_.resume_ready = true;
+      MaybeResume();
+    });
+  }
+
+  // Fig. 4 optimization: announce communication-disabled immediately so
+  // the coordinator can grant early resume permission.
+  if (op_.variant == ProtocolVariant::kOptimized) {
+    CoordMessage disabled;
+    disabled.type = MsgType::kCommDisabled;
+    disabled.op_id = op_.op_id;
+    disabled.pod_id = op_.pod;
+    Send(op_.coordinator, disabled);
+  }
+
+  // Step 3: <done> once the local checkpoint (dominated by the disk
+  // write) completes.
+  std::uint64_t op_id = op_.op_id;
+  node_.os().sim().Schedule(local, [this, op_id] {
+    if (!op_active_ || op_.op_id != op_id) return;
+    op_.save_done = true;
+    op_.resume_ready = true;
+    op_.done_sent = true;
+    CoordMessage done;
+    done.type = MsgType::kDone;
+    done.op_id = op_.op_id;
+    done.pod_id = op_.pod;
+    done.local_duration = op_.local_duration;
+    done.extra_messages = op_.flush_messages;
+    last_done_reply_ = done;
+    Send(op_.coordinator, done);
+    MaybeResume();
+    MaybeFinishOp();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Restart
+// ---------------------------------------------------------------------------
+
+void CheckpointAgent::HandleRestart(const CoordMessage& m,
+                                    net::Endpoint from) {
+  if (op_active_) {
+    if (m.op_id == op_.op_id && op_.done_sent) {
+      Send(op_.coordinator, last_done_reply_);
+    }
+    return;
+  }
+  if (m.op_id == last_completed_op_) {
+    Send(from, last_done_reply_);
+    Send(from, last_continue_done_reply_);
+    return;
+  }
+  // Total bytes read from the shared FS: the image plus any incremental
+  // parents the chain resolves through (restore cost model).
+  std::uint64_t chain_bytes = 0;
+  {
+    std::string link = m.image_path;
+    for (;;) {
+      SysResult size = node_.os().fs().FileSize(link);
+      if (!SysOk(size)) break;
+      chain_bytes += static_cast<std::uint64_t>(size);
+      cruz::Bytes raw;
+      node_.os().fs().ReadFile(link, raw);
+      ckpt::PodCheckpoint peek = ckpt::PodCheckpoint::Deserialize(raw);
+      if (!peek.incremental) break;
+      link = peek.parent_image;
+    }
+  }
+  ckpt::PodCheckpoint ck;
+  try {
+    ck = ckpt::CheckpointEngine::LoadImageChain(node_.os().fs(),
+                                                m.image_path);
+  } catch (const cruz::CruzError& e) {
+    CRUZ_WARN("agent") << node_.name() << ": restart failed: " << e.what();
+    return;
+  }
+
+  op_ = ActiveOp{};
+  op_active_ = true;
+  op_.op_id = m.op_id;
+  op_.pod = ck.pod_id;
+  op_.variant = m.variant;
+  op_.is_restart = true;
+  op_.coordinator = from;
+  op_.started = node_.os().sim().Now();
+
+  // Communication is disabled as the FIRST step of restart, before any
+  // state is restored: restored TCP state must not transmit until all
+  // pods are restored (paper §5).
+  InstallDropFilter(ck.ip);
+
+  DurationNs local = kFilterConfigCost +
+                     node_.DiskReadDuration(chain_bytes) +
+                     chain_bytes * kSecond / kSerializeBytesPerSec;
+  op_.local_duration = local;
+  ++restarts_served_;
+
+  std::uint64_t op_id = m.op_id;
+  node_.os().sim().Schedule(local, [this, op_id, ck = std::move(ck)] {
+    if (!op_active_ || op_.op_id != op_id) return;
+    // Restore at the end of the load window; the §4.1 send-buffer replay
+    // fires here, against the still-installed drop filter.
+    ckpt::CheckpointEngine::RestorePod(pods_, ck);
+    op_.save_done = true;
+    op_.resume_ready = true;
+    op_.done_sent = true;
+    CoordMessage done;
+    done.type = MsgType::kDone;
+    done.op_id = op_.op_id;
+    done.pod_id = op_.pod;
+    done.local_duration = op_.local_duration;
+    last_done_reply_ = done;
+    Send(op_.coordinator, done);
+    MaybeResume();
+    MaybeFinishOp();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Continue / abort / resume
+// ---------------------------------------------------------------------------
+
+void CheckpointAgent::HandleContinue(const CoordMessage& m) {
+  if (!op_active_) {
+    // The op already completed but our <continue-done> was lost; the
+    // coordinator is retransmitting <continue>. Re-send the reply.
+    if (m.op_id == last_completed_op_) {
+      Send(last_coordinator_, last_continue_done_reply_);
+    }
+    return;
+  }
+  if (m.op_id != op_.op_id) return;
+  op_.continue_received = true;
+  MaybeResume();
+}
+
+void CheckpointAgent::MaybeResume() {
+  // Blocking protocol: resume on <continue> (which the coordinator only
+  // sends after all <done>s). Optimized protocol: <continue> arrives as
+  // soon as communication is disabled everywhere; the agent additionally
+  // waits until it is locally safe to resume — after the save (Fig. 4),
+  // or already after the in-memory capture with copy-on-write.
+  if (!op_active_ || op_.resumed) return;
+  if (!op_.continue_received || !op_.resume_ready) return;
+  op_.resumed = true;
+
+  ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+  RemoveDropFilter();
+  DurationNs resume_cost =
+      kFilterConfigCost +
+      pods_.node().os().PodProcesses(op_.pod).size() * kPerProcessResumeCost;
+
+  std::uint64_t op_id = op_.op_id;
+  node_.os().sim().Schedule(resume_cost, [this, op_id, resume_cost] {
+    if (!op_active_ || op_.op_id != op_id) return;
+    op_.continue_done_sent = true;
+    CoordMessage done;
+    done.type = MsgType::kContinueDone;
+    done.op_id = op_id;
+    done.pod_id = op_.pod;
+    done.local_duration = resume_cost;
+    last_continue_done_reply_ = done;
+    last_coordinator_ = op_.coordinator;
+    Send(op_.coordinator, done);
+    MaybeFinishOp();
+  });
+}
+
+void CheckpointAgent::MaybeFinishOp() {
+  // The operation is over once both replies are out; with copy-on-write
+  // the <continue-done> can precede the <done>.
+  if (op_active_ && op_.done_sent && op_.continue_done_sent) {
+    last_completed_op_ = op_.op_id;
+    op_active_ = false;
+  }
+}
+
+void CheckpointAgent::HandleAbort(const CoordMessage& m) {
+  if (!op_active_ || m.op_id != op_.op_id) return;
+  // Cancel: resume the pod as if nothing happened (checkpoint data on the
+  // shared FS is the coordinator's to clean up).
+  ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+  RemoveDropFilter();
+  op_active_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Flush baseline (CoCheck/MPVM style)
+// ---------------------------------------------------------------------------
+
+void CheckpointAgent::HandleFlushMarker(const CoordMessage& m,
+                                        net::Endpoint from) {
+  // Model draining the channel from the marker's sender, then ack.
+  CoordMessage ack;
+  ack.type = MsgType::kFlushAck;
+  ack.op_id = m.op_id;
+  ack.sender_index = node_.ip().value;
+  node_.os().sim().Schedule(kChannelDrainCost, [this, from, ack] {
+    Send(from, ack);
+  });
+  if (op_active_) ++op_.flush_messages;
+}
+
+void CheckpointAgent::HandleFlushAck(const CoordMessage& m) {
+  if (!op_active_ || m.op_id != op_.op_id) return;
+  op_.flush_acks_pending.erase(m.sender_index);
+  if (op_.flush_acks_pending.empty() && op_.pending_request.has_value()) {
+    CoordMessage request = *op_.pending_request;
+    op_.pending_request.reset();
+    StartLocalCheckpoint(request);
+  }
+}
+
+}  // namespace cruz::coord

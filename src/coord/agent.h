@@ -1,0 +1,102 @@
+// Per-node Checkpoint Agent (paper Fig. 2).
+//
+// The agent is a kernel-space service on each machine. For a checkpoint it
+// (1) configures the packet filter to silently drop all traffic to/from
+// the local pod, (2) stops the pod's processes and takes the local
+// checkpoint (including live TCP state), (3) reports <done>, (4) on
+// <continue> resumes the processes and removes the filter. Restart runs
+// the identical protocol with restore instead of save; communication is
+// disabled *before* restoring so replayed TCP transmissions cannot reach
+// peers whose state is not yet restored (paper §5).
+//
+// The agent also implements the Fig. 4 optimized variant (resume as soon
+// as the local save completes, once the coordinator confirms communication
+// is disabled everywhere) and the CoCheck/MPVM-style all-to-all flush
+// baseline used for the message-complexity comparison.
+//
+// Local operation costs are modeled explicitly: per-process stop cost, the
+// network-stack lock hold while socket state is extracted, image
+// serialization at memory bandwidth, and the dominant disk write/read
+// time. The agent reports its local duration in <done>, which is how the
+// coordinator separates local work from coordination overhead (§6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ckpt/engine.h"
+#include "coord/message.h"
+#include "os/node.h"
+#include "pod/pod.h"
+
+namespace cruz::coord {
+
+class CheckpointAgent {
+ public:
+  CheckpointAgent(os::Node& node, pod::PodManager& pods);
+  ~CheckpointAgent();
+
+  CheckpointAgent(const CheckpointAgent&) = delete;
+  CheckpointAgent& operator=(const CheckpointAgent&) = delete;
+
+  os::Node& node() { return node_; }
+
+  std::uint64_t checkpoints_served() const { return checkpoints_served_; }
+  std::uint64_t restarts_served() const { return restarts_served_; }
+
+ private:
+  struct ActiveOp {
+    std::uint64_t op_id = 0;
+    os::PodId pod = os::kNoPod;
+    ProtocolVariant variant = ProtocolVariant::kBlocking;
+    bool is_restart = false;
+    net::Endpoint coordinator;
+    std::uint64_t filter_id = 0;
+    TimeNs started = 0;
+    DurationNs local_duration = 0;
+    bool save_done = false;
+    // With copy-on-write the pod may resume before the disk write
+    // finishes: resume_ready flips at capture time instead of save time.
+    bool resume_ready = false;
+    bool continue_received = false;
+    bool resumed = false;
+    bool done_sent = false;
+    bool continue_done_sent = false;
+    std::uint32_t flush_messages = 0;
+    std::set<std::uint32_t> flush_acks_pending;
+    std::optional<CoordMessage> pending_request;  // original request
+  };
+
+  void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
+  void HandleCheckpoint(const CoordMessage& m, net::Endpoint from);
+  void StartLocalCheckpoint(const CoordMessage& m);
+  void HandleRestart(const CoordMessage& m, net::Endpoint from);
+  void HandleContinue(const CoordMessage& m);
+  void HandleAbort(const CoordMessage& m);
+  void HandleFlushMarker(const CoordMessage& m, net::Endpoint from);
+  void HandleFlushAck(const CoordMessage& m);
+  void MaybeResume();
+  void MaybeFinishOp();
+  void InstallDropFilter(net::Ipv4Address pod_ip);
+  void RemoveDropFilter();
+  void Send(net::Endpoint to, CoordMessage m);
+
+  os::Node& node_;
+  pod::PodManager& pods_;
+  ActiveOp op_;
+  // Incremental chains: last image written per pod (path, generation).
+  std::map<os::PodId, std::pair<std::string, std::uint32_t>> last_image_;
+  // Message-loss tolerance: replies for the most recently completed op,
+  // re-sent when the coordinator retransmits a request we already served.
+  std::uint64_t last_completed_op_ = 0;
+  CoordMessage last_done_reply_;
+  CoordMessage last_continue_done_reply_;
+  net::Endpoint last_coordinator_;
+  bool op_active_ = false;
+  std::uint64_t checkpoints_served_ = 0;
+  std::uint64_t restarts_served_ = 0;
+};
+
+}  // namespace cruz::coord

@@ -1,0 +1,247 @@
+#include "coord/coordinator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/simulator.h"
+
+namespace cruz::coord {
+
+Coordinator::Coordinator(os::Node& node) : node_(node) {
+  node_.stack().RegisterUdpService(
+      kCoordinatorPort,
+      [this](net::Endpoint from, const cruz::Bytes& payload) {
+        OnDatagram(from, payload);
+      });
+}
+
+Coordinator::~Coordinator() {
+  node_.stack().UnregisterUdpService(kCoordinatorPort);
+}
+
+void Coordinator::Checkpoint(std::vector<Member> members, Options options,
+                             DoneFn done) {
+  std::vector<std::string> paths;
+  for (const Member& m : members) {
+    paths.push_back(ImagePath(options.image_prefix, m.pod));
+  }
+  Begin(/*is_restart=*/false, std::move(members), std::move(paths),
+        std::move(options), std::move(done));
+}
+
+void Coordinator::Restart(std::vector<Member> members,
+                          std::vector<std::string> image_paths,
+                          Options options, DoneFn done) {
+  CRUZ_CHECK(image_paths.size() == members.size(),
+             "Restart: one image path per member");
+  Begin(/*is_restart=*/true, std::move(members), std::move(image_paths),
+        std::move(options), std::move(done));
+}
+
+void Coordinator::Begin(bool is_restart, std::vector<Member> members,
+                        std::vector<std::string> image_paths,
+                        Options options, DoneFn done) {
+  CRUZ_CHECK(!op_active_, "coordinator busy with another operation");
+  CRUZ_CHECK(!members.empty(), "coordinated operation with no members");
+  op_active_ = true;
+  is_restart_ = is_restart;
+  options_ = options;
+  members_ = std::move(members);
+  done_fn_ = std::move(done);
+  stats_ = OpStats{};
+  stats_.op_id = next_op_id_++;
+  stats_.image_paths = image_paths;
+  image_paths_ = image_paths;
+  continue_sent_ = false;
+  pending_done_.clear();
+  pending_continue_done_.clear();
+  pending_comm_disabled_.clear();
+  op_start_ = node_.os().sim().Now();
+
+  std::vector<std::uint32_t> peer_ips;
+  for (const Member& m : members_) peer_ips.push_back(m.agent_ip.value);
+
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    pending_done_.insert(members_[i].agent_ip.value);
+    pending_continue_done_.insert(members_[i].agent_ip.value);
+    pending_comm_disabled_.insert(members_[i].agent_ip.value);
+    CoordMessage m;
+    m.type = is_restart ? MsgType::kRestart : MsgType::kCheckpoint;
+    m.op_id = stats_.op_id;
+    m.pod_id = members_[i].pod;
+    m.variant = options_.variant;
+    m.image_path = image_paths[i];
+    if (!is_restart) {
+      m.incremental = options_.incremental;
+      m.copy_on_write = options_.copy_on_write;
+    }
+    if (options_.variant == ProtocolVariant::kFlushBaseline) {
+      m.peers = peer_ips;
+    }
+    SendToAgent(i, std::move(m));
+  }
+
+  ScheduleRetransmit();
+  timeout_event_ =
+      node_.os().sim().Schedule(options_.timeout, [this] {
+        timeout_event_ = sim::kInvalidEventId;
+        if (!op_active_) return;
+        CRUZ_WARN("coord") << "operation " << stats_.op_id
+                           << " timed out; aborting";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          CoordMessage abort;
+          abort.type = MsgType::kAbort;
+          abort.op_id = stats_.op_id;
+          abort.pod_id = members_[i].pod;
+          SendToAgent(i, std::move(abort));
+        }
+        Finish(false);
+      });
+}
+
+void Coordinator::SendToAgent(std::size_t member_index, CoordMessage m) {
+  const Member& member = members_[member_index];
+  net::UdpDatagram dgram;
+  dgram.src_port = kCoordinatorPort;
+  dgram.dst_port = kAgentPort;
+  dgram.payload = m.Encode();
+  net::Ipv4Packet pkt;
+  pkt.src = node_.ip();
+  pkt.dst = member.agent_ip;
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  ++stats_.coordinator_messages;
+  ++stats_.total_messages;
+  node_.stack().SendIpv4(std::move(pkt));
+}
+
+void Coordinator::BroadcastContinue() {
+  if (continue_sent_) return;
+  continue_sent_ = true;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    CoordMessage m;
+    m.type = MsgType::kContinue;
+    m.op_id = stats_.op_id;
+    m.pod_id = members_[i].pod;
+    m.variant = options_.variant;
+    SendToAgent(i, std::move(m));
+  }
+}
+
+void Coordinator::OnDatagram(net::Endpoint from,
+                             const cruz::Bytes& payload) {
+  CoordMessage m;
+  try {
+    m = CoordMessage::Decode(payload);
+  } catch (const cruz::CodecError&) {
+    return;
+  }
+  if (!op_active_ || m.op_id != stats_.op_id) return;
+  ++stats_.total_messages;
+
+  switch (m.type) {
+    case MsgType::kCommDisabled:
+      // Fig. 4: once communication is disabled on every node, no node's
+      // saved state can be perturbed by any other — grant early resume.
+      if (options_.variant == ProtocolVariant::kOptimized) {
+        pending_comm_disabled_.erase(from.ip.value);
+        if (pending_comm_disabled_.empty()) {
+          BroadcastContinue();
+        }
+      }
+      break;
+    case MsgType::kDone:
+      if (pending_done_.erase(from.ip.value) != 0) {
+        stats_.max_local = std::max(stats_.max_local, m.local_duration);
+        stats_.total_messages += m.extra_messages;
+        if (pending_done_.empty()) {
+          stats_.checkpoint_latency = node_.os().sim().Now() - op_start_;
+          BroadcastContinue();  // Step 3 (no-op if Fig. 4 already sent it)
+          // With copy-on-write the <continue-done>s can precede the last
+          // <done> (resume happens before the disk write finishes).
+          if (pending_continue_done_.empty()) Finish(true);
+        }
+      }
+      break;
+    case MsgType::kContinueDone:
+      if (pending_continue_done_.erase(from.ip.value) != 0) {
+        stats_.max_continue = std::max(stats_.max_continue,
+                                       m.local_duration);
+        if (pending_continue_done_.empty() && pending_done_.empty()) {
+          Finish(true);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Coordinator::ScheduleRetransmit() {
+  if (options_.retransmit_interval == 0) return;
+  retransmit_event_ = node_.os().sim().Schedule(
+      options_.retransmit_interval, [this] {
+        retransmit_event_ = sim::kInvalidEventId;
+        if (!op_active_) return;
+        RetransmitPending();
+        ScheduleRetransmit();
+      });
+}
+
+void Coordinator::RetransmitPending() {
+  // Re-send the phase-appropriate request to every member that has not
+  // answered it. Agents deduplicate by op id and re-send lost replies.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    std::uint32_t key = members_[i].agent_ip.value;
+    if (pending_done_.count(key) != 0) {
+      CoordMessage m;
+      m.type = is_restart_ ? MsgType::kRestart : MsgType::kCheckpoint;
+      m.op_id = stats_.op_id;
+      m.pod_id = members_[i].pod;
+      m.variant = options_.variant;
+      m.image_path = image_paths_[i];
+      if (!is_restart_) {
+        m.incremental = options_.incremental;
+        m.copy_on_write = options_.copy_on_write;
+      }
+      SendToAgent(i, std::move(m));
+    } else if (continue_sent_ && pending_continue_done_.count(key) != 0) {
+      CoordMessage m;
+      m.type = MsgType::kContinue;
+      m.op_id = stats_.op_id;
+      m.pod_id = members_[i].pod;
+      m.variant = options_.variant;
+      SendToAgent(i, std::move(m));
+    }
+  }
+}
+
+void Coordinator::Finish(bool success) {
+  if (timeout_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(timeout_event_);
+    timeout_event_ = sim::kInvalidEventId;
+  }
+  if (retransmit_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(retransmit_event_);
+    retransmit_event_ = sim::kInvalidEventId;
+  }
+  stats_.success = success;
+  stats_.full_latency = node_.os().sim().Now() - op_start_;
+  DurationNs local = stats_.max_local + stats_.max_continue;
+  stats_.coordination_overhead =
+      stats_.full_latency > local ? stats_.full_latency - local : 0;
+  op_active_ = false;
+  CRUZ_INFO("coord") << (is_restart_ ? "restart" : "checkpoint") << " op "
+                     << stats_.op_id << (success ? " ok" : " FAILED")
+                     << ": latency=" << ToMillis(stats_.checkpoint_latency)
+                     << "ms overhead="
+                     << ToMicros(stats_.coordination_overhead) << "us msgs="
+                     << stats_.total_messages;
+  if (done_fn_) {
+    DoneFn fn = std::move(done_fn_);
+    fn(stats_);
+  }
+}
+
+}  // namespace cruz::coord

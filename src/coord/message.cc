@@ -1,0 +1,50 @@
+#include "coord/message.h"
+
+#include "common/error.h"
+
+namespace cruz::coord {
+
+cruz::Bytes CoordMessage::Encode() const {
+  cruz::ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU64(op_id);
+  w.PutU32(pod_id);
+  w.PutU8(static_cast<std::uint8_t>(variant));
+  w.PutString(image_path);
+  w.PutBool(incremental);
+  w.PutBool(copy_on_write);
+  w.PutU64(local_duration);
+  w.PutU32(extra_messages);
+  w.PutU32(sender_index);
+  w.PutU32(static_cast<std::uint32_t>(peers.size()));
+  for (std::uint32_t p : peers) w.PutU32(p);
+  return w.Take();
+}
+
+CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
+  cruz::ByteReader r(wire);
+  CoordMessage m;
+  std::uint8_t type = r.GetU8();
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kFlushAck)) {
+    throw cruz::CodecError("invalid coordination message type");
+  }
+  m.type = static_cast<MsgType>(type);
+  m.op_id = r.GetU64();
+  m.pod_id = r.GetU32();
+  std::uint8_t variant = r.GetU8();
+  if (variant > static_cast<std::uint8_t>(ProtocolVariant::kFlushBaseline)) {
+    throw cruz::CodecError("invalid protocol variant");
+  }
+  m.variant = static_cast<ProtocolVariant>(variant);
+  m.image_path = r.GetString();
+  m.incremental = r.GetBool();
+  m.copy_on_write = r.GetBool();
+  m.local_duration = r.GetU64();
+  m.extra_messages = r.GetU32();
+  m.sender_index = r.GetU32();
+  std::uint32_t n = r.GetU32();
+  for (std::uint32_t i = 0; i < n; ++i) m.peers.push_back(r.GetU32());
+  return m;
+}
+
+}  // namespace cruz::coord

@@ -1,0 +1,70 @@
+// Coordination protocol messages (paper Fig. 2 / Fig. 4 / §5).
+//
+// The Checkpoint Coordinator and per-node Checkpoint Agents exchange these
+// over UDP using node-level addresses (never pod addresses), so the
+// netfilter drop rule a checkpoint installs can never cut off control
+// traffic (paper footnote 4). The flush-marker messages implement the
+// CoCheck/MPVM-style all-to-all baseline used for the O(N) vs O(N²)
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "os/types.h"
+
+namespace cruz::coord {
+
+constexpr std::uint16_t kAgentPort = 7001;
+constexpr std::uint16_t kCoordinatorPort = 7002;
+
+enum class MsgType : std::uint8_t {
+  kCheckpoint = 1,    // coordinator -> agent: take a local checkpoint
+  kDone = 2,          // agent -> coordinator: local checkpoint complete
+  kContinue = 3,      // coordinator -> agent: resume execution
+  kContinueDone = 4,  // agent -> coordinator: resumed
+  kRestart = 5,       // coordinator -> agent: restore from image
+  kAbort = 6,         // coordinator -> agent: cancel, resume as-is
+  kCommDisabled = 7,  // agent -> coordinator: Fig. 4 early notification
+  kFlushMarker = 8,   // agent -> agent: flush-baseline channel marker
+  kFlushAck = 9,      // agent -> agent: marker acknowledged
+};
+
+enum class ProtocolVariant : std::uint8_t {
+  kBlocking = 0,   // Fig. 2: all nodes resume after global completion
+  kOptimized = 1,  // Fig. 4: resume as soon as local save completes,
+                   // once communication is disabled everywhere
+  kFlushBaseline = 2,  // CoCheck/MPVM-style all-to-all flush before saving
+};
+
+struct CoordMessage {
+  MsgType type = MsgType::kCheckpoint;
+  std::uint64_t op_id = 0;     // one coordinated operation
+  os::PodId pod_id = 0;        // target pod on the receiving node
+  ProtocolVariant variant = ProtocolVariant::kBlocking;
+  std::string image_path;      // checkpoint/restart image in the shared FS
+  // §5.2 optimizations: incremental saves only pages dirtied since the
+  // agent's previous checkpoint of this pod; copy-on-write lets the pod
+  // resume right after the in-memory capture, while the disk write
+  // completes in the background.
+  bool incremental = false;
+  bool copy_on_write = false;
+
+  // Agent-reported local durations (kDone / kContinueDone), used by the
+  // coordinator to compute the coordination overhead exactly as §6 does:
+  // total latency minus the max local checkpoint and continue times.
+  DurationNs local_duration = 0;
+  // Extra agent-to-agent messages (flush baseline) for the message count.
+  std::uint32_t extra_messages = 0;
+  std::uint32_t sender_index = 0;  // member index (flush marker routing)
+  // Peer agent addresses (flush baseline: who to exchange markers with).
+  std::vector<std::uint32_t> peers;
+
+  cruz::Bytes Encode() const;
+  static CoordMessage Decode(cruz::ByteSpan wire);
+};
+
+}  // namespace cruz::coord

@@ -1,0 +1,88 @@
+#include "cruz/cluster.h"
+
+#include "apps/programs.h"
+#include "common/error.h"
+
+namespace cruz {
+
+Cluster::Cluster(const ClusterConfig& config) : sim_(config.seed) {
+  apps::RegisterPrograms();
+  ethernet_ = std::make_unique<net::EthernetSwitch>(sim_, config.link);
+
+  for (std::uint32_t i = 0; i < config.num_nodes; ++i) {
+    os::NodeConfig node_config = config.node_template;
+    node_config.ip = net::Ipv4Address::FromOctets(
+        10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    auto node = std::make_unique<os::Node>(sim_, *ethernet_, fs_,
+                                           "node" + std::to_string(i + 1),
+                                           i + 1, node_config);
+    auto pods = std::make_unique<pod::PodManager>(*node);
+    auto agent = std::make_unique<coord::CheckpointAgent>(*node, *pods);
+    nodes_.push_back(std::move(node));
+    pod_managers_.push_back(std::move(pods));
+    agents_.push_back(std::move(agent));
+  }
+
+  os::NodeConfig coord_config = config.node_template;
+  coord_config.ip = net::Ipv4Address::FromOctets(10, 0, 0, 99);
+  coordinator_node_ = std::make_unique<os::Node>(
+      sim_, *ethernet_, fs_, "coordinator", 99, coord_config);
+  coordinator_ = std::make_unique<coord::Coordinator>(*coordinator_node_);
+
+  if (config.with_dhcp_server && !nodes_.empty()) {
+    dhcp_ = std::make_unique<os::DhcpServer>(
+        nodes_.front()->stack(),
+        net::Ipv4Address::FromOctets(10, 0, 0, 200), 50);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+net::Ipv4Address Cluster::AllocatePodIp() {
+  CRUZ_CHECK(next_pod_ip_offset_ < 200, "pod address pool exhausted");
+  return net::Ipv4Address::FromOctets(
+      10, 0, 0, static_cast<std::uint8_t>(next_pod_ip_offset_++));
+}
+
+os::PodId Cluster::CreatePod(std::size_t i, const std::string& name,
+                             net::Ipv4Address ip) {
+  pod::PodCreateOptions options;
+  options.name = name;
+  options.ip = ip.IsZero() ? AllocatePodIp() : ip;
+  return pods(i).CreatePod(options);
+}
+
+coord::Coordinator::OpStats Cluster::RunCheckpoint(
+    std::vector<coord::Coordinator::Member> members,
+    coord::Coordinator::Options options) {
+  coord::Coordinator::OpStats result;
+  bool finished = false;
+  coordinator_->Checkpoint(std::move(members), options,
+                           [&](const coord::Coordinator::OpStats& stats) {
+                             result = stats;
+                             finished = true;
+                           });
+  bool done = sim_.RunWhile([&] { return finished; },
+                            sim_.Now() + options.timeout + kSecond);
+  CRUZ_CHECK(done, "coordinated checkpoint did not complete");
+  return result;
+}
+
+coord::Coordinator::OpStats Cluster::RunRestart(
+    std::vector<coord::Coordinator::Member> members,
+    std::vector<std::string> image_paths,
+    coord::Coordinator::Options options) {
+  coord::Coordinator::OpStats result;
+  bool finished = false;
+  coordinator_->Restart(std::move(members), std::move(image_paths), options,
+                        [&](const coord::Coordinator::OpStats& stats) {
+                          result = stats;
+                          finished = true;
+                        });
+  bool done = sim_.RunWhile([&] { return finished; },
+                            sim_.Now() + options.timeout + kSecond);
+  CRUZ_CHECK(done, "coordinated restart did not complete");
+  return result;
+}
+
+}  // namespace cruz

@@ -1,0 +1,91 @@
+// Top-level facade: a complete simulated cluster, ready for Cruz.
+//
+// One Cluster owns the simulator, the Ethernet switch, the shared network
+// filesystem, N application nodes (each with a pod manager and a
+// checkpoint agent), and a separate coordinator node — the §6 testbed in
+// one object. Helpers allocate pod addresses from the subnet, create pods,
+// spawn programs into them, and run coordinated checkpoint/restart
+// operations to completion.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/agent.h"
+#include "coord/coordinator.h"
+#include "net/ethernet_switch.h"
+#include "os/dhcp.h"
+#include "os/netfs.h"
+#include "os/node.h"
+#include "pod/pod.h"
+#include "sim/simulator.h"
+
+namespace cruz {
+
+struct ClusterConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t num_nodes = 2;  // application nodes
+  os::NodeConfig node_template;  // ip is assigned per node
+  net::LinkParams link;
+  bool with_dhcp_server = false;  // serves 10.0.0.200+ on the first node
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::EthernetSwitch& ethernet() { return *ethernet_; }
+  os::NetworkFileSystem& fs() { return fs_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  os::Node& node(std::size_t i) { return *nodes_.at(i); }
+  pod::PodManager& pods(std::size_t i) { return *pod_managers_.at(i); }
+  coord::CheckpointAgent& agent(std::size_t i) { return *agents_.at(i); }
+
+  os::Node& coordinator_node() { return *coordinator_node_; }
+  coord::Coordinator& coordinator() { return *coordinator_; }
+  os::DhcpServer* dhcp() { return dhcp_.get(); }
+
+  // Allocates a pod address from the cluster subnet (10.0.0.100 up).
+  net::Ipv4Address AllocatePodIp();
+
+  // Creates a pod on node `i` with an allocated (or given) address.
+  os::PodId CreatePod(std::size_t i, const std::string& name,
+                      net::Ipv4Address ip = net::kAnyAddress);
+
+  // Runs a coordinated checkpoint synchronously (drives the simulation
+  // until the operation completes).
+  coord::Coordinator::OpStats RunCheckpoint(
+      std::vector<coord::Coordinator::Member> members,
+      coord::Coordinator::Options options = {});
+  coord::Coordinator::OpStats RunRestart(
+      std::vector<coord::Coordinator::Member> members,
+      std::vector<std::string> image_paths,
+      coord::Coordinator::Options options = {});
+
+  // Convenience: member descriptor for (node index, pod).
+  coord::Coordinator::Member MemberFor(std::size_t node_index,
+                                       os::PodId pod) {
+    return coord::Coordinator::Member{nodes_.at(node_index)->ip(), pod};
+  }
+
+ private:
+  sim::Simulator sim_;
+  os::NetworkFileSystem fs_;
+  std::unique_ptr<net::EthernetSwitch> ethernet_;
+  std::vector<std::unique_ptr<os::Node>> nodes_;
+  std::vector<std::unique_ptr<pod::PodManager>> pod_managers_;
+  std::vector<std::unique_ptr<coord::CheckpointAgent>> agents_;
+  std::unique_ptr<os::Node> coordinator_node_;
+  std::unique_ptr<coord::Coordinator> coordinator_;
+  std::unique_ptr<os::DhcpServer> dhcp_;
+  std::uint32_t next_pod_ip_offset_ = 100;
+};
+
+}  // namespace cruz

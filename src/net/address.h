@@ -1,0 +1,119 @@
+// Network address value types: Ethernet MAC, IPv4 address, and IPv4
+// socket endpoint (address + port).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cruz::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  bool IsBroadcast() const {
+    for (auto o : octets)
+      if (o != 0xFF) return false;
+    return true;
+  }
+  bool IsZero() const {
+    for (auto o : octets)
+      if (o != 0) return false;
+    return true;
+  }
+
+  std::string ToString() const;
+
+  static MacAddress Broadcast() {
+    return MacAddress{{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}}};
+  }
+  // Locally-administered unicast MAC derived from a 32-bit id.
+  static MacAddress FromId(std::uint32_t id);
+  // Parses "aa:bb:cc:dd:ee:ff"; throws CodecError on malformed input.
+  static MacAddress Parse(const std::string& s);
+};
+
+struct Ipv4Address {
+  std::uint32_t value = 0;  // host byte order
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+  bool IsZero() const { return value == 0; }
+  bool IsBroadcast() const { return value == 0xFFFFFFFFu; }
+
+  std::string ToString() const;
+
+  static Ipv4Address FromOctets(std::uint8_t a, std::uint8_t b,
+                                std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                       (std::uint32_t(c) << 8) | std::uint32_t(d)};
+  }
+  // Parses dotted-quad "10.0.0.1"; throws CodecError on malformed input.
+  static Ipv4Address Parse(const std::string& s);
+
+  // True if `other` is on the same subnet under `mask`.
+  bool SameSubnet(Ipv4Address other, Ipv4Address mask) const {
+    return (value & mask.value) == (other.value & mask.value);
+  }
+};
+
+// The conventional "any" address (0.0.0.0), used by bind().
+inline constexpr Ipv4Address kAnyAddress{0};
+
+struct Endpoint {
+  Ipv4Address ip;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  std::string ToString() const;
+};
+
+// A TCP connection identity (the classic 4-tuple).
+struct FourTuple {
+  Endpoint local;
+  Endpoint remote;
+
+  auto operator<=>(const FourTuple&) const = default;
+
+  FourTuple Reversed() const { return FourTuple{remote, local}; }
+  std::string ToString() const;
+};
+
+}  // namespace cruz::net
+
+namespace std {
+template <>
+struct hash<cruz::net::MacAddress> {
+  size_t operator()(const cruz::net::MacAddress& m) const {
+    std::uint64_t v = 0;
+    for (auto o : m.octets) v = (v << 8) | o;
+    return std::hash<std::uint64_t>()(v);
+  }
+};
+template <>
+struct hash<cruz::net::Ipv4Address> {
+  size_t operator()(const cruz::net::Ipv4Address& a) const {
+    return std::hash<std::uint32_t>()(a.value);
+  }
+};
+template <>
+struct hash<cruz::net::Endpoint> {
+  size_t operator()(const cruz::net::Endpoint& e) const {
+    return std::hash<std::uint64_t>()(
+        (std::uint64_t(e.ip.value) << 16) | e.port);
+  }
+};
+template <>
+struct hash<cruz::net::FourTuple> {
+  size_t operator()(const cruz::net::FourTuple& t) const {
+    std::size_t h1 = std::hash<cruz::net::Endpoint>()(t.local);
+    std::size_t h2 = std::hash<cruz::net::Endpoint>()(t.remote);
+    return h1 ^ (h2 * 0x9E3779B97F4A7C15ull);
+  }
+};
+}  // namespace std

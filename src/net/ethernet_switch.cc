@@ -1,0 +1,125 @@
+#include "net/ethernet_switch.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "net/nic.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace cruz::net {
+
+EthernetSwitch::EthernetSwitch(sim::Simulator& sim, LinkParams default_link,
+                               DurationNs forwarding_latency)
+    : sim_(sim),
+      default_link_(default_link),
+      forwarding_latency_(forwarding_latency),
+      rng_(sim.rng().Fork()) {}
+
+std::size_t EthernetSwitch::AttachNic(Nic* nic) {
+  CRUZ_CHECK(nic != nullptr, "AttachNic(nullptr)");
+  // Reuse a detached slot if one exists.
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i] == nullptr) {
+      ports_[i] = nic;
+      links_[i] = default_link_;
+      nic->AttachTo(this, i);
+      return i;
+    }
+  }
+  ports_.push_back(nic);
+  links_.push_back(default_link_);
+  std::size_t port = ports_.size() - 1;
+  nic->AttachTo(this, port);
+  return port;
+}
+
+void EthernetSwitch::DetachNic(Nic* nic) {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i] == nic) {
+      ports_[i] = nullptr;
+      // Purge learned MACs pointing at this port; otherwise frames for a
+      // migrated MAC would black-hole until relearned.
+      for (auto it = mac_table_.begin(); it != mac_table_.end();) {
+        if (it->second == i) {
+          it = mac_table_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void EthernetSwitch::SetLinkParams(std::size_t port, LinkParams params) {
+  CRUZ_CHECK(port < links_.size(), "SetLinkParams: bad port");
+  links_[port] = params;
+}
+
+const LinkParams& EthernetSwitch::link_params(std::size_t port) const {
+  CRUZ_CHECK(port < links_.size(), "link_params: bad port");
+  return links_[port];
+}
+
+void EthernetSwitch::Ingress(std::size_t port, Bytes wire) {
+  CRUZ_CHECK(port < ports_.size(), "Ingress: bad port");
+  if (wire.size() < kEthernetHeaderSize) {
+    ++dropped_frames_;
+    return;
+  }
+  // Random loss on the ingress link (models cable/NIC drops).
+  if (links_[port].loss_probability > 0.0 &&
+      rng_.NextBernoulli(links_[port].loss_probability)) {
+    ++dropped_frames_;
+    return;
+  }
+  if (observer_) observer_(port, wire);
+
+  MacAddress dst, src;
+  std::copy(wire.begin(), wire.begin() + 6, dst.octets.begin());
+  std::copy(wire.begin() + 6, wire.begin() + 12, src.octets.begin());
+  if (!src.IsBroadcast() && !src.IsZero()) {
+    mac_table_[src] = port;  // learn
+  }
+
+  if (!dst.IsBroadcast()) {
+    auto it = mac_table_.find(dst);
+    if (it != mac_table_.end() && ports_[it->second] != nullptr) {
+      if (it->second != port) {
+        ++forwarded_frames_;
+        DeliverTo(it->second, wire);
+      }
+      // Frame destined to the ingress port itself: hairpin suppressed, as
+      // on a real switch.
+      return;
+    }
+  }
+  // Broadcast or unknown unicast: flood all ports except ingress.
+  ++flooded_frames_;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p != port && ports_[p] != nullptr) {
+      DeliverTo(p, wire);
+    }
+  }
+}
+
+void EthernetSwitch::DeliverTo(std::size_t port, const Bytes& wire) {
+  // Egress link loss.
+  if (links_[port].loss_probability > 0.0 &&
+      rng_.NextBernoulli(links_[port].loss_probability)) {
+    ++dropped_frames_;
+    return;
+  }
+  DurationNs delay = forwarding_latency_ + links_[port].propagation_delay +
+                     TransmitTimeNs(wire.size(), links_[port].bits_per_second);
+  Nic* nic = ports_[port];
+  sim_.Schedule(delay, [this, port, nic, frame = wire]() {
+    // The port may have been reassigned while the frame was in flight
+    // (pod migration detaches/attaches NICs); deliver only if unchanged.
+    if (port < ports_.size() && ports_[port] == nic && nic != nullptr) {
+      nic->DeliverFromWire(frame);
+    }
+  });
+}
+
+}  // namespace cruz::net

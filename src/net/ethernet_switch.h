@@ -1,0 +1,80 @@
+// Simulated store-and-forward Ethernet switch with MAC learning.
+//
+// All nodes of the cluster hang off one switch (the paper's testbed is a
+// single gigabit switch). Unicast frames are forwarded to the learned port;
+// unknown-unicast and broadcast frames are flooded. Each link has a
+// configurable rate, propagation delay and random loss probability, and the
+// switch adds a fixed forwarding latency. Loss is drawn from the switch's
+// own forked RNG stream for determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/address.h"
+
+namespace cruz::sim {
+class Simulator;
+}
+
+namespace cruz::net {
+
+class Nic;
+
+struct LinkParams {
+  std::uint64_t bits_per_second = 1'000'000'000;  // gigabit
+  DurationNs propagation_delay = 5 * kMicrosecond;
+  double loss_probability = 0.0;
+};
+
+class EthernetSwitch {
+ public:
+  // An observer sees every frame accepted by the switch (after loss),
+  // before forwarding. Used by tests and the message-complexity bench.
+  using FrameObserver =
+      std::function<void(std::size_t ingress_port, ByteSpan wire)>;
+
+  EthernetSwitch(sim::Simulator& sim, LinkParams default_link,
+                 DurationNs forwarding_latency = 2 * kMicrosecond);
+
+  // Attaches a NIC; returns its port number.
+  std::size_t AttachNic(Nic* nic);
+  void DetachNic(Nic* nic);
+
+  void SetLinkParams(std::size_t port, LinkParams params);
+  const LinkParams& link_params(std::size_t port) const;
+
+  // Entry point used by Nic::Transmit after serialization delay.
+  void Ingress(std::size_t port, Bytes wire);
+
+  void set_observer(FrameObserver obs) { observer_ = std::move(obs); }
+
+  std::uint64_t forwarded_frames() const { return forwarded_frames_; }
+  std::uint64_t flooded_frames() const { return flooded_frames_; }
+  std::uint64_t dropped_frames() const { return dropped_frames_; }
+
+ private:
+  void DeliverTo(std::size_t port, const Bytes& wire);
+
+  sim::Simulator& sim_;
+  LinkParams default_link_;
+  DurationNs forwarding_latency_;
+  Rng rng_;
+
+  std::vector<Nic*> ports_;          // nullptr = detached
+  std::vector<LinkParams> links_;
+  std::unordered_map<MacAddress, std::size_t> mac_table_;
+
+  FrameObserver observer_;
+
+  std::uint64_t forwarded_frames_ = 0;
+  std::uint64_t flooded_frames_ = 0;
+  std::uint64_t dropped_frames_ = 0;
+};
+
+}  // namespace cruz::net

@@ -1,0 +1,163 @@
+#include "net/packet.h"
+
+namespace cruz::net {
+
+std::uint16_t InternetChecksum(ByteSpan data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes EthernetFrame::Encode() const {
+  ByteWriter w(WireSize());
+  w.PutBytes(dst.octets.data(), 6);
+  w.PutBytes(src.octets.data(), 6);
+  w.PutU16(static_cast<std::uint16_t>(ether_type));
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+EthernetFrame Decode_(ByteReader& r) {
+  EthernetFrame f;
+  ByteSpan dst = r.GetSpan(6);
+  std::copy(dst.begin(), dst.end(), f.dst.octets.begin());
+  ByteSpan src = r.GetSpan(6);
+  std::copy(src.begin(), src.end(), f.src.octets.begin());
+  std::uint16_t et = r.GetU16();
+  if (et != static_cast<std::uint16_t>(EtherType::kIpv4) &&
+      et != static_cast<std::uint16_t>(EtherType::kArp)) {
+    throw CodecError("unknown EtherType " + std::to_string(et));
+  }
+  f.ether_type = static_cast<EtherType>(et);
+  f.payload = r.GetBytes(r.remaining());
+  return f;
+}
+
+EthernetFrame EthernetFrame::Decode(ByteSpan wire) {
+  ByteReader r(wire);
+  return Decode_(r);
+}
+
+Bytes ArpPacket::Encode() const {
+  ByteWriter w(28);
+  w.PutU16(1);       // hardware type: Ethernet
+  w.PutU16(0x0800);  // protocol type: IPv4
+  w.PutU8(6);        // hardware size
+  w.PutU8(4);        // protocol size
+  w.PutU16(static_cast<std::uint16_t>(op));
+  w.PutBytes(sender_mac.octets.data(), 6);
+  w.PutU32(sender_ip.value);
+  w.PutBytes(target_mac.octets.data(), 6);
+  w.PutU32(target_ip.value);
+  return w.Take();
+}
+
+ArpPacket ArpPacket::Decode(ByteSpan wire) {
+  ByteReader r(wire);
+  ArpPacket p;
+  if (r.GetU16() != 1 || r.GetU16() != 0x0800 || r.GetU8() != 6 ||
+      r.GetU8() != 4) {
+    throw CodecError("unsupported ARP hardware/protocol type");
+  }
+  std::uint16_t op = r.GetU16();
+  if (op != 1 && op != 2) {
+    throw CodecError("unknown ARP op " + std::to_string(op));
+  }
+  p.op = static_cast<ArpOp>(op);
+  ByteSpan smac = r.GetSpan(6);
+  std::copy(smac.begin(), smac.end(), p.sender_mac.octets.begin());
+  p.sender_ip.value = r.GetU32();
+  ByteSpan tmac = r.GetSpan(6);
+  std::copy(tmac.begin(), tmac.end(), p.target_mac.octets.begin());
+  p.target_ip.value = r.GetU32();
+  return p;
+}
+
+Bytes Ipv4Packet::Encode() const {
+  ByteWriter w(WireSize());
+  w.PutU8(0x45);  // version 4, IHL 5
+  w.PutU8(0);     // DSCP/ECN
+  w.PutU16(static_cast<std::uint16_t>(kIpv4HeaderSize + payload.size()));
+  w.PutU16(0);  // identification (fragmentation unsupported)
+  w.PutU16(0x4000);  // flags: DF
+  w.PutU8(ttl);
+  w.PutU8(static_cast<std::uint8_t>(proto));
+  std::size_t checksum_offset = w.size();
+  w.PutU16(0);  // checksum placeholder
+  w.PutU32(src.value);
+  w.PutU32(dst.value);
+  std::uint16_t csum =
+      InternetChecksum(ByteSpan(w.data().data(), kIpv4HeaderSize));
+  w.PatchU16(checksum_offset, csum);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+Ipv4Packet Ipv4Packet::Decode(ByteSpan wire) {
+  if (wire.size() < kIpv4HeaderSize) {
+    throw CodecError("IPv4 packet shorter than header");
+  }
+  if (InternetChecksum(wire.subspan(0, kIpv4HeaderSize)) != 0) {
+    throw CodecError("IPv4 header checksum mismatch");
+  }
+  ByteReader r(wire);
+  Ipv4Packet p;
+  std::uint8_t vihl = r.GetU8();
+  if (vihl != 0x45) {
+    throw CodecError("unsupported IPv4 version/IHL");
+  }
+  r.Skip(1);  // DSCP/ECN
+  std::uint16_t total_len = r.GetU16();
+  if (total_len < kIpv4HeaderSize || total_len > wire.size()) {
+    throw CodecError("IPv4 total length out of range");
+  }
+  r.Skip(2);  // identification
+  r.Skip(2);  // flags/fragment offset
+  p.ttl = r.GetU8();
+  std::uint8_t proto = r.GetU8();
+  if (proto != static_cast<std::uint8_t>(IpProto::kTcp) &&
+      proto != static_cast<std::uint8_t>(IpProto::kUdp)) {
+    throw CodecError("unsupported IP protocol " + std::to_string(proto));
+  }
+  p.proto = static_cast<IpProto>(proto);
+  r.Skip(2);  // checksum (verified above)
+  p.src.value = r.GetU32();
+  p.dst.value = r.GetU32();
+  p.payload = r.GetBytes(total_len - kIpv4HeaderSize);
+  return p;
+}
+
+Bytes UdpDatagram::Encode() const {
+  ByteWriter w(kUdpHeaderSize + payload.size());
+  w.PutU16(src_port);
+  w.PutU16(dst_port);
+  w.PutU16(static_cast<std::uint16_t>(kUdpHeaderSize + payload.size()));
+  w.PutU16(0);  // checksum optional in IPv4 UDP
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+UdpDatagram UdpDatagram::Decode(ByteSpan wire) {
+  ByteReader r(wire);
+  UdpDatagram d;
+  d.src_port = r.GetU16();
+  d.dst_port = r.GetU16();
+  std::uint16_t len = r.GetU16();
+  if (len < kUdpHeaderSize || len > wire.size()) {
+    throw CodecError("UDP length out of range");
+  }
+  r.Skip(2);  // checksum
+  d.payload = r.GetBytes(len - kUdpHeaderSize);
+  return d;
+}
+
+}  // namespace cruz::net

@@ -1,0 +1,92 @@
+// Wire formats for the simulated network: Ethernet, ARP, IPv4, UDP.
+//
+// Frames really are serialized to bytes on transmit and parsed on receive;
+// the simulation moves byte buffers, not object graphs, so header sizes,
+// truncation handling, and protocol demux behave like a real stack. The TCP
+// segment codec lives in src/tcp/segment.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "net/address.h"
+
+namespace cruz::net {
+
+// EtherType values (IEEE registry subset).
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+// IPv4 protocol numbers (IANA subset).
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+constexpr std::size_t kEthernetHeaderSize = 14;
+constexpr std::size_t kIpv4HeaderSize = 20;
+constexpr std::size_t kUdpHeaderSize = 8;
+// Ethernet payload MTU; the simulated e1000 uses the standard 1500.
+constexpr std::size_t kEthernetMtu = 1500;
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  EtherType ether_type = EtherType::kIpv4;
+  Bytes payload;
+
+  Bytes Encode() const;
+  static EthernetFrame Decode(ByteSpan wire);
+
+  std::size_t WireSize() const { return kEthernetHeaderSize + payload.size(); }
+};
+
+enum class ArpOp : std::uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // ignored in requests
+  Ipv4Address target_ip;
+
+  Bytes Encode() const;
+  static ArpPacket Decode(ByteSpan wire);
+
+  // A gratuitous ARP announces (ip, mac) to update caches after migration.
+  bool IsGratuitous() const { return sender_ip == target_ip; }
+};
+
+struct Ipv4Packet {
+  Ipv4Address src;
+  Ipv4Address dst;
+  IpProto proto = IpProto::kUdp;
+  std::uint8_t ttl = 64;
+  Bytes payload;
+
+  Bytes Encode() const;
+  static Ipv4Packet Decode(ByteSpan wire);
+
+  std::size_t WireSize() const { return kIpv4HeaderSize + payload.size(); }
+};
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+
+  Bytes Encode() const;
+  static UdpDatagram Decode(ByteSpan wire);
+};
+
+// Internet checksum (RFC 1071) over `data`, used by the IPv4 header.
+std::uint16_t InternetChecksum(ByteSpan data);
+
+}  // namespace cruz::net

@@ -1,0 +1,128 @@
+#include "os/dhcp.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace cruz::os {
+
+namespace {
+constexpr std::uint32_t kRequestMagic = 0xD4C90001;
+constexpr std::uint32_t kAckMagic = 0xD4C90002;
+}  // namespace
+
+cruz::Bytes EncodeDhcpRequest(net::MacAddress chaddr) {
+  cruz::ByteWriter w;
+  w.PutU32(kRequestMagic);
+  w.PutBytes(chaddr.octets.data(), 6);
+  return w.Take();
+}
+
+cruz::Bytes EncodeDhcpAck(net::MacAddress chaddr, net::Ipv4Address ip) {
+  cruz::ByteWriter w;
+  w.PutU32(kAckMagic);
+  w.PutBytes(chaddr.octets.data(), 6);
+  w.PutU32(ip.value);
+  return w.Take();
+}
+
+bool DecodeDhcpRequest(cruz::ByteSpan payload, net::MacAddress* chaddr) {
+  try {
+    cruz::ByteReader r(payload);
+    if (r.GetU32() != kRequestMagic) return false;
+    cruz::ByteSpan mac = r.GetSpan(6);
+    std::copy(mac.begin(), mac.end(), chaddr->octets.begin());
+    return true;
+  } catch (const cruz::CodecError&) {
+    return false;
+  }
+}
+
+bool DecodeDhcpAck(cruz::ByteSpan payload, net::MacAddress* chaddr,
+                   net::Ipv4Address* ip) {
+  try {
+    cruz::ByteReader r(payload);
+    if (r.GetU32() != kAckMagic) return false;
+    cruz::ByteSpan mac = r.GetSpan(6);
+    std::copy(mac.begin(), mac.end(), chaddr->octets.begin());
+    ip->value = r.GetU32();
+    return true;
+  } catch (const cruz::CodecError&) {
+    return false;
+  }
+}
+
+DhcpServer::DhcpServer(NetworkStack& stack, net::Ipv4Address range_start,
+                       std::uint32_t range_size)
+    : stack_(stack), range_start_(range_start), range_size_(range_size) {
+  stack_.RegisterUdpService(
+      kDhcpServerPort,
+      [this](net::Endpoint from, const cruz::Bytes& payload) {
+        OnRequest(from, payload);
+      });
+}
+
+DhcpServer::~DhcpServer() { stack_.UnregisterUdpService(kDhcpServerPort); }
+
+void DhcpServer::OnRequest(net::Endpoint from, const cruz::Bytes& payload) {
+  net::MacAddress chaddr;
+  if (!DecodeDhcpRequest(payload, &chaddr)) return;
+  // The lease is keyed by the chaddr in the payload — NOT by the Ethernet
+  // source — so a migrated pod presenting the same fake MAC renews the
+  // same address (paper §4.2).
+  auto it = leases_.find(chaddr);
+  net::Ipv4Address assigned;
+  if (it != leases_.end()) {
+    assigned = it->second;
+  } else {
+    if (next_offset_ >= range_size_) {
+      CRUZ_WARN("dhcp") << "address pool exhausted";
+      return;
+    }
+    assigned = net::Ipv4Address{range_start_.value + next_offset_++};
+    leases_[chaddr] = assigned;
+  }
+  // Reply to the IP broadcast address: the client may not have an address
+  // configured yet.
+  cruz::Bytes ack = EncodeDhcpAck(chaddr, assigned);
+  net::UdpDatagram dgram;
+  dgram.src_port = kDhcpServerPort;
+  dgram.dst_port = kDhcpClientPort;
+  dgram.payload = std::move(ack);
+  net::Ipv4Packet pkt;
+  pkt.src = stack_.interfaces().empty() ? net::kAnyAddress
+                                        : stack_.interfaces().front().ip;
+  pkt.dst = net::Ipv4Address{0xFFFFFFFF};
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  stack_.SendIpv4(std::move(pkt));
+  (void)from;
+}
+
+void DhcpClient::Request(NetworkStack& stack, net::MacAddress chaddr,
+                         LeaseCallback on_lease) {
+  // Kernel-space client helper: listen for the ACK on port 68, broadcast
+  // the request, deliver the lease through the callback, then unregister.
+  stack.RegisterUdpService(
+      kDhcpClientPort,
+      [&stack, chaddr, on_lease = std::move(on_lease)](
+          net::Endpoint, const cruz::Bytes& payload) {
+        net::MacAddress acked;
+        net::Ipv4Address ip;
+        if (!DecodeDhcpAck(payload, &acked, &ip) || acked != chaddr) return;
+        stack.UnregisterUdpService(kDhcpClientPort);
+        on_lease(ip);
+      });
+  net::UdpDatagram dgram;
+  dgram.src_port = kDhcpClientPort;
+  dgram.dst_port = kDhcpServerPort;
+  dgram.payload = EncodeDhcpRequest(chaddr);
+  net::Ipv4Packet pkt;
+  pkt.src = stack.interfaces().empty() ? net::kAnyAddress
+                                       : stack.interfaces().front().ip;
+  pkt.dst = net::Ipv4Address{0xFFFFFFFF};
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  stack.SendIpv4(std::move(pkt));
+}
+
+}  // namespace cruz::os

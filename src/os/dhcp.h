@@ -1,0 +1,72 @@
+// Minimal DHCP (kernel-space UDP services on ports 67/68).
+//
+// The paper's dynamic-address path (§4.2) depends on one property of
+// DHCP: the server identifies a client by the MAC address *in the request
+// payload* (chaddr), not by the Ethernet source address. Cruz therefore
+// preserves a pod's lease across migration by having the intercepted
+// SIOCGIFHWADDR return a stable fake MAC that the client embeds in its
+// requests. This implementation models exactly that: a two-message
+// REQUEST/ACK exchange where the lease key is the payload chaddr.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/bytes.h"
+#include "net/address.h"
+#include "os/netstack.h"
+
+namespace cruz::os {
+
+constexpr std::uint16_t kDhcpServerPort = 67;
+constexpr std::uint16_t kDhcpClientPort = 68;
+
+struct DhcpLease {
+  net::MacAddress chaddr;
+  net::Ipv4Address ip;
+};
+
+// Runs on one node of the subnet; hands out addresses from a fixed range,
+// keyed (and kept stable) by chaddr.
+class DhcpServer {
+ public:
+  DhcpServer(NetworkStack& stack, net::Ipv4Address range_start,
+             std::uint32_t range_size);
+  ~DhcpServer();
+
+  std::size_t lease_count() const { return leases_.size(); }
+  const std::map<net::MacAddress, net::Ipv4Address>& leases() const {
+    return leases_;
+  }
+
+ private:
+  void OnRequest(net::Endpoint from, const cruz::Bytes& payload);
+
+  NetworkStack& stack_;
+  net::Ipv4Address range_start_;
+  std::uint32_t range_size_;
+  std::map<net::MacAddress, net::Ipv4Address> leases_;
+  std::uint32_t next_offset_ = 0;
+};
+
+// Client helper: one REQUEST broadcast, lease returned via callback. The
+// node's stack must already have an interface to send from; the assigned
+// address is the caller's to configure (the pod manager adds the VIF).
+class DhcpClient {
+ public:
+  using LeaseCallback = std::function<void(net::Ipv4Address)>;
+
+  // Issues a request with the given chaddr (for pods: the fake MAC).
+  static void Request(NetworkStack& stack, net::MacAddress chaddr,
+                      LeaseCallback on_lease);
+};
+
+// Wire format helpers (shared by client and server, exercised in tests).
+cruz::Bytes EncodeDhcpRequest(net::MacAddress chaddr);
+cruz::Bytes EncodeDhcpAck(net::MacAddress chaddr, net::Ipv4Address ip);
+bool DecodeDhcpRequest(cruz::ByteSpan payload, net::MacAddress* chaddr);
+bool DecodeDhcpAck(cruz::ByteSpan payload, net::MacAddress* chaddr,
+                   net::Ipv4Address* ip);
+
+}  // namespace cruz::os

@@ -1,0 +1,43 @@
+// Open file descriptions.
+//
+// As in Unix, a file descriptor indexes a (possibly shared, via dup) open
+// file description carrying the per-open state: file offset for regular
+// files, the pipe object and end for pipes, the socket id for sockets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "os/pipe.h"
+#include "os/types.h"
+
+namespace cruz::os {
+
+struct FileDescription {
+  enum class Kind : std::uint8_t {
+    kFile = 0,
+    kPipeRead,
+    kPipeWrite,
+    kTcpSocket,
+    kUdpSocket,
+  };
+
+  Kind kind = Kind::kFile;
+
+  // kFile
+  std::string path;
+  std::uint64_t offset = 0;
+
+  // kPipeRead / kPipeWrite
+  std::shared_ptr<Pipe> pipe;
+
+  // kTcpSocket / kUdpSocket
+  SocketId socket = 0;
+
+  bool IsSocket() const {
+    return kind == Kind::kTcpSocket || kind == Kind::kUdpSocket;
+  }
+};
+
+}  // namespace cruz::os

@@ -1,0 +1,106 @@
+#include "os/memory.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cruz::os {
+
+Memory::Page& Memory::PageForWrite(std::uint64_t page_index) {
+  dirty_.insert(page_index);
+  auto it = pages_.find(page_index);
+  if (it == pages_.end()) {
+    it = pages_.emplace(page_index, Page(kPageSize, 0)).first;
+  }
+  return it->second;
+}
+
+const Memory::Page* Memory::PageForRead(std::uint64_t page_index) const {
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void Memory::WriteBytes(std::uint64_t addr, cruz::ByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    std::uint64_t a = addr + done;
+    std::uint64_t page_index = a >> kPageShift;
+    std::size_t offset = static_cast<std::size_t>(a & (kPageSize - 1));
+    std::size_t n = std::min(data.size() - done, kPageSize - offset);
+    Page& page = PageForWrite(page_index);
+    std::memcpy(page.data() + offset, data.data() + done, n);
+    done += n;
+  }
+}
+
+void Memory::ReadBytes(std::uint64_t addr, std::uint8_t* out,
+                       std::size_t n) const {
+  std::size_t done = 0;
+  while (done < n) {
+    std::uint64_t a = addr + done;
+    std::uint64_t page_index = a >> kPageShift;
+    std::size_t offset = static_cast<std::size_t>(a & (kPageSize - 1));
+    std::size_t take = std::min(n - done, kPageSize - offset);
+    const Page* page = PageForRead(page_index);
+    if (page != nullptr) {
+      std::memcpy(out + done, page->data() + offset, take);
+    } else {
+      std::memset(out + done, 0, take);
+    }
+    done += take;
+  }
+}
+
+cruz::Bytes Memory::ReadBytes(std::uint64_t addr, std::size_t n) const {
+  cruz::Bytes out(n);
+  ReadBytes(addr, out.data(), n);
+  return out;
+}
+
+void Memory::WriteU64(std::uint64_t addr, std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  WriteBytes(addr, cruz::ByteSpan(buf, 8));
+}
+
+std::uint64_t Memory::ReadU64(std::uint64_t addr) const {
+  std::uint8_t buf[8];
+  ReadBytes(addr, buf, 8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf[i];
+  }
+  return v;
+}
+
+void Memory::WriteF64(std::uint64_t addr, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  WriteU64(addr, bits);
+}
+
+double Memory::ReadF64(std::uint64_t addr) const {
+  std::uint64_t bits = ReadU64(addr);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void Memory::InstallPage(std::uint64_t page_index, cruz::ByteSpan content) {
+  CRUZ_CHECK(content.size() == kPageSize, "InstallPage: wrong size");
+  pages_[page_index] = Page(content.begin(), content.end());
+  dirty_.insert(page_index);
+}
+
+void Memory::DropZeroPages() {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    bool all_zero =
+        std::all_of(it->second.begin(), it->second.end(),
+                    [](std::uint8_t b) { return b == 0; });
+    it = all_zero ? pages_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace cruz::os

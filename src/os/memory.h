@@ -1,0 +1,66 @@
+// Sparse paged process memory.
+//
+// A process address space is a map from page index to 4 KiB pages,
+// allocated on first write. The checkpoint engine serializes only the
+// allocated (non-zero) pages — "most of the state consists of the non-zero
+// contents of the virtual memory of all processes running in the pod"
+// (paper §6) — so checkpoint size tracks what the application touched.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace cruz::os {
+
+constexpr std::size_t kPageSize = 4096;
+constexpr std::uint64_t kPageShift = 12;
+
+class Memory {
+ public:
+  using Page = std::vector<std::uint8_t>;  // always kPageSize long
+
+  // --- raw access -----------------------------------------------------------
+  void WriteBytes(std::uint64_t addr, cruz::ByteSpan data);
+  void ReadBytes(std::uint64_t addr, std::uint8_t* out, std::size_t n) const;
+  cruz::Bytes ReadBytes(std::uint64_t addr, std::size_t n) const;
+
+  // --- typed helpers ----------------------------------------------------------
+  void WriteU64(std::uint64_t addr, std::uint64_t v);
+  std::uint64_t ReadU64(std::uint64_t addr) const;
+  void WriteF64(std::uint64_t addr, double v);
+  double ReadF64(std::uint64_t addr) const;
+
+  // --- pages -------------------------------------------------------------------
+  const std::map<std::uint64_t, Page>& pages() const { return pages_; }
+  std::size_t PageCount() const { return pages_.size(); }
+  std::size_t ResidentBytes() const { return pages_.size() * kPageSize; }
+  void InstallPage(std::uint64_t page_index, cruz::ByteSpan content);
+  void Clear() { pages_.clear(); }
+
+  // Drops pages that are entirely zero (used to keep checkpoints small).
+  void DropZeroPages();
+
+  // --- dirty tracking (incremental checkpointing, paper §5.2) -------------
+  // Every write marks its pages dirty; an incremental checkpoint saves
+  // only pages dirtied since the previous checkpoint cleared the set.
+  const std::set<std::uint64_t>& dirty_pages() const { return dirty_; }
+  void ClearDirty() { dirty_.clear(); }
+  bool IsDirty(std::uint64_t page_index) const {
+    return dirty_.count(page_index) != 0;
+  }
+
+ private:
+  Page& PageForWrite(std::uint64_t page_index);
+  // Returns nullptr for never-written pages (reads see zeros).
+  const Page* PageForRead(std::uint64_t page_index) const;
+
+  std::map<std::uint64_t, Page> pages_;
+  std::set<std::uint64_t> dirty_;
+};
+
+}  // namespace cruz::os

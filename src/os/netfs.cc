@@ -1,0 +1,81 @@
+#include "os/netfs.h"
+
+#include <algorithm>
+
+namespace cruz::os {
+
+void NetworkFileSystem::WriteFile(const std::string& path,
+                                  cruz::Bytes content) {
+  files_[path] = std::move(content);
+}
+
+void NetworkFileSystem::AppendFile(const std::string& path,
+                                   cruz::ByteSpan content) {
+  cruz::Bytes& f = files_[path];
+  f.insert(f.end(), content.begin(), content.end());
+}
+
+SysResult NetworkFileSystem::ReadFile(const std::string& path,
+                                      cruz::Bytes& out) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return SysErr(CRUZ_ENOENT);
+  out = it->second;
+  return static_cast<SysResult>(out.size());
+}
+
+SysResult NetworkFileSystem::ReadAt(const std::string& path,
+                                    std::uint64_t offset, std::size_t n,
+                                    cruz::Bytes& out) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return SysErr(CRUZ_ENOENT);
+  const cruz::Bytes& f = it->second;
+  if (offset >= f.size()) return 0;
+  std::size_t take = std::min<std::uint64_t>(n, f.size() - offset);
+  out.insert(out.end(), f.begin() + static_cast<std::ptrdiff_t>(offset),
+             f.begin() + static_cast<std::ptrdiff_t>(offset + take));
+  return static_cast<SysResult>(take);
+}
+
+SysResult NetworkFileSystem::WriteAt(const std::string& path,
+                                     std::uint64_t offset,
+                                     cruz::ByteSpan data, bool create) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (!create) return SysErr(CRUZ_ENOENT);
+    it = files_.emplace(path, cruz::Bytes{}).first;
+  }
+  cruz::Bytes& f = it->second;
+  if (offset + data.size() > f.size()) {
+    f.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            f.begin() + static_cast<std::ptrdiff_t>(offset));
+  return static_cast<SysResult>(data.size());
+}
+
+SysResult NetworkFileSystem::Remove(const std::string& path) {
+  return files_.erase(path) != 0 ? 0 : SysErr(CRUZ_ENOENT);
+}
+
+SysResult NetworkFileSystem::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return SysErr(CRUZ_ENOENT);
+  return static_cast<SysResult>(it->second.size());
+}
+
+std::vector<std::string> NetworkFileSystem::List(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, content] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+std::uint64_t NetworkFileSystem::TotalBytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [path, content] : files_) n += content.size();
+  return n;
+}
+
+}  // namespace cruz::os

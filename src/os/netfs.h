@@ -1,0 +1,54 @@
+// Shared network filesystem.
+//
+// Zap/Cruz do not checkpoint file-system state; they rely on "a
+// network-accessible file system that is accessible from any machine on
+// which the application may be restarted" (paper §2). This is that
+// substrate: one NetworkFileSystem instance is shared by all nodes, so a
+// checkpoint image written on one machine can be read during restart on
+// another. I/O cost is charged by the caller through the per-node disk
+// model (Node::DiskWriteDuration), keeping storage and timing concerns
+// separate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sysresult.h"
+
+namespace cruz::os {
+
+class NetworkFileSystem {
+ public:
+  bool Exists(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+
+  // Creates or truncates.
+  void WriteFile(const std::string& path, cruz::Bytes content);
+  // Appends, creating if missing.
+  void AppendFile(const std::string& path, cruz::ByteSpan content);
+  // Returns -ENOENT if missing.
+  SysResult ReadFile(const std::string& path, cruz::Bytes& out) const;
+  // Reads [offset, offset+n) into out; short reads at EOF. -ENOENT if
+  // missing.
+  SysResult ReadAt(const std::string& path, std::uint64_t offset,
+                   std::size_t n, cruz::Bytes& out) const;
+  // Writes at offset, extending with zeros if needed. -ENOENT if missing
+  // and `create` is false.
+  SysResult WriteAt(const std::string& path, std::uint64_t offset,
+                    cruz::ByteSpan data, bool create);
+  SysResult Remove(const std::string& path);
+  SysResult FileSize(const std::string& path) const;
+
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  std::uint64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, cruz::Bytes> files_;
+};
+
+}  // namespace cruz::os

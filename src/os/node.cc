@@ -1,0 +1,37 @@
+#include "os/node.h"
+
+#include "common/log.h"
+#include "sim/simulator.h"
+
+namespace cruz::os {
+
+Node::Node(sim::Simulator& sim, net::EthernetSwitch& ethernet,
+           NetworkFileSystem& fs, std::string name, std::uint32_t index,
+           const NodeConfig& config)
+    : sim_(sim),
+      ethernet_(ethernet),
+      name_(std::move(name)),
+      index_(index),
+      config_(config) {
+  nic_ = std::make_unique<net::Nic>(
+      sim, net::MacAddress::FromId(0x10000000u + index), name_ + "/eth0");
+  nic_->set_supports_multiple_macs(config_.nic_supports_multiple_macs);
+  ethernet_.AttachNic(nic_.get());
+  stack_ = std::make_unique<NetworkStack>(sim, name_, nic_.get(),
+                                          config_.tcp);
+  stack_->AddInterface("eth0", nic_->primary_mac(), config_.ip,
+                       config_.netmask, /*is_virtual=*/false);
+  os_ = std::make_unique<Os>(sim, name_, stack_.get(), &fs);
+}
+
+void Node::Fail() {
+  if (failed_) return;
+  failed_ = true;
+  CRUZ_INFO("node") << name_ << ": FAIL-STOP";
+  ethernet_.DetachNic(nic_.get());
+  std::vector<Pid> pids;
+  for (const auto& [pid, proc] : os_->processes()) pids.push_back(pid);
+  for (Pid pid : pids) os_->DestroyProcess(pid, 128 + kSigKill);
+}
+
+}  // namespace cruz::os

@@ -1,0 +1,200 @@
+// The simulated kernel: process table, thread scheduler, syscalls, signal
+// delivery, and the pod interposition hooks.
+//
+// Zap's architecture interposes a thin virtualization layer between
+// applications and the OS (paper Fig. 1). Here that boundary is explicit:
+// every syscall a Program issues flows through ProcessCtx into Os, and Os
+// consults the installed SyscallInterposer (implemented by the pod layer)
+// at exactly the points the paper describes — pid virtualization, bind and
+// connect address rewriting, and the SIOCGIFHWADDR fake-MAC ioctl. The
+// base "kernel" has no knowledge of pods beyond this hook interface,
+// mirroring "without requiring ... base kernel modifications".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sysresult.h"
+#include "common/units.h"
+#include "os/netfs.h"
+#include "os/netstack.h"
+#include "os/process.h"
+#include "os/program.h"
+#include "os/sysv_ipc.h"
+#include "os/types.h"
+
+namespace cruz::sim {
+class Simulator;
+}
+
+namespace cruz::os {
+
+// Hook interface implemented by the pod layer (Zap's interposition).
+class SyscallInterposer {
+ public:
+  virtual ~SyscallInterposer() = default;
+  virtual void OnProcessCreated(PodId pod, Pid real) = 0;
+  virtual void OnProcessExited(PodId pod, Pid real) = 0;
+  virtual Pid ToVirtualPid(PodId pod, Pid real) = 0;
+  virtual Pid ToRealPid(PodId pod, Pid virt) = 0;
+  // IP address of the pod's VIF; bind/connect wrappers substitute it.
+  virtual net::Ipv4Address PodAddress(PodId pod) = 0;
+  // Fake MAC returned by the intercepted SIOCGIFHWADDR (paper §4.2).
+  virtual std::optional<net::MacAddress> FakeMac(PodId pod) = 0;
+  // Pod-private SysV key namespace.
+  virtual std::int32_t VirtualizeIpcKey(PodId pod, std::int32_t key) = 0;
+  // SysV identifier virtualization: programs inside pods only ever see
+  // virtual shm/sem ids, which stay stable across restore even though the
+  // kernel assigns fresh real ids (same principle as virtual pids).
+  virtual ShmId ShmIdToVirtual(PodId pod, ShmId real) = 0;
+  virtual ShmId ShmIdToReal(PodId pod, ShmId virt) = 0;
+  virtual SemId SemIdToVirtual(PodId pod, SemId real) = 0;
+  virtual SemId SemIdToReal(PodId pod, SemId virt) = 0;
+};
+
+class Os {
+ public:
+  Os(sim::Simulator& sim, std::string node_name, NetworkStack* stack,
+     NetworkFileSystem* fs);
+
+  const std::string& node_name() const { return node_name_; }
+  sim::Simulator& sim() { return sim_; }
+  NetworkStack& stack() { return *stack_; }
+  NetworkFileSystem& fs() { return *fs_; }
+  SysVIpc& sysv() { return sysv_; }
+
+  void set_interposer(SyscallInterposer* i) { interposer_ = i; }
+  SyscallInterposer* interposer() { return interposer_; }
+
+  // Called when a process fully exits (harness / job-scheduler hook).
+  void set_process_exit_hook(std::function<void(Pid, int)> hook) {
+    process_exit_hook_ = std::move(hook);
+  }
+
+  // --- process management ------------------------------------------------------
+  // Creates a process running `program` with `args` copied into its
+  // address space. Returns the real pid.
+  Pid Spawn(const std::string& program, cruz::ByteSpan args,
+            PodId pod = kNoPod, Pid ppid = kNoPid);
+  Process* FindProcess(Pid pid);
+  const std::map<Pid, std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+  std::vector<Pid> PodProcesses(PodId pod) const;
+
+  // Signal delivery: SIGSTOP freezes scheduling, SIGCONT resumes,
+  // SIGKILL/SIGTERM terminate.
+  SysResult Signal(Pid pid, int signal);
+  // Immediate teardown of a process (releases fds, wakes peers).
+  void DestroyProcess(Pid pid, int exit_code);
+
+  // Restore path: installs a process rebuilt from a checkpoint (memory and
+  // threads already populated by the engine). Threads start runnable.
+  // Construct the process with a pid from AllocatePid().
+  Pid AllocatePid() { return next_pid_++; }
+  Pid InstallProcess(std::unique_ptr<Process> proc);
+  void StartProcessThreads(Pid pid);
+
+  // --- scheduling --------------------------------------------------------------
+  void MakeRunnable(ThreadRef ref);
+  void WakeThreads(std::vector<ThreadRef>& refs);
+  // True if every process on this node is idle (no runnable threads).
+  bool Quiescent() const;
+
+  // Per-step scheduling cost knobs (used by the runtime-overhead bench).
+  DurationNs syscall_interposition_cost() const {
+    return interposition_cost_;
+  }
+  void set_syscall_interposition_cost(DurationNs c) {
+    interposition_cost_ = c;
+  }
+
+  std::uint64_t steps_executed() const { return steps_executed_; }
+  std::uint64_t syscall_count() const { return syscall_count_; }
+
+  // --- syscall implementations (called via ProcessCtx) --------------------------
+  SysResult SysGetpid(Process& proc);
+  SysResult SysSpawn(Process& proc, const std::string& program,
+                     cruz::ByteSpan args);
+  SysResult SysKill(Process& proc, Pid pid, int signal);
+
+  SysResult SysOpen(Process& proc, const std::string& path, bool create);
+  SysResult SysRead(Process& proc, Fd fd, cruz::Bytes& out, std::size_t max);
+  SysResult SysWrite(Process& proc, Fd fd, cruz::ByteSpan data);
+  SysResult SysClose(Process& proc, Fd fd);
+  SysResult SysDup(Process& proc, Fd fd);
+  SysResult SysPipe(Process& proc, Fd* read_end, Fd* write_end);
+
+  SysResult SysSocketTcp(Process& proc);
+  SysResult SysSocketUdp(Process& proc);
+  SysResult SysBind(Process& proc, Fd fd, net::Endpoint local);
+  SysResult SysListen(Process& proc, Fd fd, int backlog);
+  SysResult SysAccept(Process& proc, Fd fd);
+  SysResult SysConnect(Process& proc, Fd fd, net::Endpoint remote);
+  SysResult SysSendTcp(Process& proc, Fd fd, cruz::ByteSpan data);
+  SysResult SysRecvTcp(Process& proc, Fd fd, cruz::Bytes& out,
+                       std::size_t max, bool peek);
+  SysResult SysSendToUdp(Process& proc, Fd fd, net::Endpoint remote,
+                         cruz::ByteSpan data);
+  SysResult SysRecvFromUdp(Process& proc, Fd fd, cruz::Bytes& out,
+                           net::Endpoint* from);
+  SysResult SysSetNodelay(Process& proc, Fd fd, bool on);
+  SysResult SysSetCork(Process& proc, Fd fd, bool on);
+  SysResult SysShutdownTcp(Process& proc, Fd fd);
+  SysResult SysGetIfHwAddr(Process& proc, const std::string& ifname,
+                           net::MacAddress* mac);
+  SysResult SysGetIfAddr(Process& proc, const std::string& ifname,
+                         net::Ipv4Address* ip);
+
+  SysResult SysShmGet(Process& proc, std::int32_t key, std::size_t size);
+  SysResult SysShmAt(Process& proc, ShmId id, std::uint64_t addr);
+  SysResult SysShmReadU64(Process& proc, ShmId id, std::uint64_t offset);
+  SysResult SysShmWriteU64(Process& proc, ShmId id, std::uint64_t offset,
+                           std::uint64_t v);
+  SysResult SysSemGet(Process& proc, std::int32_t key, std::int32_t initial);
+  SysResult SysSemOp(Process& proc, SemId id, std::int32_t delta);
+
+  // Blocking registration used by ProcessCtx::BlockOn*.
+  // Id translation helpers (virtual -> real for in-pod processes).
+  ShmId RealShmId(Process& proc, ShmId id);
+  SemId RealSemId(Process& proc, SemId id);
+
+  void BlockThreadOnFd(Process& proc, Thread& thread, Fd fd, bool writable);
+  void BlockThreadOnSem(Process& proc, Thread& thread, SemId sem);
+  void SleepThread(Process& proc, Thread& thread, DurationNs d);
+
+ private:
+  void ScheduleStep(ThreadRef ref, DurationNs delay);
+  void RunStep(ThreadRef ref);
+  void ReleaseFd(Process& proc, const std::shared_ptr<FileDescription>& d);
+  TcpSocketObject* TcpFromFd(Process& proc, Fd fd,
+                             std::shared_ptr<FileDescription>* desc_out);
+  // Charges the Zap interposition cost for syscalls issued from inside a
+  // pod (the paper's <0.5% runtime overhead).
+  void ChargeSyscall(Process& proc);
+
+  sim::Simulator& sim_;
+  std::string node_name_;
+  NetworkStack* stack_;
+  NetworkFileSystem* fs_;
+  SysVIpc sysv_;
+  SyscallInterposer* interposer_ = nullptr;
+  std::function<void(Pid, int)> process_exit_hook_;
+
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+  Pid next_pid_ = 100;
+  PipeId next_pipe_id_ = 1;
+
+  DurationNs step_granularity_ = 1 * kMicrosecond;
+  DurationNs interposition_cost_ = 50;  // 50 ns per interposed syscall
+  std::uint64_t steps_executed_ = 0;
+  std::uint64_t syscall_count_ = 0;
+  DurationNs pending_syscall_charge_ = 0;
+};
+
+}  // namespace cruz::os

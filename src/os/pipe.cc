@@ -1,0 +1,28 @@
+#include "os/pipe.h"
+
+#include <algorithm>
+
+namespace cruz::os {
+
+SysResult Pipe::Write(cruz::ByteSpan data) {
+  if (readers_ == 0) return SysErr(CRUZ_EPIPE);
+  std::size_t space = WritableSpace();
+  if (space == 0) return SysErr(CRUZ_EAGAIN);
+  std::size_t n = std::min(space, data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.begin() + n);
+  return static_cast<SysResult>(n);
+}
+
+SysResult Pipe::Read(cruz::Bytes& out, std::size_t max) {
+  if (buffer_.empty()) {
+    return writers_ == 0 ? 0 : SysErr(CRUZ_EAGAIN);
+  }
+  std::size_t n = std::min(max, buffer_.size());
+  out.insert(out.end(), buffer_.begin(),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  return static_cast<SysResult>(n);
+}
+
+}  // namespace cruz::os

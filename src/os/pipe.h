@@ -1,0 +1,66 @@
+// Anonymous pipes (the classic bounded byte channel), checkpointable.
+//
+// Zap's original implementation already supported pipes; Cruz inherits
+// that. A pipe is a kernel object shared by its read and write fds
+// (possibly across processes in the pod); the checkpoint engine serializes
+// each pipe once, keyed by its id, and reconnects restored fds to the
+// recreated object.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sysresult.h"
+#include "os/types.h"
+
+namespace cruz::os {
+
+class Pipe {
+ public:
+  static constexpr std::size_t kCapacity = 64 * 1024;
+
+  explicit Pipe(PipeId id) : id_(id) {}
+
+  PipeId id() const { return id_; }
+
+  // Returns bytes written, or -EAGAIN when full, -EPIPE when no readers.
+  SysResult Write(cruz::ByteSpan data);
+  // Returns bytes read, 0 at EOF (no writers and drained), -EAGAIN when
+  // empty but writers remain.
+  SysResult Read(cruz::Bytes& out, std::size_t max);
+
+  std::size_t Readable() const { return buffer_.size(); }
+  std::size_t WritableSpace() const { return kCapacity - buffer_.size(); }
+
+  // Reference counting of fd ends (dup/close bookkeeping).
+  void AddReader() { ++readers_; }
+  void AddWriter() { ++writers_; }
+  void RemoveReader() { --readers_; }
+  void RemoveWriter() { --writers_; }
+  int readers() const { return readers_; }
+  int writers() const { return writers_; }
+
+  // Threads parked on this pipe (woken by the OS when state changes).
+  std::vector<ThreadRef>& read_waiters() { return read_waiters_; }
+  std::vector<ThreadRef>& write_waiters() { return write_waiters_; }
+
+  // Checkpoint support: full buffer contents.
+  cruz::Bytes SnapshotBuffer() const {
+    return cruz::Bytes(buffer_.begin(), buffer_.end());
+  }
+  void RestoreBuffer(cruz::ByteSpan data) {
+    buffer_.assign(data.begin(), data.end());
+  }
+
+ private:
+  PipeId id_;
+  std::deque<std::uint8_t> buffer_;
+  int readers_ = 0;
+  int writers_ = 0;
+  std::vector<ThreadRef> read_waiters_;
+  std::vector<ThreadRef> write_waiters_;
+};
+
+}  // namespace cruz::os

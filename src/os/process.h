@@ -1,0 +1,130 @@
+// Processes and threads of the simulated OS.
+//
+// A process owns an address space (Memory), a file-descriptor table,
+// threads, SysV shared-memory attachments, and signal state. Application
+// code (a Program) keeps ALL of its state in the address space and in the
+// small per-thread register file — exactly the state a transparent
+// checkpointer can see — so a process rebuilt from those two pieces
+// resumes identically. Program code itself is re-instantiated by name at
+// restart, just as a real checkpointer relies on the executable being
+// present on the target machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/file.h"
+#include "os/memory.h"
+#include "os/sysv_ipc.h"
+#include "os/types.h"
+
+namespace cruz::os {
+
+class Program;
+
+// The per-thread "CPU state": a program counter plus general registers.
+constexpr int kNumRegisters = 16;
+
+struct Registers {
+  std::uint64_t r[kNumRegisters] = {};
+  std::uint64_t& pc() { return r[0]; }
+  std::uint64_t pc() const { return r[0]; }
+};
+
+enum class ThreadState : std::uint8_t {
+  kRunnable = 0,
+  kBlocked,   // parked on a wait object; a wakeup makes it runnable
+  kExited,
+};
+
+struct Thread {
+  Tid tid = 0;
+  ThreadState state = ThreadState::kRunnable;
+  Registers regs;
+  // True while a step event for this thread is in the simulator queue
+  // (prevents double-scheduling).
+  bool step_scheduled = false;
+};
+
+enum class ProcessState : std::uint8_t {
+  kLive = 0,
+  kStopped,  // SIGSTOP: threads keep their state but are not scheduled
+  kZombie,   // exited, not yet reaped
+};
+
+class Process {
+ public:
+  // Constructor and destructor are out-of-line: Program is an incomplete
+  // type here and the unique_ptr member needs it complete.
+  Process(Pid pid, std::string program_name);
+  ~Process();
+
+  Pid pid() const { return pid_; }
+  Pid ppid() const { return ppid_; }
+  void set_ppid(Pid p) { ppid_ = p; }
+
+  const std::string& program_name() const { return program_name_; }
+  Program* program() const { return program_.get(); }
+  void set_program(std::unique_ptr<Program> p);
+
+  PodId pod() const { return pod_; }
+  void set_pod(PodId p) { pod_ = p; }
+
+  ProcessState state() const { return state_; }
+  void set_state(ProcessState s) { state_ = s; }
+  int exit_code() const { return exit_code_; }
+  void set_exit_code(int c) { exit_code_ = c; }
+
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+
+  // --- threads ---------------------------------------------------------------
+  Thread& MainThread() { return threads_.at(0); }
+  Thread* FindThread(Tid tid);
+  // Threads live in a deque so references held by a running ProcessCtx
+  // stay valid when a step spawns a new thread.
+  Tid CreateThread(Registers regs);
+  // Restore path: installs a thread with its original tid.
+  void InstallThread(Tid tid, Registers regs);
+  std::deque<Thread>& threads() { return threads_; }
+  const std::deque<Thread>& threads() const { return threads_; }
+  bool AllThreadsExited() const;
+
+  // --- fd table ----------------------------------------------------------------
+  Fd AllocateFd(std::shared_ptr<FileDescription> desc);
+  // Installs at a specific fd (restore path).
+  void InstallFd(Fd fd, std::shared_ptr<FileDescription> desc);
+  std::shared_ptr<FileDescription> LookupFd(Fd fd) const;
+  SysResult RemoveFd(Fd fd);
+  const std::map<Fd, std::shared_ptr<FileDescription>>& fds() const {
+    return fds_;
+  }
+
+  // --- shm attachments -----------------------------------------------------------
+  std::vector<ShmAttachment>& shm_attachments() { return shm_attachments_; }
+  const std::vector<ShmAttachment>& shm_attachments() const {
+    return shm_attachments_;
+  }
+
+ private:
+  Pid pid_;
+  Pid ppid_ = kNoPid;
+  std::string program_name_;
+  std::unique_ptr<Program> program_;
+  PodId pod_ = kNoPod;
+  ProcessState state_ = ProcessState::kLive;
+  int exit_code_ = 0;
+
+  Memory memory_;
+  std::deque<Thread> threads_;
+  Tid next_tid_ = 0;
+  std::map<Fd, std::shared_ptr<FileDescription>> fds_;
+  Fd next_fd_ = 3;  // 0..2 conventionally reserved
+  std::vector<ShmAttachment> shm_attachments_;
+};
+
+}  // namespace cruz::os

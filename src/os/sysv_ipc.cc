@@ -1,0 +1,74 @@
+#include "os/sysv_ipc.h"
+
+namespace cruz::os {
+
+SysResult SysVIpc::ShmGet(std::int32_t key, std::size_t size, bool create) {
+  for (auto& [id, seg] : shm_) {
+    if (seg.key == key) return id;
+  }
+  if (!create) return SysErr(CRUZ_ENOENT);
+  ShmId id = next_shm_id_++;
+  ShmSegment seg;
+  seg.id = id;
+  seg.key = key;
+  seg.size = size;
+  seg.data.assign(size, 0);
+  shm_.emplace(id, std::move(seg));
+  return id;
+}
+
+ShmSegment* SysVIpc::FindShm(ShmId id) {
+  auto it = shm_.find(id);
+  return it == shm_.end() ? nullptr : &it->second;
+}
+
+SysResult SysVIpc::ShmRemove(ShmId id) {
+  return shm_.erase(id) != 0 ? 0 : SysErr(CRUZ_ENOENT);
+}
+
+SysResult SysVIpc::SemGet(std::int32_t key, std::int32_t initial,
+                          bool create) {
+  for (auto& [id, sem] : sems_) {
+    if (sem.key == key) return id;
+  }
+  if (!create) return SysErr(CRUZ_ENOENT);
+  SemId id = next_sem_id_++;
+  Semaphore sem;
+  sem.id = id;
+  sem.key = key;
+  sem.value = initial;
+  sems_.emplace(id, std::move(sem));
+  return id;
+}
+
+Semaphore* SysVIpc::FindSem(SemId id) {
+  auto it = sems_.find(id);
+  return it == sems_.end() ? nullptr : &it->second;
+}
+
+SysResult SysVIpc::SemRemove(SemId id) {
+  return sems_.erase(id) != 0 ? 0 : SysErr(CRUZ_ENOENT);
+}
+
+ShmId SysVIpc::InstallShm(std::int32_t key, cruz::Bytes data) {
+  ShmId id = next_shm_id_++;
+  ShmSegment seg;
+  seg.id = id;
+  seg.key = key;
+  seg.size = data.size();
+  seg.data = std::move(data);
+  shm_.emplace(id, std::move(seg));
+  return id;
+}
+
+SemId SysVIpc::InstallSem(std::int32_t key, std::int32_t value) {
+  SemId id = next_sem_id_++;
+  Semaphore sem;
+  sem.id = id;
+  sem.key = key;
+  sem.value = value;
+  sems_.emplace(id, std::move(sem));
+  return id;
+}
+
+}  // namespace cruz::os

@@ -1,0 +1,67 @@
+// System V shared memory and semaphores (the subset Cruz checkpoints).
+//
+// The paper lists shared memory and semaphores among the OS resources the
+// enhanced Zap can checkpoint and restart (§2). Shared memory segments are
+// kernel page arrays mapped into process address spaces; semaphores are
+// counting semaphores with blocking semop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sysresult.h"
+#include "os/types.h"
+
+namespace cruz::os {
+
+struct ShmSegment {
+  ShmId id = 0;
+  std::int32_t key = 0;
+  std::size_t size = 0;
+  cruz::Bytes data;  // backing store, shared by all attachments
+  int attach_count = 0;
+};
+
+struct ShmAttachment {
+  ShmId shm_id = 0;
+  std::uint64_t addr = 0;  // base address in the attaching process
+};
+
+struct Semaphore {
+  SemId id = 0;
+  std::int32_t key = 0;
+  std::int32_t value = 0;
+  std::vector<ThreadRef> waiters;  // threads blocked in semop(-n)
+};
+
+// Per-node SysV namespace. In-pod keys are virtualized by the pod layer
+// so segments move with the pod.
+class SysVIpc {
+ public:
+  // shmget: find-or-create by key. Returns shm id.
+  SysResult ShmGet(std::int32_t key, std::size_t size, bool create);
+  ShmSegment* FindShm(ShmId id);
+  SysResult ShmRemove(ShmId id);
+
+  SysResult SemGet(std::int32_t key, std::int32_t initial, bool create);
+  Semaphore* FindSem(SemId id);
+  SysResult SemRemove(SemId id);
+
+  const std::map<ShmId, ShmSegment>& shm_segments() const { return shm_; }
+  const std::map<SemId, Semaphore>& semaphores() const { return sems_; }
+
+  // Restore-time: installs a segment/semaphore with a fresh id and returns
+  // it (the pod layer maps old ids to new ones).
+  ShmId InstallShm(std::int32_t key, cruz::Bytes data);
+  SemId InstallSem(std::int32_t key, std::int32_t value);
+
+ private:
+  std::map<ShmId, ShmSegment> shm_;
+  std::map<SemId, Semaphore> sems_;
+  ShmId next_shm_id_ = 1;
+  SemId next_sem_id_ = 1;
+};
+
+}  // namespace cruz::os

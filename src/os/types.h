@@ -1,0 +1,37 @@
+// Fundamental identifier types for the simulated OS.
+#pragma once
+
+#include <cstdint>
+
+namespace cruz::os {
+
+using Pid = std::int32_t;   // process id (real, kernel-level)
+using Tid = std::int32_t;   // thread id within a process
+using Fd = std::int32_t;    // file descriptor
+using PodId = std::uint32_t;
+using SocketId = std::uint64_t;
+using PipeId = std::uint64_t;
+using ShmId = std::int32_t;
+using SemId = std::int32_t;
+
+constexpr Pid kNoPid = -1;
+constexpr PodId kNoPod = 0;
+
+// Signal numbers (Linux subset used by the simulation). Named kSig* to
+// avoid colliding with the host <signal.h> macros.
+enum Signal : int {
+  kSigKill = 9,
+  kSigUsr1 = 10,
+  kSigTerm = 15,
+  kSigCont = 18,
+  kSigStop = 19,
+};
+
+// A (pid, tid) pair identifying a schedulable thread.
+struct ThreadRef {
+  Pid pid = kNoPid;
+  Tid tid = 0;
+  bool operator==(const ThreadRef&) const = default;
+};
+
+}  // namespace cruz::os

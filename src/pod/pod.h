@@ -1,0 +1,116 @@
+// PrOcess Domains (pods) — Zap's thin virtualization layer.
+//
+// A pod gives a group of processes a private name space (paper §2):
+// virtual pids that stay stable across checkpoint-restart even when the
+// corresponding real pids are taken on the target machine, a private
+// virtual network interface (VIF) carrying the pod's externally-routable
+// IP address, and a virtualized view of network hardware (the fake MAC
+// reported by the intercepted SIOCGIFHWADDR). PodManager implements the
+// os::SyscallInterposer hook interface — the simulation's equivalent of
+// Zap's system-call interposition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/address.h"
+#include "os/node.h"
+#include "os/os.h"
+#include "os/types.h"
+
+namespace cruz::pod {
+
+struct Pod {
+  os::PodId id = os::kNoPod;
+  std::string name;
+  net::Ipv4Address ip;
+  net::Ipv4Address netmask;
+  // True when the VIF carries its own MAC address (hardware supports
+  // multiple unicast filters); false = shared-MAC scheme with gratuitous
+  // ARP on migration.
+  bool own_mac = false;
+  net::MacAddress vif_mac;   // MAC the VIF uses on the wire
+  net::MacAddress fake_mac;  // stable virtual MAC exposed to the pod
+  std::string vif_name;      // interface name on the hosting stack
+
+  // Virtual <-> real pid maps.
+  std::map<os::Pid, os::Pid> vpid_to_real;
+  std::map<os::Pid, os::Pid> real_to_vpid;
+  os::Pid next_vpid = 1;
+
+  // Virtual <-> real SysV identifier maps (same stability property as
+  // virtual pids: restored processes keep using their old virtual ids).
+  std::map<os::ShmId, os::ShmId> vshm_to_real;
+  std::map<os::ShmId, os::ShmId> real_to_vshm;
+  os::ShmId next_vshm = 1;
+  std::map<os::SemId, os::SemId> vsem_to_real;
+  std::map<os::SemId, os::SemId> real_to_vsem;
+  os::SemId next_vsem = 1;
+};
+
+struct PodCreateOptions {
+  std::string name;
+  net::Ipv4Address ip;  // externally routable, unique on the subnet
+  // Preserved identifiers for restore/migration; zero = allocate fresh.
+  os::PodId id = os::kNoPod;
+  net::MacAddress vif_mac{};
+  net::MacAddress fake_mac{};
+};
+
+class PodManager : public os::SyscallInterposer {
+ public:
+  explicit PodManager(os::Node& node);
+  ~PodManager() override;
+
+  os::Node& node() { return node_; }
+
+  // Creates a pod and attaches its VIF to the node's stack. Whether the
+  // VIF gets its own MAC depends on the node's NIC capability.
+  os::PodId CreatePod(const PodCreateOptions& options);
+  // Destroys the pod: kills its processes and deletes the VIF.
+  void DestroyPod(os::PodId id);
+  // Detaches the VIF without killing state bookkeeping (migration source:
+  // "when a pod is migrated, its VIF is deleted at the original host").
+  void RemoveVif(os::PodId id);
+
+  Pod* Find(os::PodId id);
+  const std::map<os::PodId, Pod>& pods() const { return pods_; }
+
+  // Spawns a process inside the pod; returns its *virtual* pid.
+  os::Pid SpawnInPod(os::PodId id, const std::string& program,
+                     cruz::ByteSpan args);
+
+  // Restore path: maps a known virtual pid onto a freshly created real
+  // process (Zap restarts succeed even when the old pids are in use).
+  void BindVirtualPid(os::PodId id, os::Pid vpid, os::Pid real);
+
+  // Announces the pod's (IP -> MAC) mapping via gratuitous ARP; used by
+  // the shared-MAC migration scheme after the VIF lands on new hardware.
+  void AnnouncePod(os::PodId id);
+
+  // --- os::SyscallInterposer ---------------------------------------------------
+  void OnProcessCreated(os::PodId pod, os::Pid real) override;
+  void OnProcessExited(os::PodId pod, os::Pid real) override;
+  os::Pid ToVirtualPid(os::PodId pod, os::Pid real) override;
+  os::Pid ToRealPid(os::PodId pod, os::Pid virt) override;
+  net::Ipv4Address PodAddress(os::PodId pod) override;
+  std::optional<net::MacAddress> FakeMac(os::PodId pod) override;
+  std::int32_t VirtualizeIpcKey(os::PodId pod, std::int32_t key) override;
+  os::ShmId ShmIdToVirtual(os::PodId pod, os::ShmId real) override;
+  os::ShmId ShmIdToReal(os::PodId pod, os::ShmId virt) override;
+  os::SemId SemIdToVirtual(os::PodId pod, os::SemId real) override;
+  os::SemId SemIdToReal(os::PodId pod, os::SemId virt) override;
+
+  // Restore path: binds a known virtual SysV id to a fresh real id.
+  void BindShmId(os::PodId pod, os::ShmId virt, os::ShmId real);
+  void BindSemId(os::PodId pod, os::SemId virt, os::SemId real);
+
+ private:
+  os::Node& node_;
+  std::map<os::PodId, Pod> pods_;
+  os::PodId next_pod_id_ = 1;
+};
+
+}  // namespace cruz::pod

@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace cruz::sim {
+
+EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  return pending_.erase(id) != 0;
+}
+
+void EventQueue::SkipCancelled() const {
+  // Entries whose id is no longer in pending_ were cancelled; drop them.
+  while (!heap_.empty() &&
+         pending_.find(heap_.top().id) == pending_.end()) {
+    heap_.pop();
+  }
+}
+
+TimeNs EventQueue::NextTime() const {
+  SkipCancelled();
+  CRUZ_CHECK(!heap_.empty(), "NextTime on empty queue");
+  return heap_.top().when;
+}
+
+EventQueue::Callback EventQueue::PopNext(TimeNs* when) {
+  SkipCancelled();
+  CRUZ_CHECK(!heap_.empty(), "PopNext on empty queue");
+  // Move the callback out before running it: the callback may schedule or
+  // cancel other events, mutating the heap.
+  Entry entry{heap_.top().when, heap_.top().id,
+              std::move(const_cast<Entry&>(heap_.top()).cb)};
+  heap_.pop();
+  pending_.erase(entry.id);
+  *when = entry.when;
+  return std::move(entry.cb);
+}
+
+TimeNs EventQueue::RunNext() {
+  TimeNs when = 0;
+  Callback cb = PopNext(&when);
+  cb();
+  return when;
+}
+
+}  // namespace cruz::sim

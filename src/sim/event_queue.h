@@ -1,0 +1,70 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order so that ties are broken
+// deterministically. Cancellation is O(1) via tombstones: a cancelled event
+// stays in the heap but is skipped when it reaches the top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cruz::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute simulated time `when`. Returns an id usable
+  // with Cancel().
+  EventId ScheduleAt(TimeNs when, Callback cb);
+
+  // Cancels a pending event. Returns true iff the event was still pending
+  // (not yet fired and not already cancelled).
+  bool Cancel(EventId id);
+
+  bool IsPending(EventId id) const { return pending_.count(id) != 0; }
+
+  bool Empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  // Time of the earliest pending event. Queue must not be empty.
+  TimeNs NextTime() const;
+
+  // Pops the earliest pending event without running it; stores its time in
+  // *when. The caller runs the callback (after advancing its clock, so the
+  // callback observes the event's own timestamp as "now").
+  Callback PopNext(TimeNs* when);
+
+  // Pops and runs the earliest pending event; returns its time. Convenience
+  // for callers without a clock (unit tests).
+  TimeNs RunNext();
+
+ private:
+  struct Entry {
+    TimeNs when;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace cruz::sim

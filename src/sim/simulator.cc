@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace cruz::sim {
+namespace {
+
+// Hook for the logger: points at the most recently constructed live
+// Simulator so log lines carry simulated time. Single-threaded by design.
+Simulator* g_active = nullptr;
+
+std::uint64_t ActiveSimTime() {
+  return g_active ? g_active->Now() : ~0ull;
+}
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  g_active = this;
+  Logger::SetSimTimeProvider(&ActiveSimTime);
+}
+
+Simulator::~Simulator() {
+  if (g_active == this) {
+    g_active = nullptr;
+  }
+}
+
+EventId Simulator::Schedule(DurationNs delay, EventQueue::Callback cb) {
+  return queue_.ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(TimeNs when, EventQueue::Callback cb) {
+  CRUZ_CHECK(when >= now_, "ScheduleAt in the past");
+  return queue_.ScheduleAt(when, std::move(cb));
+}
+
+void Simulator::StepOne() {
+  TimeNs when = 0;
+  EventQueue::Callback cb = queue_.PopNext(&when);
+  now_ = when;  // advance the clock before the callback observes Now()
+  cb();
+  ++events_executed_;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty()) {
+    StepOne();
+  }
+}
+
+void Simulator::RunUntil(TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= deadline) {
+    StepOne();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulator::RunWhile(const std::function<bool()>& predicate,
+                         TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (predicate()) return true;
+    if (queue_.Empty() || queue_.NextTime() > deadline) return false;
+    StepOne();
+  }
+  return predicate();
+}
+
+}  // namespace cruz::sim

@@ -1,0 +1,64 @@
+// The Simulator owns simulated time, the event queue, and the root RNG.
+//
+// The whole cluster (nodes, network, protocols, workloads) hangs off one
+// Simulator instance and advances by draining events. Execution is strictly
+// single-threaded and deterministic: the same seed and the same schedule of
+// API calls produce bit-identical runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace cruz::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` after `delay` (relative) or at `when` (absolute; must not
+  // be in the past).
+  EventId Schedule(DurationNs delay, EventQueue::Callback cb);
+  EventId ScheduleAt(TimeNs when, EventQueue::Callback cb);
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the queue drains or `Stop()` is called.
+  void Run();
+  // Runs until simulated time reaches `deadline` (events at exactly
+  // `deadline` still fire), the queue drains, or Stop() is called.
+  void RunUntil(TimeNs deadline);
+  void RunFor(DurationNs duration) { RunUntil(now_ + duration); }
+  // Runs events one at a time while `predicate()` is false; returns true if
+  // the predicate became true, false if the queue drained or the optional
+  // deadline passed first.
+  bool RunWhile(const std::function<bool()>& predicate,
+                TimeNs deadline = ~0ull);
+
+  void Stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  // Pops the earliest event, advances the clock to its timestamp, runs it.
+  void StepOne();
+
+  TimeNs now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace cruz::sim

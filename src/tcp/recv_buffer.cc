@@ -1,0 +1,81 @@
+#include "tcp/recv_buffer.h"
+
+#include <algorithm>
+
+namespace cruz::tcp {
+
+bool RecvBuffer::Insert(Seq seq, cruz::ByteSpan data) {
+  if (data.empty()) return false;
+  Seq end = seq + static_cast<Seq>(data.size());
+
+  // Trim the prefix already received.
+  if (SeqLt(seq, rcv_nxt_)) {
+    if (SeqLe(end, rcv_nxt_)) return false;  // fully duplicate
+    std::uint32_t cut = SeqDiff(seq, rcv_nxt_);
+    data = data.subspan(cut);
+    seq = rcv_nxt_;
+  }
+  // Trim the suffix beyond the window.
+  Seq window_end = rcv_nxt_ + Window();
+  if (SeqGe(seq, window_end)) return false;
+  if (SeqGt(end, window_end)) {
+    data = data.subspan(0, SeqDiff(seq, window_end));
+  }
+  if (data.empty()) return false;
+
+  if (seq == rcv_nxt_) {
+    ordered_.insert(ordered_.end(), data.begin(), data.end());
+    rcv_nxt_ += static_cast<Seq>(data.size());
+    MergeOutOfOrder();
+    return true;
+  }
+  // Out of order: store unless an existing entry already covers it.
+  auto it = ooo_.find(seq);
+  if (it == ooo_.end() || it->second.size() < data.size()) {
+    if (it != ooo_.end()) ooo_bytes_ -= it->second.size();
+    ooo_bytes_ += data.size();
+    ooo_[seq] = cruz::Bytes(data.begin(), data.end());
+  }
+  return false;
+}
+
+void RecvBuffer::MergeOutOfOrder() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = ooo_.begin(); it != ooo_.end();) {
+      Seq seq = it->first;
+      Seq end = seq + static_cast<Seq>(it->second.size());
+      if (SeqLe(end, rcv_nxt_)) {
+        // Entirely stale.
+        ooo_bytes_ -= it->second.size();
+        it = ooo_.erase(it);
+        continue;
+      }
+      if (SeqLe(seq, rcv_nxt_)) {
+        std::uint32_t skip = SeqDiff(seq, rcv_nxt_);
+        ordered_.insert(ordered_.end(), it->second.begin() + skip,
+                        it->second.end());
+        rcv_nxt_ = end;
+        ooo_bytes_ -= it->second.size();
+        it = ooo_.erase(it);
+        progress = true;
+        continue;
+      }
+      ++it;
+    }
+  }
+}
+
+std::size_t RecvBuffer::Read(cruz::Bytes& out, std::size_t max, bool peek) {
+  std::size_t n = std::min(max, ordered_.size());
+  out.insert(out.end(), ordered_.begin(),
+             ordered_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (!peek) {
+    ordered_.erase(ordered_.begin(),
+                   ordered_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return n;
+}
+
+}  // namespace cruz::tcp

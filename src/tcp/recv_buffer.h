@@ -1,0 +1,63 @@
+// TCP receive buffer: in-order byte queue plus out-of-order reassembly.
+//
+// Incoming segments are trimmed against rcv_nxt and the advertised window,
+// contiguous data is appended to the in-order queue, and out-of-order
+// segments are parked in a reassembly map until the gap fills. Reads support
+// MSG_PEEK semantics — the checkpoint engine peeks the undelivered bytes
+// without consuming them (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.h"
+#include "tcp/seq.h"
+
+namespace cruz::tcp {
+
+class RecvBuffer {
+ public:
+  RecvBuffer(std::size_t capacity_bytes, Seq rcv_nxt)
+      : capacity_(capacity_bytes), rcv_nxt_(rcv_nxt) {}
+
+  // Ingests segment payload starting at `seq`. Data below rcv_nxt or beyond
+  // the window is trimmed. Returns true if rcv_nxt advanced.
+  bool Insert(Seq seq, cruz::ByteSpan data);
+
+  // Copies up to `max` readable bytes into `out`; consumes them unless
+  // `peek` is set. Returns the number of bytes copied.
+  std::size_t Read(cruz::Bytes& out, std::size_t max, bool peek);
+
+  std::size_t ReadableBytes() const { return ordered_.size(); }
+
+  // Appends all readable bytes to `out` without consuming them (MSG_PEEK).
+  void PeekAll(cruz::Bytes& out) const {
+    out.insert(out.end(), ordered_.begin(), ordered_.end());
+  }
+
+  // Receive window to advertise: free space for in-order data.
+  std::uint32_t Window() const {
+    std::size_t used = ordered_.size() + ooo_bytes_;
+    return used >= capacity_ ? 0
+                             : static_cast<std::uint32_t>(capacity_ - used);
+  }
+
+  Seq rcv_nxt() const { return rcv_nxt_; }
+
+  // Consumes the peer's FIN (advances rcv_nxt over the FIN's sequence slot).
+  void ConsumeFin() { ++rcv_nxt_; }
+
+ private:
+  void MergeOutOfOrder();
+
+  std::size_t capacity_;
+  Seq rcv_nxt_;
+  cruz::Bytes ordered_;                 // in-order, undelivered bytes
+  struct SeqLess {
+    bool operator()(Seq a, Seq b) const { return SeqLt(a, b); }
+  };
+  std::map<Seq, cruz::Bytes, SeqLess> ooo_;  // reassembly queue, by seq
+  std::size_t ooo_bytes_ = 0;
+};
+
+}  // namespace cruz::tcp

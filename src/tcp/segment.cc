@@ -1,0 +1,120 @@
+#include "tcp/segment.h"
+
+#include "common/error.h"
+#include "tcp/state.h"
+
+namespace cruz::tcp {
+
+const char* TcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint8_t kFlagFin = 0x01;
+constexpr std::uint8_t kFlagSyn = 0x02;
+constexpr std::uint8_t kFlagRst = 0x04;
+constexpr std::uint8_t kFlagPsh = 0x08;
+constexpr std::uint8_t kFlagAck = 0x10;
+}  // namespace
+
+cruz::Bytes TcpSegment::Encode() const {
+  cruz::ByteWriter w(WireSize());
+  w.PutU16(src_port);
+  w.PutU16(dst_port);
+  w.PutU32(seq);
+  w.PutU32(ack);
+  // Data offset in 32-bit words (5 without options, 6 with MSS option).
+  std::uint8_t data_offset = mss_option ? 6 : 5;
+  w.PutU8(static_cast<std::uint8_t>(data_offset << 4));
+  std::uint8_t flags = 0;
+  if (fin) flags |= kFlagFin;
+  if (syn) flags |= kFlagSyn;
+  if (rst) flags |= kFlagRst;
+  if (psh) flags |= kFlagPsh;
+  if (ack_flag) flags |= kFlagAck;
+  w.PutU8(flags);
+  w.PutU16(window);
+  w.PutU16(0);  // checksum: covered by the simulated IP layer
+  w.PutU16(0);  // urgent pointer (unused)
+  if (mss_option) {
+    w.PutU8(2);  // kind: MSS
+    w.PutU8(4);  // length
+    w.PutU16(mss_option);
+  }
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+TcpSegment TcpSegment::Decode(cruz::ByteSpan wire) {
+  cruz::ByteReader r(wire);
+  TcpSegment s;
+  s.src_port = r.GetU16();
+  s.dst_port = r.GetU16();
+  s.seq = r.GetU32();
+  s.ack = r.GetU32();
+  std::uint8_t data_offset = static_cast<std::uint8_t>(r.GetU8() >> 4);
+  if (data_offset < 5) {
+    throw cruz::CodecError("TCP data offset below minimum");
+  }
+  std::size_t header_bytes = static_cast<std::size_t>(data_offset) * 4;
+  if (header_bytes > wire.size()) {
+    throw cruz::CodecError("TCP header longer than segment");
+  }
+  std::uint8_t flags = r.GetU8();
+  s.fin = flags & kFlagFin;
+  s.syn = flags & kFlagSyn;
+  s.rst = flags & kFlagRst;
+  s.psh = flags & kFlagPsh;
+  s.ack_flag = flags & kFlagAck;
+  s.window = r.GetU16();
+  r.Skip(2);  // checksum
+  r.Skip(2);  // urgent pointer
+  // Parse options (only MSS is understood; others are skipped).
+  std::size_t options_end = header_bytes;
+  while (r.pos() < options_end) {
+    std::uint8_t kind = r.GetU8();
+    if (kind == 0) break;      // end of options
+    if (kind == 1) continue;   // NOP
+    std::uint8_t len = r.GetU8();
+    if (len < 2 || r.pos() + (len - 2) > options_end) {
+      throw cruz::CodecError("malformed TCP option");
+    }
+    if (kind == 2 && len == 4) {
+      s.mss_option = r.GetU16();
+    } else {
+      r.Skip(static_cast<std::size_t>(len) - 2);
+    }
+  }
+  if (r.pos() < options_end) r.Skip(options_end - r.pos());
+  s.payload = r.GetBytes(r.remaining());
+  return s;
+}
+
+std::string TcpSegment::ToString() const {
+  std::string flags;
+  if (syn) flags += "SYN,";
+  if (ack_flag) flags += "ACK,";
+  if (fin) flags += "FIN,";
+  if (rst) flags += "RST,";
+  if (psh) flags += "PSH,";
+  if (!flags.empty()) flags.pop_back();
+  return "[" + flags + " seq=" + std::to_string(seq) +
+         " ack=" + std::to_string(ack) +
+         " len=" + std::to_string(payload.size()) +
+         " win=" + std::to_string(window) + "]";
+}
+
+}  // namespace cruz::tcp

@@ -1,0 +1,52 @@
+// TCP segment wire format.
+//
+// A 20-byte fixed header plus an optional MSS option (on SYN segments),
+// matching the classic layout (RFC 793). Checksums are carried by the
+// simulated IPv4 layer; the TCP checksum field is reserved-zero here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "tcp/seq.h"
+
+namespace cruz::tcp {
+
+constexpr std::size_t kTcpHeaderSize = 20;
+constexpr std::size_t kTcpMssOptionSize = 4;
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Seq seq = 0;
+  Seq ack = 0;
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+  std::uint16_t window = 0;
+  std::uint16_t mss_option = 0;  // 0 = option absent; only valid with syn
+  cruz::Bytes payload;
+
+  // Sequence space this segment occupies (payload + SYN/FIN flags).
+  std::uint32_t SeqLen() const {
+    return static_cast<std::uint32_t>(payload.size()) + (syn ? 1u : 0u) +
+           (fin ? 1u : 0u);
+  }
+  Seq SeqEnd() const { return seq + SeqLen(); }
+
+  std::size_t WireSize() const {
+    return kTcpHeaderSize + (mss_option ? kTcpMssOptionSize : 0) +
+           payload.size();
+  }
+
+  cruz::Bytes Encode() const;
+  static TcpSegment Decode(cruz::ByteSpan wire);
+
+  // Compact human-readable form for logs: "[SYN,ACK seq=1 ack=2 len=0]".
+  std::string ToString() const;
+};
+
+}  // namespace cruz::tcp

@@ -1,0 +1,108 @@
+#include "tcp/send_buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cruz::tcp {
+
+std::size_t SendBuffer::Append(cruz::ByteSpan data, Seq write_seq) {
+  std::size_t accepted = 0;
+  std::size_t room = FreeBytes();
+  while (accepted < data.size() && room > 0) {
+    // Fill the unsealed tail segment first, as tcp_sendmsg does.
+    if (!segments_.empty() && !segments_.back().sealed &&
+        segments_.back().data.size() < mss_) {
+      SendSegment& tail = segments_.back();
+      std::size_t take = std::min({data.size() - accepted,
+                                   static_cast<std::size_t>(mss_) -
+                                       tail.data.size(),
+                                   room});
+      tail.data.insert(tail.data.end(), data.begin() + accepted,
+                       data.begin() + accepted + take);
+      accepted += take;
+      room -= take;
+      total_bytes_ += take;
+      continue;
+    }
+    std::size_t take =
+        std::min({data.size() - accepted, static_cast<std::size_t>(mss_),
+                  room});
+    SendSegment seg;
+    seg.seq = write_seq + static_cast<Seq>(accepted);
+    seg.data.assign(data.begin() + accepted, data.begin() + accepted + take);
+    segments_.push_back(std::move(seg));
+    accepted += take;
+    room -= take;
+    total_bytes_ += take;
+  }
+  return accepted;
+}
+
+void SendBuffer::AppendSealed(cruz::Bytes data, Seq seq) {
+  CRUZ_CHECK(segments_.empty() || segments_.back().end() == seq,
+             "AppendSealed: sequence gap in send buffer");
+  SendSegment seg;
+  seg.seq = seq;
+  total_bytes_ += data.size();
+  seg.data = std::move(data);
+  seg.sealed = true;
+  segments_.push_back(std::move(seg));
+}
+
+std::size_t SendBuffer::AckUpTo(Seq ack) {
+  std::size_t freed = 0;
+  while (!segments_.empty()) {
+    SendSegment& front = segments_.front();
+    if (SeqLe(front.end(), ack)) {
+      freed += front.data.size();
+      segments_.pop_front();
+    } else if (SeqLt(front.seq, ack)) {
+      // Partial ACK inside a segment: trim the acknowledged prefix.
+      std::uint32_t cut = SeqDiff(front.seq, ack);
+      front.data.erase(front.data.begin(), front.data.begin() + cut);
+      front.seq = ack;
+      freed += cut;
+      break;
+    } else {
+      break;
+    }
+  }
+  total_bytes_ -= freed;
+  return freed;
+}
+
+const SendSegment* SendBuffer::SegmentAt(Seq seq) const {
+  for (const SendSegment& seg : segments_) {
+    if (seg.seq == seq) return &seg;
+    if (SeqGt(seg.seq, seq)) break;
+  }
+  return nullptr;
+}
+
+void SendBuffer::Split(Seq seq, std::uint32_t first_len) {
+  if (first_len == 0) return;
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (it->seq != seq) continue;
+    if (it->data.size() <= first_len) return;
+    SendSegment tail;
+    tail.seq = seq + first_len;
+    tail.data.assign(it->data.begin() + first_len, it->data.end());
+    tail.sealed = it->sealed;
+    it->data.resize(first_len);
+    segments_.insert(std::next(it), std::move(tail));
+    return;
+  }
+}
+
+void SendBuffer::MarkTransmitted(Seq seq) {
+  for (SendSegment& seg : segments_) {
+    if (seg.seq == seq) {
+      seg.sealed = true;
+      ++seg.transmit_count;
+      return;
+    }
+  }
+}
+
+}  // namespace cruz::tcp

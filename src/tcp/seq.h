@@ -1,0 +1,22 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 modular comparisons).
+#pragma once
+
+#include <cstdint>
+
+namespace cruz::tcp {
+
+using Seq = std::uint32_t;
+
+constexpr bool SeqLt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool SeqLe(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool SeqGt(Seq a, Seq b) { return SeqLt(b, a); }
+constexpr bool SeqGe(Seq a, Seq b) { return SeqLe(b, a); }
+
+// Distance from a to b (b - a), meaningful when SeqLe(a, b).
+constexpr std::uint32_t SeqDiff(Seq a, Seq b) { return b - a; }
+
+}  // namespace cruz::tcp

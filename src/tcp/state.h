@@ -1,0 +1,33 @@
+// TCP connection states (RFC 793 §3.2).
+#pragma once
+
+namespace cruz::tcp {
+
+enum class TcpState : unsigned char {
+  kClosed = 0,
+  kListen,      // only used by the OS listener objects, not connections
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState s);
+
+// True if the connection can still carry application data from this end.
+constexpr bool CanSendData(TcpState s) {
+  return s == TcpState::kEstablished || s == TcpState::kCloseWait;
+}
+
+// True if the connection may still deliver received data to the app.
+constexpr bool CanReceiveData(TcpState s) {
+  return s == TcpState::kEstablished || s == TcpState::kFinWait1 ||
+         s == TcpState::kFinWait2;
+}
+
+}  // namespace cruz::tcp

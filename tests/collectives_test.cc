@@ -1,0 +1,141 @@
+// MPI-style ring all-reduce under checkpoint-restart: the paper's claim
+// that coordinated CR works "for general TCP-based applications
+// (including MPI and PVM applications) without any changes to
+// applications or libraries". A checkpoint may land in the middle of a
+// collective; the reduced sums must still verify on every rank.
+#include <gtest/gtest.h>
+
+#include "apps/collectives.h"
+#include "cruz/cluster.h"
+
+namespace cruz {
+namespace {
+
+struct AllreduceJob {
+  apps::AllreduceConfig base;
+  std::vector<os::PodId> pods;
+  std::vector<os::Pid> vpids;
+  std::vector<std::size_t> nodes;
+  std::vector<apps::AllreduceStatus> last;
+
+  static AllreduceJob Start(Cluster& c, std::uint32_t nranks,
+                            std::uint32_t iterations) {
+    apps::RegisterCollectivesProgram();
+    AllreduceJob job;
+    job.base.nranks = nranks;
+    job.base.iterations = iterations;
+    job.base.exit_when_done = false;
+    job.last.resize(nranks);
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      std::size_t node = r % c.num_nodes();
+      job.nodes.push_back(node);
+      job.pods.push_back(c.CreatePod(node, "ar" + std::to_string(r)));
+      job.base.peers.push_back(c.pods(node).Find(job.pods.back())->ip);
+    }
+    for (std::uint32_t r = 0; r < nranks; ++r) {
+      apps::AllreduceConfig cfg = job.base;
+      cfg.rank = r;
+      job.vpids.push_back(c.pods(job.nodes[r]).SpawnInPod(
+          job.pods[r], "cruz.allreduce_rank", apps::AllreduceArgs(cfg)));
+    }
+    return job;
+  }
+
+  apps::AllreduceStatus Status(Cluster& c, std::uint32_t r) {
+    os::Process* p = c.node(nodes[r]).os().FindProcess(
+        c.pods(nodes[r]).ToRealPid(pods[r], vpids[r]));
+    if (p != nullptr) last[r] = apps::ReadAllreduceStatus(*p);
+    return last[r];
+  }
+
+  bool AllDone(Cluster& c) {
+    for (std::uint32_t r = 0; r < base.nranks; ++r) {
+      if (Status(c, r).iterations < base.iterations) return false;
+    }
+    return true;
+  }
+};
+
+TEST(Allreduce, FourRanksVerifyEveryIteration) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  AllreduceJob job = AllreduceJob::Start(c, 4, 80);
+  ASSERT_TRUE(c.sim().RunWhile([&] { return job.AllDone(c); },
+                               c.sim().Now() + 600 * kSecond));
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(job.Status(c, r).mismatches, 0u) << "rank " << r;
+    EXPECT_EQ(job.Status(c, r).last_sum,
+              apps::AllreduceExpected(4, 79));
+  }
+}
+
+TEST(Allreduce, SingleRankDegenerateCase) {
+  Cluster c;
+  AllreduceJob job = AllreduceJob::Start(c, 1, 10);
+  ASSERT_TRUE(c.sim().RunWhile([&] { return job.AllDone(c); },
+                               c.sim().Now() + 60 * kSecond));
+  EXPECT_EQ(job.Status(c, 0).mismatches, 0u);
+}
+
+class AllreduceCheckpointProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceCheckpointProperty, CollectiveSurvivesCheckpointAnywhere) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 101 + 3);
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.seed = static_cast<std::uint64_t>(seed);
+  Cluster c(config);
+  AllreduceJob job = AllreduceJob::Start(c, 4, 120);
+
+  // Two checkpoints at random instants — likely mid-collective (each
+  // iteration involves 6 message steps across the ring) — with one
+  // kill-everything + coordinated restart in between.
+  for (int round = 0; round < 2; ++round) {
+    c.sim().RunFor(5 * kMillisecond + rng.NextBelow(80 * kMillisecond));
+    std::vector<coord::Coordinator::Member> members;
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      members.push_back(c.MemberFor(job.nodes[r], job.pods[r]));
+    }
+    coord::Coordinator::Options options;
+    options.image_prefix = "/ckpt/ar" + std::to_string(seed) + "_" +
+                           std::to_string(round);
+    options.incremental = rng.NextBernoulli(0.5);
+    auto stats = c.RunCheckpoint(members, options);
+    ASSERT_TRUE(stats.success) << "seed " << seed << " round " << round;
+
+    if (round == 0) {
+      // Total failure: all four pods die; restart each on the next node
+      // over (a full rotation of the placement).
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        c.pods(job.nodes[r]).DestroyPod(job.pods[r]);
+      }
+      c.sim().RunFor(rng.NextBelow(200 * kMillisecond));
+      std::vector<coord::Coordinator::Member> restart_members;
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        job.nodes[r] = (job.nodes[r] + 1) % 4;
+        restart_members.push_back(
+            c.MemberFor(job.nodes[r], job.pods[r]));
+      }
+      auto rs = c.RunRestart(restart_members, stats.image_paths, {});
+      ASSERT_TRUE(rs.success) << "seed " << seed;
+    }
+  }
+
+  ASSERT_TRUE(c.sim().RunWhile([&] { return job.AllDone(c); },
+                               c.sim().Now() + 600 * kSecond))
+      << "seed " << seed;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(job.Status(c, r).mismatches, 0u)
+        << "seed " << seed << " rank " << r;
+    EXPECT_EQ(job.Status(c, r).last_sum, apps::AllreduceExpected(4, 119))
+        << "seed " << seed << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllreduceCheckpointProperty,
+                         ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace cruz

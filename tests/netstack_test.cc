@@ -1,0 +1,290 @@
+// Direct tests of the per-node network stack: ARP resolution and retry,
+// netfilter hooks on both paths, loopback, broadcast, ephemeral ports,
+// UDP queueing and overflow, RST generation, and the serialized UDP
+// service processing model.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "os/node.h"
+#include "sim/simulator.h"
+#include "tcp/segment.h"
+
+namespace cruz::os {
+namespace {
+
+struct StackPair {
+  sim::Simulator sim{1};
+  net::EthernetSwitch ethernet{sim, net::LinkParams{}};
+  NetworkFileSystem fs;
+  Node a;
+  Node b;
+  StackPair()
+      : a(sim, ethernet, fs, "a", 1,
+          NodeConfig{.ip = net::Ipv4Address::Parse("10.0.0.1"), .netmask = net::Ipv4Address::FromOctets(255, 255, 255, 0), .tcp = {}}),
+        b(sim, ethernet, fs, "b", 2,
+          NodeConfig{.ip = net::Ipv4Address::Parse("10.0.0.2"), .netmask = net::Ipv4Address::FromOctets(255, 255, 255, 0), .tcp = {}}) {}
+
+  net::Ipv4Packet MakeUdp(net::Ipv4Address src, net::Ipv4Address dst,
+                          std::uint16_t sport, std::uint16_t dport,
+                          cruz::Bytes payload = {1, 2, 3}) {
+    net::UdpDatagram d;
+    d.src_port = sport;
+    d.dst_port = dport;
+    d.payload = std::move(payload);
+    net::Ipv4Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.proto = net::IpProto::kUdp;
+    pkt.payload = d.Encode();
+    return pkt;
+  }
+};
+
+TEST(NetStack, ArpResolvesOnFirstPacket) {
+  StackPair p;
+  SocketId sock = p.b.stack().CreateUdpSocket();
+  p.b.stack().UdpBind(sock, {p.b.ip(), 5000});
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  EXPECT_EQ(p.a.stack().arp_requests_sent(), 0u);
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{42});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(p.a.stack().arp_requests_sent(), 1u);
+  UdpSocketObject* rx = p.b.stack().FindUdp(sock);
+  ASSERT_EQ(rx->rx.size(), 1u);
+  EXPECT_EQ(rx->rx.front().second, (cruz::Bytes{42}));
+  // Second packet uses the cache: no new ARP request.
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{43});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(p.a.stack().arp_requests_sent(), 1u);
+  EXPECT_EQ(rx->rx.size(), 2u);
+}
+
+TEST(NetStack, ArpRetriesThenGivesUp) {
+  StackPair p;
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  // Nobody owns 10.0.0.77: requests go unanswered.
+  p.a.stack().UdpSendTo(sender, {net::Ipv4Address::Parse("10.0.0.77"), 1},
+                        cruz::Bytes{1});
+  p.sim.RunFor(5 * kSecond);
+  EXPECT_GE(p.a.stack().arp_requests_sent(), 2u);  // initial + retry
+  EXPECT_LE(p.a.stack().arp_requests_sent(), 4u);  // bounded
+}
+
+TEST(NetStack, OutputFilterDropsSilently) {
+  StackPair p;
+  SocketId sock = p.b.stack().CreateUdpSocket();
+  p.b.stack().UdpBind(sock, {p.b.ip(), 5000});
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  net::Ipv4Address blocked = p.b.ip();
+  std::uint64_t rule = p.a.stack().AddFilter(
+      [blocked](const net::Ipv4Packet& pkt) { return pkt.dst == blocked; });
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{1});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(p.b.stack().FindUdp(sock)->rx.empty());
+  EXPECT_EQ(p.a.stack().filtered_packets(), 1u);
+  p.a.stack().RemoveFilter(rule);
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{2});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(p.b.stack().FindUdp(sock)->rx.size(), 1u);
+}
+
+TEST(NetStack, InputFilterDropsBeforeDemux) {
+  StackPair p;
+  SocketId sock = p.b.stack().CreateUdpSocket();
+  p.b.stack().UdpBind(sock, {p.b.ip(), 5000});
+  net::Ipv4Address blocked = p.a.ip();
+  p.b.stack().AddFilter(
+      [blocked](const net::Ipv4Packet& pkt) { return pkt.src == blocked; });
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{1});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(p.b.stack().FindUdp(sock)->rx.empty());
+  EXPECT_GE(p.b.stack().filtered_packets(), 1u);
+}
+
+TEST(NetStack, LoopbackDeliversLocally) {
+  StackPair p;
+  SocketId rx = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(rx, {p.a.ip(), 5000});
+  SocketId tx = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(tx, {p.a.ip(), 6000});
+  std::uint64_t wire_before = p.a.nic().tx_frames();
+  p.a.stack().UdpSendTo(tx, {p.a.ip(), 5000}, cruz::Bytes{9});
+  p.sim.RunFor(kMillisecond);
+  EXPECT_EQ(p.a.stack().FindUdp(rx)->rx.size(), 1u);
+  EXPECT_EQ(p.a.nic().tx_frames(), wire_before);  // never hit the wire
+}
+
+TEST(NetStack, UdpQueueOverflowDropsExcess) {
+  StackPair p;
+  SocketId sock = p.b.stack().CreateUdpSocket();
+  p.b.stack().UdpBind(sock, {p.b.ip(), 5000});
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  for (int i = 0; i < 300; ++i) {
+    p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{1});
+  }
+  p.sim.RunFor(kSecond);
+  EXPECT_EQ(p.b.stack().FindUdp(sock)->rx.size(),
+            UdpSocketObject::kMaxQueue);
+}
+
+TEST(NetStack, UdpOversizedDatagramRejected) {
+  StackPair p;
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  cruz::Bytes big(2000, 0);
+  EXPECT_EQ(p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, big),
+            SysErr(CRUZ_EMSGSIZE));
+}
+
+TEST(NetStack, EphemeralPortsUnique) {
+  StackPair p;
+  std::set<std::uint16_t> ports;
+  for (int i = 0; i < 100; ++i) {
+    std::uint16_t port = p.a.stack().AllocateEphemeralPort(p.a.ip());
+    EXPECT_GE(port, 32768);
+    // Actually bind it so the next allocation must avoid it.
+    SocketId s = p.a.stack().CreateUdpSocket();
+    p.a.stack().UdpBind(s, {p.a.ip(), port});
+    EXPECT_TRUE(ports.insert(port).second) << "duplicate port " << port;
+  }
+}
+
+TEST(NetStack, BindConflictsRejected) {
+  StackPair p;
+  SocketId s1 = p.a.stack().CreateUdpSocket();
+  EXPECT_EQ(p.a.stack().UdpBind(s1, {p.a.ip(), 7000}), 0);
+  SocketId s2 = p.a.stack().CreateUdpSocket();
+  EXPECT_EQ(p.a.stack().UdpBind(s2, {p.a.ip(), 7000}),
+            SysErr(CRUZ_EADDRINUSE));
+  // TCP listener conflicts likewise.
+  SocketId t1 = p.a.stack().CreateTcpSocket();
+  EXPECT_EQ(p.a.stack().TcpBind(t1, {p.a.ip(), 7001}), 0);
+  EXPECT_EQ(p.a.stack().TcpListen(t1, 4), 0);
+  SocketId t2 = p.a.stack().CreateTcpSocket();
+  EXPECT_EQ(p.a.stack().TcpBind(t2, {p.a.ip(), 7001}),
+            SysErr(CRUZ_EADDRINUSE));
+  // Binding a foreign address is refused.
+  SocketId t3 = p.a.stack().CreateTcpSocket();
+  EXPECT_EQ(p.a.stack().TcpBind(t3, {p.b.ip(), 7002}),
+            SysErr(CRUZ_EADDRNOTAVAIL));
+}
+
+TEST(NetStack, SynToClosedPortGetsRst) {
+  StackPair p;
+  // Hand-craft a SYN from a to b's port 9 (nothing listening).
+  tcp::TcpSegment syn;
+  syn.src_port = 1234;
+  syn.dst_port = 9;
+  syn.seq = 1000;
+  syn.syn = true;
+  syn.window = 1000;
+  net::Ipv4Packet pkt;
+  pkt.src = p.a.ip();
+  pkt.dst = p.b.ip();
+  pkt.proto = net::IpProto::kTcp;
+  pkt.payload = syn.Encode();
+  bool got_rst = false;
+  // Observe the RST coming back on the wire.
+  p.ethernet.set_observer([&](std::size_t, cruz::ByteSpan wire) {
+    try {
+      auto frame = net::EthernetFrame::Decode(wire);
+      if (frame.ether_type != net::EtherType::kIpv4) return;
+      auto ip = net::Ipv4Packet::Decode(frame.payload);
+      if (ip.proto != net::IpProto::kTcp) return;
+      auto seg = tcp::TcpSegment::Decode(ip.payload);
+      if (seg.rst && ip.src == p.b.ip()) {
+        got_rst = true;
+        EXPECT_EQ(seg.ack, 1001u);  // SYN occupies one sequence number
+      }
+    } catch (const cruz::CodecError&) {
+    }
+  });
+  p.a.stack().SendIpv4(pkt);
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(got_rst);
+}
+
+TEST(NetStack, GratuitousArpUpdatesPeers) {
+  StackPair p;
+  // Prime a's cache with b's real MAC via normal traffic.
+  SocketId sock = p.b.stack().CreateUdpSocket();
+  p.b.stack().UdpBind(sock, {p.b.ip(), 5000});
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  p.a.stack().UdpSendTo(sender, {p.b.ip(), 5000}, cruz::Bytes{1});
+  p.sim.RunFor(10 * kMillisecond);
+  // Announce a different MAC for some address from b.
+  net::MacAddress new_mac = net::MacAddress::FromId(0xAB);
+  net::Ipv4Address moved = net::Ipv4Address::Parse("10.0.0.50");
+  p.b.stack().AnnounceAddress(moved, new_mac);
+  p.sim.RunFor(10 * kMillisecond);
+  // a can now send to the moved address without ARP resolution: the
+  // gratuitous announcement populated its cache.
+  std::uint64_t arps = p.a.stack().arp_requests_sent();
+  p.a.stack().UdpSendTo(sender, {moved, 5000}, cruz::Bytes{2});
+  p.sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(p.a.stack().arp_requests_sent(), arps);
+}
+
+TEST(NetStack, UdpServiceProcessingSerializes) {
+  StackPair p;
+  p.b.stack().set_udp_service_processing_cost(100 * kMicrosecond);
+  std::vector<TimeNs> deliveries;
+  p.b.stack().RegisterUdpService(
+      9000, [&](net::Endpoint, const cruz::Bytes&) {
+        deliveries.push_back(p.sim.Now());
+      });
+  SocketId sender = p.a.stack().CreateUdpSocket();
+  p.a.stack().UdpBind(sender, {p.a.ip(), 6000});
+  // Fire 4 datagrams back-to-back: they must drain 100 us apart.
+  for (int i = 0; i < 4; ++i) {
+    p.a.stack().UdpSendTo(sender, {p.b.ip(), 9000}, cruz::Bytes{1});
+  }
+  p.sim.RunFor(10 * kMillisecond);
+  ASSERT_EQ(deliveries.size(), 4u);
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GE(deliveries[i] - deliveries[i - 1], 100 * kMicrosecond);
+  }
+  p.b.stack().UnregisterUdpService(9000);
+}
+
+TEST(NetStack, RemoveInterfaceStopsOwnership) {
+  StackPair p;
+  net::Ipv4Address vip = net::Ipv4Address::Parse("10.0.0.80");
+  p.a.stack().AddInterface("vif1", net::MacAddress::FromId(0x80), vip,
+                           net::Ipv4Address::FromOctets(255, 255, 255, 0),
+                           true);
+  EXPECT_TRUE(p.a.stack().OwnsIp(vip));
+  EXPECT_NE(p.a.stack().FindInterfaceByName("vif1"), nullptr);
+  p.a.stack().RemoveInterface("vif1");
+  EXPECT_FALSE(p.a.stack().OwnsIp(vip));
+  EXPECT_EQ(p.a.stack().FindInterfaceByName("vif1"), nullptr);
+}
+
+TEST(NetStack, PurgeSocketsRemovesDemuxEntries) {
+  StackPair p;
+  net::Ipv4Address vip = net::Ipv4Address::Parse("10.0.0.80");
+  p.a.stack().AddInterface("vif1", net::MacAddress::FromId(0x80), vip,
+                           net::Ipv4Address::FromOctets(255, 255, 255, 0),
+                           true);
+  SocketId listener = p.a.stack().CreateTcpSocket();
+  ASSERT_EQ(p.a.stack().TcpBind(listener, {vip, 9000}), 0);
+  ASSERT_EQ(p.a.stack().TcpListen(listener, 4), 0);
+  SocketId udp = p.a.stack().CreateUdpSocket();
+  ASSERT_EQ(p.a.stack().UdpBind(udp, {vip, 9001}), 0);
+  p.a.stack().PurgeSocketsForIp(vip);
+  EXPECT_EQ(p.a.stack().FindTcp(listener), nullptr);
+  EXPECT_EQ(p.a.stack().FindUdp(udp), nullptr);
+  // The port is free again.
+  SocketId again = p.a.stack().CreateTcpSocket();
+  EXPECT_EQ(p.a.stack().TcpBind(again, {vip, 9000}), 0);
+}
+
+}  // namespace
+}  // namespace cruz::os

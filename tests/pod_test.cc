@@ -1,0 +1,184 @@
+// Tests for the pod virtualization layer: virtual pids, bind/connect
+// rewriting, the fake-MAC ioctl, VIF lifecycle, and IPC key namespacing.
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "cruz/cluster.h"
+
+namespace cruz::pod {
+namespace {
+
+TEST(Pod, CreateAssignsVifAndAddresses) {
+  Cluster c;
+  net::Ipv4Address ip = c.AllocatePodIp();
+  os::PodId id = c.CreatePod(0, "alpha", ip);
+  Pod* pod = c.pods(0).Find(id);
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->ip, ip);
+  EXPECT_TRUE(c.node(0).stack().OwnsIp(ip));
+  EXPECT_TRUE(pod->own_mac);
+  EXPECT_TRUE(c.node(0).nic().HasMacFilter(pod->vif_mac));
+  EXPECT_FALSE(pod->fake_mac.IsZero());
+  EXPECT_NE(pod->fake_mac, pod->vif_mac);
+}
+
+TEST(Pod, DestroyRemovesVifAndProcesses) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "alpha");
+  net::Ipv4Address ip = c.pods(0).Find(id)->ip;
+  c.pods(0).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  c.sim().RunFor(kMillisecond);
+  EXPECT_EQ(c.node(0).os().PodProcesses(id).size(), 1u);
+  c.pods(0).DestroyPod(id);
+  EXPECT_TRUE(c.node(0).os().PodProcesses(id).empty());
+  EXPECT_FALSE(c.node(0).stack().OwnsIp(ip));
+}
+
+TEST(Pod, VirtualPidsStartAtOne) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "alpha");
+  os::Pid v1 = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                    apps::CounterArgs(1u << 30));
+  os::Pid v2 = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                    apps::CounterArgs(1u << 30));
+  EXPECT_EQ(v1, 1);
+  EXPECT_EQ(v2, 2);
+  os::Pid real1 = c.pods(0).ToRealPid(id, v1);
+  EXPECT_GT(real1, 2);  // real pids live in the kernel's space
+  EXPECT_EQ(c.pods(0).ToVirtualPid(id, real1), v1);
+}
+
+TEST(Pod, GetpidReturnsVirtualPid) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "alpha");
+  os::Pid vpid = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                      apps::CounterArgs(1u << 30));
+  os::Pid real = c.pods(0).ToRealPid(id, vpid);
+  os::Process* proc = c.node(0).os().FindProcess(real);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(c.node(0).os().SysGetpid(*proc), vpid);
+}
+
+TEST(Pod, KillByVirtualPidConfinedToPod) {
+  Cluster c;
+  os::PodId a = c.CreatePod(0, "a");
+  os::PodId b = c.CreatePod(0, "b");
+  os::Pid va = c.pods(0).SpawnInPod(a, "cruz.counter",
+                                    apps::CounterArgs(1u << 30));
+  os::Pid vb = c.pods(0).SpawnInPod(b, "cruz.counter",
+                                    apps::CounterArgs(1u << 30));
+  EXPECT_EQ(va, 1);
+  EXPECT_EQ(vb, 1);  // both pods have a private pid space
+  os::Process* pa =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(a, va));
+  ASSERT_NE(pa, nullptr);
+  // Pod A's process kills "pid 1": that is its own pod's pid 1, never
+  // pod B's.
+  EXPECT_EQ(c.node(0).os().SysKill(*pa, va, os::kSigKill), 0);
+  EXPECT_EQ(c.pods(0).ToRealPid(a, va), os::kNoPid);
+  EXPECT_NE(c.pods(0).ToRealPid(b, vb), os::kNoPid);
+}
+
+TEST(Pod, BindRewrittenToPodAddress) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "srv");
+  net::Ipv4Address pod_ip = c.pods(0).Find(id)->ip;
+  c.pods(0).SpawnInPod(id, "cruz.echo_server", apps::EchoServerArgs(9000));
+  c.sim().RunFor(10 * kMillisecond);
+  // The server asked for ANY, but Zap's wrapper bound it to the pod IP:
+  // connecting to the pod address succeeds...
+  os::Pid client = c.node(1).os().Spawn(
+      "cruz.echo_client",
+      apps::EchoClientArgs(pod_ip, 9000, 2, 64, 0));
+  int code = -1;
+  c.node(1).os().set_process_exit_hook(
+      [&](os::Pid p, int exit_code) { if (p == client) code = exit_code; });
+  c.sim().RunFor(5 * kSecond);
+  EXPECT_EQ(code, 0);
+  // ...while the node's own address does not reach the pod's listener.
+  os::Pid client2 = c.node(1).os().Spawn(
+      "cruz.echo_client",
+      apps::EchoClientArgs(c.node(0).ip(), 9000, 1, 64, 0));
+  int code2 = -1;
+  c.node(1).os().set_process_exit_hook(
+      [&](os::Pid p, int exit_code) { if (p == client2) code2 = exit_code; });
+  c.sim().RunFor(5 * kSecond);
+  EXPECT_EQ(code2, CRUZ_ECONNREFUSED);
+}
+
+TEST(Pod, FakeMacReturnedByIoctl) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "alpha");
+  os::Pid vpid = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                      apps::CounterArgs(1u << 30));
+  os::Process* proc =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, vpid));
+  ASSERT_NE(proc, nullptr);
+  net::MacAddress mac;
+  EXPECT_EQ(c.node(0).os().SysGetIfHwAddr(*proc, "eth0", &mac), 0);
+  EXPECT_EQ(mac, c.pods(0).Find(id)->fake_mac);
+  // Outside a pod, the ioctl reports the real hardware address.
+  os::Pid plain = c.node(0).os().Spawn("cruz.counter",
+                                       apps::CounterArgs(1u << 30));
+  os::Process* pproc = c.node(0).os().FindProcess(plain);
+  net::MacAddress real_mac;
+  EXPECT_EQ(c.node(0).os().SysGetIfHwAddr(*pproc, "eth0", &real_mac), 0);
+  EXPECT_EQ(real_mac, c.node(0).nic().primary_mac());
+}
+
+TEST(Pod, IpcKeysNamespaced) {
+  Cluster c;
+  os::PodId a = c.CreatePod(0, "a");
+  os::PodId b = c.CreatePod(0, "b");
+  EXPECT_NE(c.pods(0).VirtualizeIpcKey(a, 42),
+            c.pods(0).VirtualizeIpcKey(b, 42));
+  EXPECT_NE(c.pods(0).VirtualizeIpcKey(a, 42), 42);
+}
+
+TEST(Pod, UniqueIdsAcrossNodes) {
+  Cluster c;
+  os::PodId a = c.CreatePod(0, "a");
+  os::PodId b = c.CreatePod(1, "b");
+  EXPECT_NE(a, b);
+}
+
+TEST(Pod, SharedMacFallback) {
+  ClusterConfig config;
+  config.node_template.nic_supports_multiple_macs = false;
+  Cluster c(config);
+  os::PodId id = c.CreatePod(0, "alpha");
+  Pod* pod = c.pods(0).Find(id);
+  EXPECT_FALSE(pod->own_mac);
+  EXPECT_EQ(pod->vif_mac, c.node(0).nic().primary_mac());
+  // Fake MAC still exists and differs from the shared physical MAC.
+  EXPECT_NE(pod->fake_mac, pod->vif_mac);
+}
+
+TEST(Pod, DhcpLeaseViaFakeMac) {
+  ClusterConfig config;
+  config.with_dhcp_server = true;
+  Cluster c(config);
+  // A pod-to-be on node2 asks DHCP for an address using its fake MAC.
+  net::MacAddress fake = net::MacAddress::FromId(0xFA0000FF);
+  net::Ipv4Address leased;
+  os::DhcpClient::Request(c.node(1).stack(), fake,
+                          [&](net::Ipv4Address ip) { leased = ip; });
+  c.sim().RunFor(kSecond);
+  ASSERT_FALSE(leased.IsZero());
+  pod::PodCreateOptions options;
+  options.name = "dyn";
+  options.ip = leased;
+  options.fake_mac = fake;
+  os::PodId id = c.pods(1).CreatePod(options);
+  EXPECT_TRUE(c.node(1).stack().OwnsIp(leased));
+  // After "migration" to node1, the same fake MAC renews the same lease.
+  net::Ipv4Address renewed;
+  os::DhcpClient::Request(c.node(0).stack(), fake,
+                          [&](net::Ipv4Address ip) { renewed = ip; });
+  c.sim().RunFor(kSecond);
+  EXPECT_EQ(renewed, leased);
+  (void)id;
+}
+
+}  // namespace
+}  // namespace cruz::pod

@@ -1,0 +1,229 @@
+// Fault-tolerance of the coordination protocol itself (the paper notes
+// the Fig. 2 algorithm "can be extended in a straightforward way to
+// tolerate Coordinator and Agent failures"): lossy control channels,
+// duplicated requests, and a randomized chaos sequence of checkpoint /
+// kill / restart operations against a verified stream.
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "coord/agent.h"
+#include "cruz/cluster.h"
+
+namespace cruz::coord {
+namespace {
+
+// Makes the coordinator's own link lossy: requests and replies between
+// the coordinator and the agents are dropped with probability p, while
+// the application nodes' links stay clean.
+void MakeCoordinatorLinkLossy(Cluster& c, double p) {
+  // Ports are assigned in attach order: app nodes first, coordinator last.
+  net::LinkParams lossy;
+  lossy.loss_probability = p;
+  c.ethernet().SetLinkParams(c.num_nodes(), lossy);
+}
+
+TEST(Robustness, CheckpointSurvivesLossyControlChannel) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  MakeCoordinatorLinkLossy(c, 0.4);
+
+  os::PodId rp = c.CreatePod(1, "recv");
+  net::Ipv4Address rip = c.pods(1).Find(rp)->ip;
+  os::Pid rv = c.pods(1).SpawnInPod(rp, "cruz.stream_receiver",
+                                    apps::StreamReceiverArgs(9100));
+  c.sim().RunFor(5 * kMillisecond);
+  os::PodId sp = c.CreatePod(0, "send");
+  c.pods(0).SpawnInPod(sp, "cruz.stream_sender",
+                       apps::StreamSenderArgs(rip, 9100, 2 * kMiB));
+  apps::StreamStatus last;
+  bool receiver_exited = false;
+  c.node(1).os().set_process_exit_hook([&](os::Pid p, int) {
+    os::Process* proc = c.node(1).os().FindProcess(p);
+    if (proc != nullptr && proc->pod() == rp) {
+      last = apps::ReadStreamStatus(*proc);
+      receiver_exited = true;
+    }
+  });
+  auto status = [&] {
+    os::Process* p =
+        c.node(1).os().FindProcess(c.pods(1).ToRealPid(rp, rv));
+    if (p != nullptr) last = apps::ReadStreamStatus(*p);
+    return last;
+  };
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] { return status().bytes > 256 * 1024; },
+      c.sim().Now() + 60 * kSecond));
+
+  // Despite 40% control-message loss, retransmission completes the
+  // two-phase protocol (several rounds may be needed).
+  coord::Coordinator::Options options;
+  options.retransmit_interval = 500 * kMillisecond;
+  options.timeout = 60 * kSecond;
+  auto stats = c.RunCheckpoint(
+      {c.MemberFor(0, sp), c.MemberFor(1, rp)}, options);
+  EXPECT_TRUE(stats.success);
+
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] { return receiver_exited || status().bytes >= 2 * kMiB; },
+      c.sim().Now() + 600 * kSecond));
+  EXPECT_EQ(last.bytes, 2 * kMiB);
+  EXPECT_EQ(last.mismatches, 0u);
+}
+
+TEST(Robustness, RestartSurvivesLossyControlChannel) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster c(config);
+
+  os::PodId id = c.CreatePod(0, "job");
+  c.pods(0).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  c.sim().RunFor(20 * kMillisecond);
+  auto ck = c.RunCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(ck.success);
+  c.pods(0).DestroyPod(id);
+
+  MakeCoordinatorLinkLossy(c, 0.4);
+  coord::Coordinator::Options options;
+  options.retransmit_interval = 500 * kMillisecond;
+  options.timeout = 60 * kSecond;
+  auto rs = c.RunRestart({c.MemberFor(2, id)}, ck.image_paths, options);
+  EXPECT_TRUE(rs.success);
+  os::Pid real = c.pods(2).ToRealPid(id, 1);
+  ASSERT_NE(real, os::kNoPid);
+  os::Process* proc = c.node(2).os().FindProcess(real);
+  ASSERT_NE(proc, nullptr);
+  std::uint64_t before = apps::ReadCounter(*proc);
+  c.sim().RunFor(20 * kMillisecond);
+  EXPECT_GT(apps::ReadCounter(*proc), before);  // actually resumed
+}
+
+TEST(Robustness, DuplicateRequestsAreIdempotent) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = c.CreatePod(0, "job");
+  c.pods(0).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  c.sim().RunFor(10 * kMillisecond);
+  auto stats = c.RunCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(stats.success);
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 1u);
+
+  // Replay the original request verbatim (a retransmission arriving after
+  // completion): the agent must not checkpoint again.
+  CoordMessage dup;
+  dup.type = MsgType::kCheckpoint;
+  dup.op_id = stats.op_id;
+  dup.pod_id = id;
+  dup.image_path = stats.image_paths[0];
+  net::UdpDatagram dgram;
+  dgram.src_port = kCoordinatorPort;
+  dgram.dst_port = kAgentPort;
+  dgram.payload = dup.Encode();
+  net::Ipv4Packet pkt;
+  pkt.src = c.coordinator_node().ip();
+  pkt.dst = c.node(0).ip();
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  c.coordinator_node().stack().SendIpv4(pkt);
+  c.sim().RunFor(kSecond);
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 1u);
+  // The pod is still live and running.
+  os::Pid real = c.pods(0).ToRealPid(id, 1);
+  os::Process* proc = c.node(0).os().FindProcess(real);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->state(), os::ProcessState::kLive);
+}
+
+// Chaos: a verified stream job runs while a random sequence of
+// checkpoint-and-continue and kill-and-restart operations (with random
+// target nodes and random incremental/cow flags) is applied. The stream
+// must finish with zero corruption regardless of the sequence.
+class ChaosSequence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosSequence, StreamAlwaysIntact) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 5);
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.seed = static_cast<std::uint64_t>(seed);
+  Cluster c(config);
+
+  const std::uint64_t total = 3 * kMiB;
+  std::size_t recv_node = 1, send_node = 0;
+  os::PodId rp = c.CreatePod(recv_node, "recv");
+  net::Ipv4Address rip = c.pods(recv_node).Find(rp)->ip;
+  os::Pid rv = c.pods(recv_node).SpawnInPod(
+      rp, "cruz.stream_receiver", apps::StreamReceiverArgs(9100));
+  c.sim().RunFor(5 * kMillisecond);
+  os::PodId sp = c.CreatePod(send_node, "send");
+  c.pods(send_node).SpawnInPod(sp, "cruz.stream_sender",
+                               apps::StreamSenderArgs(rip, 9100, total));
+
+  apps::StreamStatus last;
+  bool receiver_exited = false;
+  for (std::size_t n = 0; n < c.num_nodes(); ++n) {
+    c.node(n).os().set_process_exit_hook([&, n](os::Pid p, int) {
+      os::Process* proc = c.node(n).os().FindProcess(p);
+      if (proc != nullptr && proc->pod() == rp &&
+          proc->program_name() == "cruz.stream_receiver") {
+        last = apps::ReadStreamStatus(*proc);
+        receiver_exited = true;
+      }
+    });
+  }
+  auto status = [&] {
+    os::Process* p = c.node(recv_node).os().FindProcess(
+        c.pods(recv_node).ToRealPid(rp, rv));
+    if (p != nullptr) last = apps::ReadStreamStatus(*p);
+    return last;
+  };
+
+  std::vector<std::string> images;
+  for (int op = 0; op < 5 && status().bytes < total; ++op) {
+    // Random progress before the next disturbance.
+    c.sim().RunFor(20 * kMillisecond + rng.NextBelow(150 * kMillisecond));
+    coord::Coordinator::Options options;
+    options.image_prefix = "/ckpt/chaos" + std::to_string(seed) + "_" +
+                           std::to_string(op);
+    options.incremental = rng.NextBernoulli(0.5);
+    options.copy_on_write = rng.NextBernoulli(0.5);
+    if (options.copy_on_write) {
+      options.variant = ProtocolVariant::kOptimized;
+    }
+    auto stats = c.RunCheckpoint(
+        {c.MemberFor(send_node, sp), c.MemberFor(recv_node, rp)}, options);
+    ASSERT_TRUE(stats.success) << "seed " << seed << " op " << op;
+    images = stats.image_paths;
+
+    if (rng.NextBernoulli(0.5)) {
+      // Kill both pods and restart them on random (distinct) nodes.
+      c.pods(send_node).DestroyPod(sp);
+      c.pods(recv_node).DestroyPod(rp);
+      c.sim().RunFor(rng.NextBelow(300 * kMillisecond));
+      // One pod per node per coordinated operation (the paper's model:
+      // one agent serves one pod per op), so pick distinct nodes.
+      std::size_t new_send = rng.NextBelow(4);
+      std::size_t new_recv =
+          (new_send + 1 + rng.NextBelow(3)) % 4;
+      auto rs = c.RunRestart({c.MemberFor(new_send, sp),
+                              c.MemberFor(new_recv, rp)},
+                             images, {});
+      ASSERT_TRUE(rs.success) << "seed " << seed << " op " << op;
+      send_node = new_send;
+      recv_node = new_recv;
+    }
+  }
+
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] { return receiver_exited || status().bytes >= total; },
+      c.sim().Now() + 1200 * kSecond))
+      << "seed " << seed << " bytes=" << last.bytes;
+  EXPECT_EQ(last.bytes, total) << "seed " << seed;
+  EXPECT_EQ(last.mismatches, 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSequence, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cruz::coord

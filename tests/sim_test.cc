@@ -1,0 +1,188 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace cruz::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBrokenByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double cancel is a no-op
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.ScheduleAt(10, [] {});
+  q.RunNext();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(999999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.ScheduleAt(10, [] {});
+  q.ScheduleAt(20, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 20u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<TimeNs> fired;
+  q.ScheduleAt(10, [&] {
+    fired.push_back(10);
+    q.ScheduleAt(15, [&] { fired.push_back(15); });
+  });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(EventQueue, CallbackMayCancelLaterEvent) {
+  EventQueue q;
+  bool later_fired = false;
+  EventId later = q.ScheduleAt(20, [&] { later_fired = true; });
+  q.ScheduleAt(10, [&] { q.Cancel(later); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_FALSE(later_fired);
+}
+
+TEST(Simulator, TimeAdvancesWithEvents) {
+  Simulator sim;
+  TimeNs seen = 0;
+  sim.Schedule(100, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { ++fired; });
+  sim.Schedule(200, [&] { ++fired; });
+  sim.Schedule(300, [&] { ++fired; });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 200u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.Schedule(50, [] {});
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 200u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // resumes with remaining events
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWhilePredicate) {
+  Simulator sim;
+  int counter = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<DurationNs>(i) * 10, [&] { ++counter; });
+  }
+  bool ok = sim.RunWhile([&] { return counter >= 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(counter, 4);
+  EXPECT_EQ(sim.Now(), 40u);
+}
+
+TEST(Simulator, RunWhileReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  bool ok = sim.RunWhile([] { return false; });
+  EXPECT_FALSE(ok);
+}
+
+TEST(Simulator, RunWhileRespectsDeadline) {
+  Simulator sim;
+  int counter = 0;
+  sim.Schedule(10, [&] { ++counter; });
+  sim.Schedule(1000, [&] { ++counter; });
+  bool ok = sim.RunWhile([&] { return counter >= 2; }, 100);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(Simulator, ScheduleInPastThrows) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(50, [] {}), cruz::InvariantError);
+}
+
+TEST(Simulator, DeterministicEventCount) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::uint64_t acc = 0;
+    // A self-rescheduling event with RNG-dependent delays.
+    std::function<void()> tick = [&] {
+      acc ^= sim.rng().NextU64();
+      if (sim.Now() < 10000) {
+        sim.Schedule(1 + sim.rng().NextBelow(100), tick);
+      }
+    };
+    sim.Schedule(0, tick);
+    sim.Run();
+    return std::pair(acc, sim.events_executed());
+  };
+  auto [a1, n1] = run(42);
+  auto [a2, n2] = run(42);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(n1, n2);
+}
+
+}  // namespace
+}  // namespace cruz::sim
