@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_optimized"
+  "../bench/bench_fig4_optimized.pdb"
+  "CMakeFiles/bench_fig4_optimized.dir/bench_fig4_optimized.cc.o"
+  "CMakeFiles/bench_fig4_optimized.dir/bench_fig4_optimized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_tcp_streaming"
+  "../bench/bench_fig6_tcp_streaming.pdb"
+  "CMakeFiles/bench_fig6_tcp_streaming.dir/bench_fig6_tcp_streaming.cc.o"
+  "CMakeFiles/bench_fig6_tcp_streaming.dir/bench_fig6_tcp_streaming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tcp_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

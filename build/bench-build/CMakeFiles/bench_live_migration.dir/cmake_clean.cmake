@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_live_migration"
+  "../bench/bench_live_migration.pdb"
+  "CMakeFiles/bench_live_migration.dir/bench_live_migration.cc.o"
+  "CMakeFiles/bench_live_migration.dir/bench_live_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_message_complexity"
+  "../bench/bench_message_complexity.pdb"
+  "CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cc.o"
+  "CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

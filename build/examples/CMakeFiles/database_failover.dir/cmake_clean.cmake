@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_failover.dir/database_failover.cpp.o"
+  "CMakeFiles/database_failover.dir/database_failover.cpp.o.d"
+  "database_failover"
+  "database_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_server.dir/migrate_server.cpp.o"
+  "CMakeFiles/migrate_server.dir/migrate_server.cpp.o.d"
+  "migrate_server"
+  "migrate_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

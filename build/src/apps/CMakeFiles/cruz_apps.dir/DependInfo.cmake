@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/collectives.cc" "src/apps/CMakeFiles/cruz_apps.dir/collectives.cc.o" "gcc" "src/apps/CMakeFiles/cruz_apps.dir/collectives.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/apps/CMakeFiles/cruz_apps.dir/kvstore.cc.o" "gcc" "src/apps/CMakeFiles/cruz_apps.dir/kvstore.cc.o.d"
+  "/root/repo/src/apps/minimsg.cc" "src/apps/CMakeFiles/cruz_apps.dir/minimsg.cc.o" "gcc" "src/apps/CMakeFiles/cruz_apps.dir/minimsg.cc.o.d"
+  "/root/repo/src/apps/programs.cc" "src/apps/CMakeFiles/cruz_apps.dir/programs.cc.o" "gcc" "src/apps/CMakeFiles/cruz_apps.dir/programs.cc.o.d"
+  "/root/repo/src/apps/slm.cc" "src/apps/CMakeFiles/cruz_apps.dir/slm.cc.o" "gcc" "src/apps/CMakeFiles/cruz_apps.dir/slm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/cruz_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/cruz_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cruz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cruz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cruz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

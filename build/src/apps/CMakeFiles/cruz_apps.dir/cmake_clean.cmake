@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_apps.dir/collectives.cc.o"
+  "CMakeFiles/cruz_apps.dir/collectives.cc.o.d"
+  "CMakeFiles/cruz_apps.dir/kvstore.cc.o"
+  "CMakeFiles/cruz_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/cruz_apps.dir/minimsg.cc.o"
+  "CMakeFiles/cruz_apps.dir/minimsg.cc.o.d"
+  "CMakeFiles/cruz_apps.dir/programs.cc.o"
+  "CMakeFiles/cruz_apps.dir/programs.cc.o.d"
+  "CMakeFiles/cruz_apps.dir/slm.cc.o"
+  "CMakeFiles/cruz_apps.dir/slm.cc.o.d"
+  "libcruz_apps.a"
+  "libcruz_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

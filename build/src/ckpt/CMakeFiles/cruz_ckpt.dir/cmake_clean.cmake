@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_ckpt.dir/engine.cc.o"
+  "CMakeFiles/cruz_ckpt.dir/engine.cc.o.d"
+  "CMakeFiles/cruz_ckpt.dir/image.cc.o"
+  "CMakeFiles/cruz_ckpt.dir/image.cc.o.d"
+  "CMakeFiles/cruz_ckpt.dir/live_migrate.cc.o"
+  "CMakeFiles/cruz_ckpt.dir/live_migrate.cc.o.d"
+  "libcruz_ckpt.a"
+  "libcruz_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_common.dir/crc32.cc.o"
+  "CMakeFiles/cruz_common.dir/crc32.cc.o.d"
+  "CMakeFiles/cruz_common.dir/log.cc.o"
+  "CMakeFiles/cruz_common.dir/log.cc.o.d"
+  "CMakeFiles/cruz_common.dir/rng.cc.o"
+  "CMakeFiles/cruz_common.dir/rng.cc.o.d"
+  "CMakeFiles/cruz_common.dir/sysresult.cc.o"
+  "CMakeFiles/cruz_common.dir/sysresult.cc.o.d"
+  "libcruz_common.a"
+  "libcruz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

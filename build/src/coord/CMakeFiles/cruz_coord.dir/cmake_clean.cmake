@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_coord.dir/agent.cc.o"
+  "CMakeFiles/cruz_coord.dir/agent.cc.o.d"
+  "CMakeFiles/cruz_coord.dir/coordinator.cc.o"
+  "CMakeFiles/cruz_coord.dir/coordinator.cc.o.d"
+  "CMakeFiles/cruz_coord.dir/message.cc.o"
+  "CMakeFiles/cruz_coord.dir/message.cc.o.d"
+  "libcruz_coord.a"
+  "libcruz_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

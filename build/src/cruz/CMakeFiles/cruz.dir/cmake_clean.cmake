@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz.dir/cluster.cc.o"
+  "CMakeFiles/cruz.dir/cluster.cc.o.d"
+  "CMakeFiles/cruz.dir/scheduler.cc.o"
+  "CMakeFiles/cruz.dir/scheduler.cc.o.d"
+  "libcruz.a"
+  "libcruz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

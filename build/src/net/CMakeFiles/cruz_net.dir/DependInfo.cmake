@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/cruz_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/cruz_net.dir/address.cc.o.d"
+  "/root/repo/src/net/ethernet_switch.cc" "src/net/CMakeFiles/cruz_net.dir/ethernet_switch.cc.o" "gcc" "src/net/CMakeFiles/cruz_net.dir/ethernet_switch.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/cruz_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/cruz_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/cruz_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/cruz_net.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cruz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cruz_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

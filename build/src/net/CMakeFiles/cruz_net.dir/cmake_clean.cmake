@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_net.dir/address.cc.o"
+  "CMakeFiles/cruz_net.dir/address.cc.o.d"
+  "CMakeFiles/cruz_net.dir/ethernet_switch.cc.o"
+  "CMakeFiles/cruz_net.dir/ethernet_switch.cc.o.d"
+  "CMakeFiles/cruz_net.dir/nic.cc.o"
+  "CMakeFiles/cruz_net.dir/nic.cc.o.d"
+  "CMakeFiles/cruz_net.dir/packet.cc.o"
+  "CMakeFiles/cruz_net.dir/packet.cc.o.d"
+  "libcruz_net.a"
+  "libcruz_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/dhcp.cc" "src/os/CMakeFiles/cruz_os.dir/dhcp.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/dhcp.cc.o.d"
+  "/root/repo/src/os/memory.cc" "src/os/CMakeFiles/cruz_os.dir/memory.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/memory.cc.o.d"
+  "/root/repo/src/os/netfs.cc" "src/os/CMakeFiles/cruz_os.dir/netfs.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/netfs.cc.o.d"
+  "/root/repo/src/os/netstack.cc" "src/os/CMakeFiles/cruz_os.dir/netstack.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/netstack.cc.o.d"
+  "/root/repo/src/os/node.cc" "src/os/CMakeFiles/cruz_os.dir/node.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/node.cc.o.d"
+  "/root/repo/src/os/os.cc" "src/os/CMakeFiles/cruz_os.dir/os.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/os.cc.o.d"
+  "/root/repo/src/os/pipe.cc" "src/os/CMakeFiles/cruz_os.dir/pipe.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/pipe.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/os/CMakeFiles/cruz_os.dir/process.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/process.cc.o.d"
+  "/root/repo/src/os/sysv_ipc.cc" "src/os/CMakeFiles/cruz_os.dir/sysv_ipc.cc.o" "gcc" "src/os/CMakeFiles/cruz_os.dir/sysv_ipc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cruz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cruz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cruz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/cruz_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_os.dir/dhcp.cc.o"
+  "CMakeFiles/cruz_os.dir/dhcp.cc.o.d"
+  "CMakeFiles/cruz_os.dir/memory.cc.o"
+  "CMakeFiles/cruz_os.dir/memory.cc.o.d"
+  "CMakeFiles/cruz_os.dir/netfs.cc.o"
+  "CMakeFiles/cruz_os.dir/netfs.cc.o.d"
+  "CMakeFiles/cruz_os.dir/netstack.cc.o"
+  "CMakeFiles/cruz_os.dir/netstack.cc.o.d"
+  "CMakeFiles/cruz_os.dir/node.cc.o"
+  "CMakeFiles/cruz_os.dir/node.cc.o.d"
+  "CMakeFiles/cruz_os.dir/os.cc.o"
+  "CMakeFiles/cruz_os.dir/os.cc.o.d"
+  "CMakeFiles/cruz_os.dir/pipe.cc.o"
+  "CMakeFiles/cruz_os.dir/pipe.cc.o.d"
+  "CMakeFiles/cruz_os.dir/process.cc.o"
+  "CMakeFiles/cruz_os.dir/process.cc.o.d"
+  "CMakeFiles/cruz_os.dir/sysv_ipc.cc.o"
+  "CMakeFiles/cruz_os.dir/sysv_ipc.cc.o.d"
+  "libcruz_os.a"
+  "libcruz_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_pod.dir/pod.cc.o"
+  "CMakeFiles/cruz_pod.dir/pod.cc.o.d"
+  "libcruz_pod.a"
+  "libcruz_pod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_pod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cruz_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cruz_sim.dir/simulator.cc.o"
+  "CMakeFiles/cruz_sim.dir/simulator.cc.o.d"
+  "libcruz_sim.a"
+  "libcruz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruz_tcp.dir/connection.cc.o"
+  "CMakeFiles/cruz_tcp.dir/connection.cc.o.d"
+  "CMakeFiles/cruz_tcp.dir/recv_buffer.cc.o"
+  "CMakeFiles/cruz_tcp.dir/recv_buffer.cc.o.d"
+  "CMakeFiles/cruz_tcp.dir/segment.cc.o"
+  "CMakeFiles/cruz_tcp.dir/segment.cc.o.d"
+  "CMakeFiles/cruz_tcp.dir/send_buffer.cc.o"
+  "CMakeFiles/cruz_tcp.dir/send_buffer.cc.o.d"
+  "libcruz_tcp.a"
+  "libcruz_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruz_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcruz_tcp.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ckpt_test.cc" "tests/CMakeFiles/ckpt_test.dir/ckpt_test.cc.o" "gcc" "tests/CMakeFiles/ckpt_test.dir/ckpt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cruz/CMakeFiles/cruz.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/cruz_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/cruz_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pod/CMakeFiles/cruz_pod.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cruz_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cruz_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/cruz_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cruz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cruz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cruz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

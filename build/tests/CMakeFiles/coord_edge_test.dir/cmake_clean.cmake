@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coord_edge_test.dir/coord_edge_test.cc.o"
+  "CMakeFiles/coord_edge_test.dir/coord_edge_test.cc.o.d"
+  "coord_edge_test"
+  "coord_edge_test.pdb"
+  "coord_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coord_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_migrate_test.dir/live_migrate_test.cc.o"
+  "CMakeFiles/live_migrate_test.dir/live_migrate_test.cc.o.d"
+  "live_migrate_test"
+  "live_migrate_test.pdb"
+  "live_migrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_migrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_test.dir/slm_test.cc.o"
+  "CMakeFiles/slm_test.dir/slm_test.cc.o.d"
+  "slm_test"
+  "slm_test.pdb"
+  "slm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_checkpoint_test.dir/tcp_checkpoint_test.cc.o"
+  "CMakeFiles/tcp_checkpoint_test.dir/tcp_checkpoint_test.cc.o.d"
+  "tcp_checkpoint_test"
+  "tcp_checkpoint_test.pdb"
+  "tcp_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

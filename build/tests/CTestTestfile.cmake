@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/pod_test[1]_include.cmake")
+include("/root/repo/build/tests/ckpt_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_test[1]_include.cmake")
+include("/root/repo/build/tests/slm_test[1]_include.cmake")
+include("/root/repo/build/tests/netstack_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/live_migrate_test[1]_include.cmake")
