@@ -1,0 +1,81 @@
+// Checkpoint generations on the shared filesystem.
+//
+// Each coordinated checkpoint writes its images under a fresh
+// per-generation directory and the generation becomes visible only when a
+// manifest is committed after every agent reported <done> — so the shared
+// FS never exposes a half-written checkpoint as restorable. The manifest
+// records, per member pod, the image path plus its size and CRC-32, which
+// lets restart verify every image *before* touching any pod and fall back
+// to the newest older generation that is still fully intact (e.g. after
+// silent media corruption of the latest images). Aborted generations are
+// discarded wholesale by deleting everything under their directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/netfs.h"
+#include "os/types.h"
+
+namespace cruz::ckpt {
+
+struct ManifestEntry {
+  os::PodId pod = os::kNoPod;
+  std::string image_path;
+  std::uint64_t size = 0;     // image bytes at commit time
+  std::uint32_t crc32 = 0;    // CRC-32 of the whole image file
+};
+
+class GenerationStore {
+ public:
+  static constexpr const char* kDefaultRoot = "/ckpt/gens";
+
+  explicit GenerationStore(os::NetworkFileSystem& fs,
+                           std::string root = kDefaultRoot)
+      : fs_(fs), root_(std::move(root)) {}
+
+  // Allocates the next generation number. Monotonic across coordinator
+  // incarnations: the counter is persisted in a SEQ file on the shared FS.
+  std::uint64_t Allocate();
+
+  // Directory prefix for a generation's images, e.g. "/ckpt/gens/gen_000007".
+  std::string Prefix(std::uint64_t gen) const;
+
+  // Atomically publishes the generation: the manifest write is the commit
+  // point (a generation without a manifest does not exist for restart).
+  void Commit(std::uint64_t gen, const std::vector<ManifestEntry>& entries);
+
+  // Abort path: deletes every file under the generation's directory
+  // (partial images, manifest if any). Returns the number removed.
+  std::size_t Discard(std::uint64_t gen);
+
+  // Committed generations (those with a readable, CRC-intact manifest),
+  // ascending.
+  std::vector<std::uint64_t> Committed() const;
+  std::optional<std::uint64_t> LatestCommitted() const;
+
+  std::optional<std::vector<ManifestEntry>> ReadManifest(
+      std::uint64_t gen) const;
+
+  // Deep verification: manifest intact and every member image present
+  // with the recorded size and CRC-32, and deserializable (including its
+  // incremental parent chain). This is what restart runs before choosing
+  // a generation.
+  bool Verify(std::uint64_t gen) const;
+
+  // Newest committed generation that passes Verify, scanning backwards.
+  std::optional<std::uint64_t> NewestIntact() const;
+
+ private:
+  std::string SeqPath() const { return root_ + "/SEQ"; }
+  std::string ManifestPath(std::uint64_t gen) const {
+    return Prefix(gen) + "/MANIFEST";
+  }
+
+  os::NetworkFileSystem& fs_;
+  std::string root_;
+};
+
+}  // namespace cruz::ckpt

@@ -14,6 +14,19 @@ constexpr DurationNs kPerProcessResumeCost = 10 * kMicrosecond;
 constexpr std::uint64_t kSerializeBytesPerSec = 1 * kGiB;
 // Flush baseline: per-channel drain time before acking a marker.
 constexpr DurationNs kChannelDrainCost = 200 * kMicrosecond;
+
+bool IsCoordinatorRequest(MsgType type) {
+  switch (type) {
+    case MsgType::kCheckpoint:
+    case MsgType::kRestart:
+    case MsgType::kContinue:
+    case MsgType::kAbort:
+    case MsgType::kPing:
+      return true;
+    default:
+      return false;
+  }
+}
 }  // namespace
 
 CheckpointAgent::CheckpointAgent(os::Node& node, pod::PodManager& pods)
@@ -28,7 +41,44 @@ CheckpointAgent::~CheckpointAgent() {
   node_.stack().UnregisterUdpService(kAgentPort);
 }
 
+void CheckpointAgent::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  CRUZ_WARN("agent") << node_.name() << ": agent process CRASHED";
+}
+
+void CheckpointAgent::Reset() {
+  crashed_ = false;
+  if (op_active_) {
+    // Recover the wreckage of the interrupted op: the pod may be stopped
+    // behind a drop filter, and a checkpoint may have left a partial
+    // image that will never be committed.
+    ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+    RemoveDropFilter();
+    if (!op_.is_restart && op_.image_written) {
+      DiscardCheckpointImage(op_.pod, op_.image_path);
+    }
+    op_active_ = false;
+  }
+  op_ = ActiveOp{};
+  // Volatile agent state does not survive a process restart.
+  max_epoch_seen_ = 0;
+  last_image_.clear();
+  last_completed_op_ = 0;
+  last_completed_was_checkpoint_ = false;
+  last_completed_pod_ = os::kNoPod;
+  last_completed_image_path_.clear();
+  CRUZ_INFO("agent") << node_.name() << ": agent process restarted";
+}
+
 void CheckpointAgent::Send(net::Endpoint to, CoordMessage m) {
+  fault::MessageFate fate;
+  if (fault_ != nullptr) {
+    fate = fault_->OnControlSend(node_.name(), to.ip.value,
+                                 static_cast<std::uint8_t>(m.type));
+  }
+  if (fate.drop) return;
+
   net::UdpDatagram dgram;
   dgram.src_port = kAgentPort;
   dgram.dst_port = to.port;
@@ -38,16 +88,44 @@ void CheckpointAgent::Send(net::Endpoint to, CoordMessage m) {
   pkt.dst = to.ip;
   pkt.proto = net::IpProto::kUdp;
   pkt.payload = dgram.Encode();
-  node_.stack().SendIpv4(std::move(pkt));
+  int copies = fate.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    if (fate.delay > 0) {
+      node_.os().sim().Schedule(fate.delay, [this, pkt] {
+        node_.stack().SendIpv4(pkt);
+      });
+    } else {
+      node_.stack().SendIpv4(pkt);
+    }
+  }
 }
 
 void CheckpointAgent::OnDatagram(net::Endpoint from,
                                  const cruz::Bytes& payload) {
+  if (crashed_) return;  // a dead agent process hears nothing
   CoordMessage m;
   try {
     m = CoordMessage::Decode(payload);
   } catch (const cruz::CodecError&) {
     return;
+  }
+  if (fault_ != nullptr &&
+      fault_->CrashAgentOnMessage(node_.name(),
+                                  static_cast<std::uint8_t>(m.type))) {
+    Crash();
+    return;
+  }
+  // Epoch fencing: requests below the observed high-water mark come from
+  // a dead coordinator incarnation or a long-delayed duplicate; acting on
+  // them could roll the pod back under a newer op. Drop silently.
+  if (IsCoordinatorRequest(m.type)) {
+    if (m.epoch < max_epoch_seen_) {
+      CRUZ_WARN("agent") << node_.name() << ": fenced stale "
+                         << static_cast<int>(m.type) << " (epoch "
+                         << m.epoch << " < " << max_epoch_seen_ << ")";
+      return;
+    }
+    max_epoch_seen_ = m.epoch;
   }
   switch (m.type) {
     case MsgType::kCheckpoint:
@@ -61,6 +139,9 @@ void CheckpointAgent::OnDatagram(net::Endpoint from,
       break;
     case MsgType::kAbort:
       HandleAbort(m);
+      break;
+    case MsgType::kPing:
+      HandlePing(m, from);
       break;
     case MsgType::kFlushMarker:
       HandleFlushMarker(m, from);
@@ -87,6 +168,28 @@ void CheckpointAgent::RemoveDropFilter() {
   }
 }
 
+void CheckpointAgent::FailLocalOp(net::Endpoint coordinator,
+                                  const CoordMessage& m, const char* why) {
+  CRUZ_WARN("agent") << node_.name() << ": op " << m.op_id
+                     << " failed locally: " << why;
+  CoordMessage failed;
+  failed.type = MsgType::kFailed;
+  failed.op_id = m.op_id;
+  failed.epoch = m.epoch;
+  failed.pod_id = m.pod_id;
+  Send(coordinator, failed);
+}
+
+void CheckpointAgent::DiscardCheckpointImage(os::PodId pod,
+                                             const std::string& path) {
+  if (!path.empty()) {
+    node_.os().fs().Remove(path);
+  }
+  // The deleted image may be the head of this pod's incremental chain;
+  // force the next capture to be full rather than referencing it.
+  last_image_.erase(pod);
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint
 // ---------------------------------------------------------------------------
@@ -110,6 +213,7 @@ void CheckpointAgent::HandleCheckpoint(const CoordMessage& m,
   op_ = ActiveOp{};
   op_active_ = true;
   op_.op_id = m.op_id;
+  op_.epoch = m.epoch;
   op_.pod = m.pod_id;
   op_.variant = m.variant;
   op_.coordinator = from;
@@ -124,6 +228,7 @@ void CheckpointAgent::HandleCheckpoint(const CoordMessage& m,
       CoordMessage marker;
       marker.type = MsgType::kFlushMarker;
       marker.op_id = m.op_id;
+      marker.epoch = m.epoch;
       marker.sender_index = node_.ip().value;
       Send(net::Endpoint{net::Ipv4Address{peer}, kAgentPort}, marker);
       ++op_.flush_messages;
@@ -141,7 +246,9 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
   if (pod == nullptr) {
     CRUZ_WARN("agent") << node_.name() << ": checkpoint for unknown pod "
                        << m.pod_id;
+    net::Endpoint coordinator = op_.coordinator;
     op_active_ = false;
+    FailLocalOp(coordinator, m, "unknown pod");
     return;
   }
   // Step 1: configure the packet filter (Cruz protocol; the flush baseline
@@ -164,7 +271,28 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
       ckpt::CheckpointEngine::CapturePod(pods_, m.pod_id, capture, &stats);
   cruz::Bytes image = ck.Serialize();
   std::uint64_t image_bytes = image.size();
+  if (fault_ != nullptr && fault_->FailImageWrite(node_.name(),
+                                                  m.image_path)) {
+    // Disk write error: the local checkpoint cannot complete. Resume the
+    // pod (its in-memory state is untouched), invalidate the incremental
+    // baseline (dirty bits were consumed by the capture), and tell the
+    // coordinator to abort.
+    ckpt::CheckpointEngine::ResumePod(pods_, m.pod_id);
+    RemoveDropFilter();
+    last_image_.erase(m.pod_id);
+    net::Endpoint coordinator = op_.coordinator;
+    op_active_ = false;
+    FailLocalOp(coordinator, m, "image write I/O error");
+    return;
+  }
+  if (fault_ != nullptr) {
+    // Silent media corruption: the write "succeeds" but the stored bytes
+    // differ. Only the CRC check on restore/verify can catch this.
+    fault_->MaybeCorruptImage(node_.name(), m.image_path, image);
+  }
   node_.os().fs().WriteFile(m.image_path, std::move(image));
+  op_.image_path = m.image_path;
+  op_.image_written = true;
   last_image_[m.pod_id] = {m.image_path, capture.generation};
 
   DurationNs capture_cost = kFilterConfigCost +
@@ -182,7 +310,7 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
   if (m.copy_on_write) {
     std::uint64_t cow_op = op_.op_id;
     node_.os().sim().Schedule(capture_cost, [this, cow_op] {
-      if (!op_active_ || op_.op_id != cow_op) return;
+      if (crashed_ || !op_active_ || op_.op_id != cow_op) return;
       op_.resume_ready = true;
       MaybeResume();
     });
@@ -194,6 +322,7 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     CoordMessage disabled;
     disabled.type = MsgType::kCommDisabled;
     disabled.op_id = op_.op_id;
+    disabled.epoch = op_.epoch;
     disabled.pod_id = op_.pod;
     Send(op_.coordinator, disabled);
   }
@@ -202,13 +331,14 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
   // write) completes.
   std::uint64_t op_id = op_.op_id;
   node_.os().sim().Schedule(local, [this, op_id] {
-    if (!op_active_ || op_.op_id != op_id) return;
+    if (crashed_ || !op_active_ || op_.op_id != op_id) return;
     op_.save_done = true;
     op_.resume_ready = true;
     op_.done_sent = true;
     CoordMessage done;
     done.type = MsgType::kDone;
     done.op_id = op_.op_id;
+    done.epoch = op_.epoch;
     done.pod_id = op_.pod;
     done.local_duration = op_.local_duration;
     done.extra_messages = op_.flush_messages;
@@ -247,7 +377,12 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
       chain_bytes += static_cast<std::uint64_t>(size);
       cruz::Bytes raw;
       node_.os().fs().ReadFile(link, raw);
-      ckpt::PodCheckpoint peek = ckpt::PodCheckpoint::Deserialize(raw);
+      ckpt::PodCheckpoint peek;
+      try {
+        peek = ckpt::PodCheckpoint::Deserialize(raw);
+      } catch (const cruz::CruzError&) {
+        break;  // corruption is reported by LoadImageChain below
+      }
       if (!peek.incremental) break;
       link = peek.parent_image;
     }
@@ -257,13 +392,17 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
     ck = ckpt::CheckpointEngine::LoadImageChain(node_.os().fs(),
                                                 m.image_path);
   } catch (const cruz::CruzError& e) {
+    // Missing or corrupt (CRC-failing) image: report instead of going
+    // silent so the coordinator can abort and fall back.
     CRUZ_WARN("agent") << node_.name() << ": restart failed: " << e.what();
+    FailLocalOp(from, m, "image unreadable");
     return;
   }
 
   op_ = ActiveOp{};
   op_active_ = true;
   op_.op_id = m.op_id;
+  op_.epoch = m.epoch;
   op_.pod = ck.pod_id;
   op_.variant = m.variant;
   op_.is_restart = true;
@@ -283,7 +422,7 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
 
   std::uint64_t op_id = m.op_id;
   node_.os().sim().Schedule(local, [this, op_id, ck = std::move(ck)] {
-    if (!op_active_ || op_.op_id != op_id) return;
+    if (crashed_ || !op_active_ || op_.op_id != op_id) return;
     // Restore at the end of the load window; the §4.1 send-buffer replay
     // fires here, against the still-installed drop filter.
     ckpt::CheckpointEngine::RestorePod(pods_, ck);
@@ -293,6 +432,7 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
     CoordMessage done;
     done.type = MsgType::kDone;
     done.op_id = op_.op_id;
+    done.epoch = op_.epoch;
     done.pod_id = op_.pod;
     done.local_duration = op_.local_duration;
     last_done_reply_ = done;
@@ -303,7 +443,7 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
 }
 
 // ---------------------------------------------------------------------------
-// Continue / abort / resume
+// Continue / abort / resume / liveness
 // ---------------------------------------------------------------------------
 
 void CheckpointAgent::HandleContinue(const CoordMessage& m) {
@@ -338,11 +478,12 @@ void CheckpointAgent::MaybeResume() {
 
   std::uint64_t op_id = op_.op_id;
   node_.os().sim().Schedule(resume_cost, [this, op_id, resume_cost] {
-    if (!op_active_ || op_.op_id != op_id) return;
+    if (crashed_ || !op_active_ || op_.op_id != op_id) return;
     op_.continue_done_sent = true;
     CoordMessage done;
     done.type = MsgType::kContinueDone;
     done.op_id = op_id;
+    done.epoch = op_.epoch;
     done.pod_id = op_.pod;
     done.local_duration = resume_cost;
     last_continue_done_reply_ = done;
@@ -357,17 +498,44 @@ void CheckpointAgent::MaybeFinishOp() {
   // the <continue-done> can precede the <done>.
   if (op_active_ && op_.done_sent && op_.continue_done_sent) {
     last_completed_op_ = op_.op_id;
+    last_completed_was_checkpoint_ = !op_.is_restart;
+    last_completed_pod_ = op_.pod;
+    last_completed_image_path_ = op_.image_path;
     op_active_ = false;
   }
 }
 
 void CheckpointAgent::HandleAbort(const CoordMessage& m) {
-  if (!op_active_ || m.op_id != op_.op_id) return;
-  // Cancel: resume the pod as if nothing happened (checkpoint data on the
-  // shared FS is the coordinator's to clean up).
-  ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
-  RemoveDropFilter();
-  op_active_ = false;
+  if (op_active_ && m.op_id == op_.op_id) {
+    // Cancel: resume the pod as if nothing happened, and delete the
+    // partially-written image — an aborted checkpoint must leave no
+    // trace in the shared FS.
+    ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+    RemoveDropFilter();
+    if (!op_.is_restart && op_.image_written) {
+      DiscardCheckpointImage(op_.pod, op_.image_path);
+    }
+    op_active_ = false;
+    return;
+  }
+  if (!op_active_ && m.op_id == last_completed_op_ &&
+      last_completed_was_checkpoint_) {
+    // This agent finished its local part, but the op aborted globally
+    // (another member failed): its committed-looking image is garbage.
+    DiscardCheckpointImage(last_completed_pod_, last_completed_image_path_);
+    last_completed_image_path_.clear();
+  }
+}
+
+void CheckpointAgent::HandlePing(const CoordMessage& m, net::Endpoint from) {
+  // Liveness probe: answer regardless of op state — the probe asks "is
+  // the agent process alive", not "is the op done".
+  CoordMessage pong;
+  pong.type = MsgType::kPong;
+  pong.op_id = m.op_id;
+  pong.epoch = m.epoch;
+  pong.pod_id = m.pod_id;
+  Send(from, pong);
 }
 
 // ---------------------------------------------------------------------------
@@ -380,8 +548,10 @@ void CheckpointAgent::HandleFlushMarker(const CoordMessage& m,
   CoordMessage ack;
   ack.type = MsgType::kFlushAck;
   ack.op_id = m.op_id;
+  ack.epoch = m.epoch;
   ack.sender_index = node_.ip().value;
   node_.os().sim().Schedule(kChannelDrainCost, [this, from, ack] {
+    if (crashed_) return;
     Send(from, ack);
   });
   if (op_active_) ++op_.flush_messages;

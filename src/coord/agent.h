@@ -19,6 +19,14 @@
 // serialization at memory bandwidth, and the dominant disk write/read
 // time. The agent reports its local duration in <done>, which is how the
 // coordinator separates local work from coordination overhead (§6).
+//
+// Failure model: the agent fences stale coordinators by epoch, reports
+// local failures (<failed>) instead of going silent, answers liveness
+// probes (<ping>/<pong>), deletes its partial image when an op aborts,
+// and can be crashed/reset by the fault-injection framework — Crash()
+// models the agent process dying (it stops responding until Reset(),
+// which performs the recovery a restarted agent would: resume the pod,
+// drop the filter, discard the partial image).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,7 @@
 
 #include "ckpt/engine.h"
 #include "coord/message.h"
+#include "fault/fault.h"
 #include "os/node.h"
 #include "pod/pod.h"
 
@@ -46,9 +55,26 @@ class CheckpointAgent {
   std::uint64_t checkpoints_served() const { return checkpoints_served_; }
   std::uint64_t restarts_served() const { return restarts_served_; }
 
+  // Deterministic fault injection (tests/benches); nullptr disables.
+  void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
+
+  // Simulates the agent process dying: all messages are ignored and any
+  // in-flight local work is abandoned (the pod stays stopped, the drop
+  // filter stays installed — exactly the wreckage a real agent crash
+  // leaves behind).
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // Recovery performed by a restarted agent process: resume a stopped
+  // pod, remove the leftover drop filter, delete the partial image of an
+  // unfinished checkpoint, and forget all volatile state (incremental
+  // baselines, epoch high-water mark, reply cache).
+  void Reset();
+
  private:
   struct ActiveOp {
     std::uint64_t op_id = 0;
+    std::uint64_t epoch = 0;
     os::PodId pod = os::kNoPod;
     ProtocolVariant variant = ProtocolVariant::kBlocking;
     bool is_restart = false;
@@ -64,6 +90,8 @@ class CheckpointAgent {
     bool resumed = false;
     bool done_sent = false;
     bool continue_done_sent = false;
+    std::string image_path;      // written by this checkpoint op
+    bool image_written = false;  // true once the image is on the FS
     std::uint32_t flush_messages = 0;
     std::set<std::uint32_t> flush_acks_pending;
     std::optional<CoordMessage> pending_request;  // original request
@@ -75,6 +103,7 @@ class CheckpointAgent {
   void HandleRestart(const CoordMessage& m, net::Endpoint from);
   void HandleContinue(const CoordMessage& m);
   void HandleAbort(const CoordMessage& m);
+  void HandlePing(const CoordMessage& m, net::Endpoint from);
   void HandleFlushMarker(const CoordMessage& m, net::Endpoint from);
   void HandleFlushAck(const CoordMessage& m);
   void MaybeResume();
@@ -82,15 +111,30 @@ class CheckpointAgent {
   void InstallDropFilter(net::Ipv4Address pod_ip);
   void RemoveDropFilter();
   void Send(net::Endpoint to, CoordMessage m);
+  // Local failure: clean up, report <failed> so the coordinator aborts
+  // fast instead of waiting out its timeout.
+  void FailLocalOp(net::Endpoint coordinator, const CoordMessage& m,
+                   const char* why);
+  // Deletes the partial image of an aborted checkpoint and invalidates
+  // the incremental baseline (the next capture must be full).
+  void DiscardCheckpointImage(os::PodId pod, const std::string& path);
 
   os::Node& node_;
   pod::PodManager& pods_;
+  fault::Injector* fault_ = nullptr;
+  bool crashed_ = false;
   ActiveOp op_;
+  // Fencing: highest epoch observed from any coordinator; lower-epoch
+  // requests are stale (dead coordinator, delayed duplicate) and ignored.
+  std::uint64_t max_epoch_seen_ = 0;
   // Incremental chains: last image written per pod (path, generation).
   std::map<os::PodId, std::pair<std::string, std::uint32_t>> last_image_;
   // Message-loss tolerance: replies for the most recently completed op,
   // re-sent when the coordinator retransmits a request we already served.
   std::uint64_t last_completed_op_ = 0;
+  bool last_completed_was_checkpoint_ = false;
+  os::PodId last_completed_pod_ = os::kNoPod;
+  std::string last_completed_image_path_;
   CoordMessage last_done_reply_;
   CoordMessage last_continue_done_reply_;
   net::Endpoint last_coordinator_;

@@ -8,16 +8,64 @@
 
 namespace cruz::coord {
 
-Coordinator::Coordinator(os::Node& node) : node_(node) {
+Coordinator::Coordinator(os::Node& node, std::string journal_path)
+    : node_(node), journal_(node.os().fs(), std::move(journal_path)) {
   node_.stack().RegisterUdpService(
       kCoordinatorPort,
       [this](net::Endpoint from, const cruz::Bytes& payload) {
         OnDatagram(from, payload);
       });
+  RecoverFromJournal();
 }
 
 Coordinator::~Coordinator() {
+  // A coordinator may be torn down mid-op (process crash in the recovery
+  // scenarios); cancel every pending event that captures `this`.
+  if (timeout_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(timeout_event_);
+  }
+  if (retransmit_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(retransmit_event_);
+  }
+  if (heartbeat_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(heartbeat_event_);
+  }
   node_.stack().UnregisterUdpService(kCoordinatorPort);
+}
+
+void Coordinator::RecoverFromJournal() {
+  IntentJournal::RecoveredState state = journal_.Recover();
+  epoch_ = state.last_epoch;
+  if (!state.incomplete.has_value()) return;
+
+  // A previous incarnation died with this op in flight. Abort it: fence
+  // the agents (they resume their pods and drop the partial state) and
+  // garbage-collect whatever images the checkpoint already wrote to the
+  // shared FS. Restart intents read images, they do not own them — no GC.
+  const JournalRecord& intent = *state.incomplete;
+  recovery_.had_incomplete = true;
+  recovery_.epoch = intent.epoch;
+  recovery_.was_restart = intent.is_restart;
+  CRUZ_WARN("coord") << "journal recovery: aborting in-flight "
+                     << (intent.is_restart ? "restart" : "checkpoint")
+                     << " op epoch " << intent.epoch;
+  for (const JournalRecord::Member& m : intent.members) {
+    CoordMessage abort;
+    abort.type = MsgType::kAbort;
+    abort.op_id = intent.epoch;
+    abort.epoch = intent.epoch;
+    abort.pod_id = m.pod;
+    TransmitControl(net::Ipv4Address{m.agent_ip}, abort);
+    if (!intent.is_restart && !m.image_path.empty() &&
+        SysOk(node_.os().fs().Remove(m.image_path))) {
+      ++recovery_.images_removed;
+    }
+  }
+  JournalRecord outcome;
+  outcome.type = JournalRecord::Type::kAbort;
+  outcome.epoch = intent.epoch;
+  outcome.is_restart = intent.is_restart;
+  journal_.Append(outcome);
 }
 
 void Coordinator::Checkpoint(std::vector<Member> members, Options options,
@@ -50,14 +98,29 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   members_ = std::move(members);
   done_fn_ = std::move(done);
   stats_ = OpStats{};
-  stats_.op_id = next_op_id_++;
+  stats_.op_id = stats_.epoch = ++epoch_;
   stats_.image_paths = image_paths;
   image_paths_ = image_paths;
   continue_sent_ = false;
   pending_done_.clear();
   pending_continue_done_.clear();
   pending_comm_disabled_.clear();
+  missed_heartbeats_.clear();
+  retransmit_interval_now_ = options_.retransmit_interval;
+  retransmit_rounds_ = 0;
   op_start_ = node_.os().sim().Now();
+
+  // Write-ahead intent: on coordinator death the next incarnation learns
+  // exactly which op (and which images) to abort and clean up.
+  JournalRecord intent;
+  intent.type = JournalRecord::Type::kIntent;
+  intent.epoch = stats_.epoch;
+  intent.is_restart = is_restart;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    intent.members.push_back(JournalRecord::Member{
+        members_[i].agent_ip.value, members_[i].pod, image_paths_[i]});
+  }
+  journal_.Append(intent);
 
   std::vector<std::uint32_t> peer_ips;
   for (const Member& m : members_) peer_ips.push_back(m.agent_ip.value);
@@ -69,6 +132,7 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
     CoordMessage m;
     m.type = is_restart ? MsgType::kRestart : MsgType::kCheckpoint;
     m.op_id = stats_.op_id;
+    m.epoch = stats_.epoch;
     m.pod_id = members_[i].pod;
     m.variant = options_.variant;
     m.image_path = image_paths[i];
@@ -83,37 +147,53 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   }
 
   ScheduleRetransmit();
+  ScheduleHeartbeat();
   timeout_event_ =
       node_.os().sim().Schedule(options_.timeout, [this] {
         timeout_event_ = sim::kInvalidEventId;
         if (!op_active_) return;
-        CRUZ_WARN("coord") << "operation " << stats_.op_id
-                           << " timed out; aborting";
-        for (std::size_t i = 0; i < members_.size(); ++i) {
-          CoordMessage abort;
-          abort.type = MsgType::kAbort;
-          abort.op_id = stats_.op_id;
-          abort.pod_id = members_[i].pod;
-          SendToAgent(i, std::move(abort));
-        }
-        Finish(false);
+        ++stats_.timeouts;
+        AbortOp("timeout");
       });
 }
 
 void Coordinator::SendToAgent(std::size_t member_index, CoordMessage m) {
   const Member& member = members_[member_index];
+  ++stats_.coordinator_messages;
+  ++stats_.total_messages;
+  TransmitControl(member.agent_ip, m);
+}
+
+void Coordinator::TransmitControl(net::Ipv4Address dst,
+                                  const CoordMessage& m) {
+  fault::MessageFate fate;
+  if (fault_ != nullptr) {
+    fate = fault_->OnControlSend(node_.name(), dst.value,
+                                 static_cast<std::uint8_t>(m.type));
+  }
+  if (fate.drop) return;  // lost on the wire; retransmission recovers
+
   net::UdpDatagram dgram;
   dgram.src_port = kCoordinatorPort;
   dgram.dst_port = kAgentPort;
   dgram.payload = m.Encode();
   net::Ipv4Packet pkt;
   pkt.src = node_.ip();
-  pkt.dst = member.agent_ip;
+  pkt.dst = dst;
   pkt.proto = net::IpProto::kUdp;
   pkt.payload = dgram.Encode();
-  ++stats_.coordinator_messages;
-  ++stats_.total_messages;
-  node_.stack().SendIpv4(std::move(pkt));
+  int copies = fate.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    if (fate.delay > 0) {
+      // Capture the stack, not `this`: the delayed copy must still go out
+      // (or at least not crash) if this coordinator incarnation dies.
+      os::NetworkStack* stack = &node_.stack();
+      node_.os().sim().Schedule(fate.delay,
+                                [stack, pkt] { stack->SendIpv4(pkt); });
+    } else {
+      node_.stack().SendIpv4(pkt);
+    }
+  }
 }
 
 void Coordinator::BroadcastContinue() {
@@ -123,10 +203,36 @@ void Coordinator::BroadcastContinue() {
     CoordMessage m;
     m.type = MsgType::kContinue;
     m.op_id = stats_.op_id;
+    m.epoch = stats_.epoch;
     m.pod_id = members_[i].pod;
     m.variant = options_.variant;
     SendToAgent(i, std::move(m));
   }
+}
+
+void Coordinator::AbortOp(const std::string& reason) {
+  if (!op_active_) return;
+  CRUZ_WARN("coord") << "operation " << stats_.op_id << " aborted ("
+                     << reason << ")";
+  stats_.abort_reason = reason;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    CoordMessage abort;
+    abort.type = MsgType::kAbort;
+    abort.op_id = stats_.op_id;
+    abort.epoch = stats_.epoch;
+    abort.pod_id = members_[i].pod;
+    ++stats_.aborts;
+    SendToAgent(i, std::move(abort));
+  }
+  // Aborted checkpoints must not leak partial images into the shared FS.
+  // The agents delete their own images too (HandleAbort); this covers
+  // members whose agent is dead or was never reached.
+  if (!is_restart_) {
+    for (const std::string& path : image_paths_) {
+      node_.os().fs().Remove(path);
+    }
+  }
+  Finish(false);
 }
 
 void Coordinator::OnDatagram(net::Endpoint from,
@@ -173,6 +279,15 @@ void Coordinator::OnDatagram(net::Endpoint from,
         }
       }
       break;
+    case MsgType::kPong:
+      missed_heartbeats_[from.ip.value] = 0;
+      break;
+    case MsgType::kFailed:
+      // A member cannot perform its local part (unknown pod, image I/O
+      // error, unreadable image): the op can never complete — abort now
+      // rather than waiting out the timeout.
+      AbortOp("member " + std::to_string(from.ip.value) + " failed");
+      break;
     default:
       break;
   }
@@ -180,13 +295,32 @@ void Coordinator::OnDatagram(net::Endpoint from,
 
 void Coordinator::ScheduleRetransmit() {
   if (options_.retransmit_interval == 0) return;
-  retransmit_event_ = node_.os().sim().Schedule(
-      options_.retransmit_interval, [this] {
-        retransmit_event_ = sim::kInvalidEventId;
-        if (!op_active_) return;
-        RetransmitPending();
-        ScheduleRetransmit();
-      });
+  // Jitter the interval ±25% (seeded: the simulator RNG) so retransmit
+  // rounds from concurrent coordinators cannot stay synchronized.
+  DurationNs base = retransmit_interval_now_;
+  DurationNs jittered =
+      base - base / 4 + node_.os().sim().rng().NextBelow(base / 2 + 1);
+  retransmit_event_ = node_.os().sim().Schedule(jittered, [this] {
+    retransmit_event_ = sim::kInvalidEventId;
+    if (!op_active_) return;
+    ++retransmit_rounds_;
+    if (options_.max_retransmit_rounds != 0 &&
+        retransmit_rounds_ > options_.max_retransmit_rounds) {
+      AbortOp("retry cap");
+      return;
+    }
+    RetransmitPending();
+    // Exponential backoff, capped (default cap: 4x the initial interval,
+    // which keeps loss recovery responsive while shedding load).
+    DurationNs cap = options_.retransmit_max_interval != 0
+                         ? options_.retransmit_max_interval
+                         : 4 * options_.retransmit_interval;
+    double next = static_cast<double>(retransmit_interval_now_) *
+                  std::max(1.0, options_.retransmit_backoff);
+    retransmit_interval_now_ = static_cast<DurationNs>(
+        std::min(next, static_cast<double>(cap)));
+    ScheduleRetransmit();
+  });
 }
 
 void Coordinator::RetransmitPending() {
@@ -198,6 +332,7 @@ void Coordinator::RetransmitPending() {
       CoordMessage m;
       m.type = is_restart_ ? MsgType::kRestart : MsgType::kCheckpoint;
       m.op_id = stats_.op_id;
+      m.epoch = stats_.epoch;
       m.pod_id = members_[i].pod;
       m.variant = options_.variant;
       m.image_path = image_paths_[i];
@@ -205,16 +340,51 @@ void Coordinator::RetransmitPending() {
         m.incremental = options_.incremental;
         m.copy_on_write = options_.copy_on_write;
       }
+      ++stats_.retransmits;
       SendToAgent(i, std::move(m));
     } else if (continue_sent_ && pending_continue_done_.count(key) != 0) {
       CoordMessage m;
       m.type = MsgType::kContinue;
       m.op_id = stats_.op_id;
+      m.epoch = stats_.epoch;
       m.pod_id = members_[i].pod;
       m.variant = options_.variant;
+      ++stats_.retransmits;
       SendToAgent(i, std::move(m));
     }
   }
+}
+
+void Coordinator::ScheduleHeartbeat() {
+  if (options_.heartbeat_interval == 0) return;
+  heartbeat_event_ = node_.os().sim().Schedule(
+      options_.heartbeat_interval, [this] {
+        heartbeat_event_ = sim::kInvalidEventId;
+        if (!op_active_) return;
+        HeartbeatTick();
+      });
+}
+
+void Coordinator::HeartbeatTick() {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    std::uint32_t key = members_[i].agent_ip.value;
+    if (pending_done_.count(key) == 0 &&
+        pending_continue_done_.count(key) == 0) {
+      continue;  // member already finished; no liveness concern
+    }
+    std::uint32_t missed = ++missed_heartbeats_[key];
+    if (missed > options_.max_missed_heartbeats) {
+      AbortOp("agent " + std::to_string(key) + " unresponsive");
+      return;
+    }
+    CoordMessage ping;
+    ping.type = MsgType::kPing;
+    ping.op_id = stats_.op_id;
+    ping.epoch = stats_.epoch;
+    ping.pod_id = members_[i].pod;
+    SendToAgent(i, std::move(ping));
+  }
+  ScheduleHeartbeat();
 }
 
 void Coordinator::Finish(bool success) {
@@ -226,6 +396,16 @@ void Coordinator::Finish(bool success) {
     node_.os().sim().Cancel(retransmit_event_);
     retransmit_event_ = sim::kInvalidEventId;
   }
+  if (heartbeat_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(heartbeat_event_);
+    heartbeat_event_ = sim::kInvalidEventId;
+  }
+  JournalRecord outcome;
+  outcome.type =
+      success ? JournalRecord::Type::kCommit : JournalRecord::Type::kAbort;
+  outcome.epoch = stats_.epoch;
+  outcome.is_restart = is_restart_;
+  journal_.Append(outcome);
   stats_.success = success;
   stats_.full_latency = node_.os().sim().Now() - op_start_;
   DurationNs local = stats_.max_local + stats_.max_continue;

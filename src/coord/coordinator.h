@@ -19,15 +19,33 @@
 // latency (first <checkpoint> sent to last <done> received, Fig. 5a) and
 // the coordination overhead (full latency minus the maxima of the local
 // checkpoint and continue times, Fig. 5b).
+//
+// Failure model (the paper: the protocol "can be extended in a
+// straightforward way to tolerate Coordinator and Agent failures"):
+//  - Lost control messages are retransmitted with exponential backoff and
+//    seeded jitter, capped by max_retransmit_rounds.
+//  - Every op carries a fencing epoch, monotonic across coordinator
+//    incarnations; agents reject stale-epoch requests.
+//  - An intent record is journaled to the shared FS before the first
+//    message of an op; a restarted coordinator aborts the journaled
+//    in-flight op and garbage-collects its partial images.
+//  - Optional liveness probing (<ping>/<pong>) detects a dead agent or
+//    node in a few heartbeats and aborts the op fast instead of eating
+//    the full operation timeout.
+//  - An agent that cannot perform its local part reports <failed>, which
+//    aborts the op immediately; aborted checkpoint images are deleted.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "coord/journal.h"
 #include "coord/message.h"
+#include "fault/fault.h"
 #include "os/node.h"
 #include "sim/event_queue.h"
 
@@ -43,10 +61,25 @@ class Coordinator {
   struct Options {
     ProtocolVariant variant = ProtocolVariant::kBlocking;
     DurationNs timeout = 120 * kSecond;
-    // Unanswered requests are retransmitted at this interval (the
-    // coordination channel is UDP; the paper notes the protocol extends
-    // straightforwardly to tolerate message loss). 0 disables.
+    // Unanswered requests are retransmitted (the coordination channel is
+    // UDP). The interval starts at retransmit_interval and grows by
+    // retransmit_backoff per round, capped at retransmit_max_interval
+    // (0 = 4x the initial interval); each round is jittered ±25% from the
+    // simulator's seeded RNG so retransmissions cannot synchronize.
+    // retransmit_interval == 0 disables retransmission entirely.
     DurationNs retransmit_interval = 2 * kSecond;
+    double retransmit_backoff = 2.0;
+    DurationNs retransmit_max_interval = 0;
+    // Abort the op after this many retransmit rounds (0 = no cap; the
+    // overall timeout still applies).
+    std::uint32_t max_retransmit_rounds = 0;
+    // Liveness probing: every heartbeat_interval the coordinator pings
+    // members that still owe a reply; an agent that misses more than
+    // max_missed_heartbeats consecutive probes is declared dead and the
+    // op is aborted early. 0 disables probing (and then only the overall
+    // timeout bounds the op).
+    DurationNs heartbeat_interval = 0;
+    std::uint32_t max_missed_heartbeats = 3;
     std::string image_prefix = "/ckpt/op";
     // §5.2 optimizations (checkpoints only). Incremental images save only
     // pages dirtied since each agent's previous checkpoint of the pod;
@@ -60,6 +93,7 @@ class Coordinator {
   struct OpStats {
     bool success = false;
     std::uint64_t op_id = 0;
+    std::uint64_t epoch = 0;  // fencing epoch carried by every message
     // First <checkpoint> sent to last <done> received (Fig. 5a metric).
     DurationNs checkpoint_latency = 0;
     // First message sent to last <continue-done> received.
@@ -70,12 +104,26 @@ class Coordinator {
     DurationNs coordination_overhead = 0;
     std::uint32_t coordinator_messages = 0;  // sent by the coordinator
     std::uint32_t total_messages = 0;  // + agent replies + flush traffic
+    // Failure-handling counters.
+    std::uint32_t retransmits = 0;  // messages re-sent after loss
+    std::uint32_t timeouts = 0;     // overall-timeout expirations (0/1)
+    std::uint32_t aborts = 0;       // <abort> messages sent
+    std::string abort_reason;       // empty on success
     std::vector<std::string> image_paths;
+  };
+
+  // What a restarted coordinator found in its intent journal.
+  struct RecoveryReport {
+    bool had_incomplete = false;
+    std::uint64_t epoch = 0;      // epoch of the in-flight op
+    bool was_restart = false;
+    std::size_t images_removed = 0;  // partial images garbage-collected
   };
 
   using DoneFn = std::function<void(const OpStats&)>;
 
-  explicit Coordinator(os::Node& node);
+  explicit Coordinator(os::Node& node,
+                       std::string journal_path = IntentJournal::kDefaultPath);
   ~Coordinator();
 
   Coordinator(const Coordinator&) = delete;
@@ -92,6 +140,11 @@ class Coordinator {
                DoneFn done);
 
   bool busy() const { return op_active_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  // Deterministic fault injection (tests/benches); nullptr disables.
+  void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
 
   static std::string ImagePath(const std::string& prefix, os::PodId pod) {
     return prefix + "/pod_" + std::to_string(pod) + ".img";
@@ -103,13 +156,25 @@ class Coordinator {
              DoneFn done);
   void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
   void SendToAgent(std::size_t member_index, CoordMessage m);
+  void TransmitControl(net::Ipv4Address dst, const CoordMessage& m);
   void BroadcastContinue();
+  void AbortOp(const std::string& reason);
   void Finish(bool success);
   void ScheduleRetransmit();
   void RetransmitPending();
+  void ScheduleHeartbeat();
+  void HeartbeatTick();
+  // Journal replay at construction: fence + clean up a predecessor's
+  // in-flight op.
+  void RecoverFromJournal();
 
   os::Node& node_;
-  std::uint64_t next_op_id_ = 1;
+  IntentJournal journal_;
+  fault::Injector* fault_ = nullptr;
+  // Monotonic fencing epoch, persisted through the journal. Each op gets
+  // epoch_ + 1; op ids equal epochs so they are also globally unique.
+  std::uint64_t epoch_ = 0;
+  RecoveryReport recovery_;
 
   bool op_active_ = false;
   bool is_restart_ = false;
@@ -125,6 +190,10 @@ class Coordinator {
   std::vector<std::string> image_paths_;
   sim::EventId timeout_event_ = sim::kInvalidEventId;
   sim::EventId retransmit_event_ = sim::kInvalidEventId;
+  sim::EventId heartbeat_event_ = sim::kInvalidEventId;
+  DurationNs retransmit_interval_now_ = 0;  // current backoff interval
+  std::uint32_t retransmit_rounds_ = 0;
+  std::map<std::uint32_t, std::uint32_t> missed_heartbeats_;  // by agent ip
 };
 
 }  // namespace cruz::coord

@@ -8,6 +8,7 @@ cruz::Bytes CoordMessage::Encode() const {
   cruz::ByteWriter w;
   w.PutU8(static_cast<std::uint8_t>(type));
   w.PutU64(op_id);
+  w.PutU64(epoch);
   w.PutU32(pod_id);
   w.PutU8(static_cast<std::uint8_t>(variant));
   w.PutString(image_path);
@@ -25,11 +26,12 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   cruz::ByteReader r(wire);
   CoordMessage m;
   std::uint8_t type = r.GetU8();
-  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kFlushAck)) {
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kPong)) {
     throw cruz::CodecError("invalid coordination message type");
   }
   m.type = static_cast<MsgType>(type);
   m.op_id = r.GetU64();
+  m.epoch = r.GetU64();
   m.pod_id = r.GetU32();
   std::uint8_t variant = r.GetU8();
   if (variant > static_cast<std::uint8_t>(ProtocolVariant::kFlushBaseline)) {

@@ -31,6 +31,12 @@ enum class MsgType : std::uint8_t {
   kCommDisabled = 7,  // agent -> coordinator: Fig. 4 early notification
   kFlushMarker = 8,   // agent -> agent: flush-baseline channel marker
   kFlushAck = 9,      // agent -> agent: marker acknowledged
+  // Failure-model extensions (the paper notes the protocol "can be
+  // extended in a straightforward way to tolerate Coordinator and Agent
+  // failures"):
+  kFailed = 10,  // agent -> coordinator: local operation failed fast
+  kPing = 11,    // coordinator -> agent: liveness probe during an op
+  kPong = 12,    // agent -> coordinator: liveness reply
 };
 
 enum class ProtocolVariant : std::uint8_t {
@@ -43,6 +49,12 @@ enum class ProtocolVariant : std::uint8_t {
 struct CoordMessage {
   MsgType type = MsgType::kCheckpoint;
   std::uint64_t op_id = 0;     // one coordinated operation
+  // Fencing epoch: globally monotonic across coordinator incarnations
+  // (persisted in the coordinator's intent journal). Agents remember the
+  // highest epoch observed and silently reject lower-epoch requests, so a
+  // delayed or replayed op from a dead coordinator can never start work
+  // after a newer op has been seen.
+  std::uint64_t epoch = 0;
   os::PodId pod_id = 0;        // target pod on the receiving node
   ProtocolVariant variant = ProtocolVariant::kBlocking;
   std::string image_path;      // checkpoint/restart image in the shared FS

@@ -1,7 +1,9 @@
 #include "cruz/cluster.h"
 
 #include "apps/programs.h"
+#include "common/crc32.h"
 #include "common/error.h"
+#include "common/log.h"
 
 namespace cruz {
 
@@ -82,6 +84,124 @@ coord::Coordinator::OpStats Cluster::RunRestart(
   bool done = sim_.RunWhile([&] { return finished; },
                             sim_.Now() + options.timeout + kSecond);
   CRUZ_CHECK(done, "coordinated restart did not complete");
+  return result;
+}
+
+void Cluster::ArmFaults(fault::FaultPlan& plan) {
+  armed_plan_ = &plan;
+  coordinator_->set_fault_injector(&plan);
+  for (auto& agent : agents_) agent->set_fault_injector(&plan);
+
+  for (const fault::NodeCrashSpec& spec : plan.node_crashes()) {
+    CRUZ_CHECK(spec.node_index < nodes_.size(),
+               "node crash spec out of range");
+    os::Node* node = nodes_[spec.node_index].get();
+    coord::CheckpointAgent* agent = agents_[spec.node_index].get();
+    pod::PodManager* pods = pod_managers_[spec.node_index].get();
+    fault::FaultPlan* p = &plan;
+    TimeNs crash_delay =
+        spec.crash_at > sim_.Now() ? spec.crash_at - sim_.Now() : 0;
+    sim_.Schedule(crash_delay, [node, agent, p] {
+      node->Fail();
+      agent->Crash();
+      p->RecordEvent(fault::FaultKind::kNodeCrash, node->name());
+    });
+    if (spec.reboot_after > 0) {
+      sim_.Schedule(crash_delay + spec.reboot_after, [node, agent, pods, p] {
+        node->Reboot();
+        // A power-cycled machine comes back with no processes: clear the
+        // stale pod bookkeeping before the restarted agent takes over.
+        std::vector<os::PodId> stale;
+        for (const auto& [id, pod] : pods->pods()) stale.push_back(id);
+        for (os::PodId id : stale) pods->DestroyPod(id);
+        agent->Reset();
+        p->RecordEvent(fault::FaultKind::kNodeReboot, node->name());
+      });
+    }
+  }
+}
+
+void Cluster::RestartCoordinator() {
+  // Destroy first so the new incarnation can bind the coordinator port;
+  // its constructor then replays the intent journal.
+  coordinator_.reset();
+  coordinator_ = std::make_unique<coord::Coordinator>(*coordinator_node_);
+  if (armed_plan_ != nullptr) {
+    coordinator_->set_fault_injector(armed_plan_);
+  }
+}
+
+Cluster::GenerationOpResult Cluster::RunGenerationCheckpoint(
+    std::vector<coord::Coordinator::Member> members,
+    coord::Coordinator::Options options, const std::string& root) {
+  ckpt::GenerationStore store(fs_, root);
+  GenerationOpResult result;
+  result.generation = store.Allocate();
+  options.image_prefix = store.Prefix(result.generation);
+
+  std::vector<coord::Coordinator::Member> member_copy = members;
+  result.stats = RunCheckpoint(std::move(members), options);
+
+  if (result.stats.success) {
+    std::vector<ckpt::ManifestEntry> entries;
+    for (std::size_t i = 0; i < member_copy.size(); ++i) {
+      ckpt::ManifestEntry e;
+      e.pod = member_copy[i].pod;
+      e.image_path = result.stats.image_paths.at(i);
+      cruz::Bytes image;
+      CRUZ_CHECK(SysOk(fs_.ReadFile(e.image_path, image)),
+                 "committed image missing from the shared FS");
+      e.size = image.size();
+      e.crc32 = Crc32(image);
+      entries.push_back(std::move(e));
+    }
+    store.Commit(result.generation, entries);
+  } else {
+    store.Discard(result.generation);
+    result.generation = 0;
+  }
+  result.latest_committed = store.LatestCommitted().value_or(0);
+  return result;
+}
+
+Cluster::GenerationOpResult Cluster::RunGenerationRestart(
+    std::vector<coord::Coordinator::Member> members,
+    coord::Coordinator::Options options, const std::string& root) {
+  ckpt::GenerationStore store(fs_, root);
+  GenerationOpResult result;
+  result.latest_committed = store.LatestCommitted().value_or(0);
+
+  std::optional<std::uint64_t> intact = store.NewestIntact();
+  if (!intact.has_value()) {
+    result.stats.success = false;
+    result.stats.abort_reason = "no intact checkpoint generation";
+    return result;
+  }
+  result.generation = *intact;
+  result.fell_back = result.generation != result.latest_committed;
+  if (result.fell_back) {
+    CRUZ_WARN("cruz") << "restart: generation " << result.latest_committed
+                      << " is damaged, falling back to generation "
+                      << result.generation;
+  }
+
+  std::vector<ckpt::ManifestEntry> manifest =
+      *store.ReadManifest(result.generation);
+  std::vector<std::string> image_paths;
+  for (const coord::Coordinator::Member& m : members) {
+    const ckpt::ManifestEntry* entry = nullptr;
+    for (const ckpt::ManifestEntry& e : manifest) {
+      if (e.pod == m.pod) {
+        entry = &e;
+        break;
+      }
+    }
+    CRUZ_CHECK(entry != nullptr,
+               "pod not present in the checkpoint generation manifest");
+    image_paths.push_back(entry->image_path);
+  }
+  result.stats = RunRestart(std::move(members), std::move(image_paths),
+                            options);
   return result;
 }
 

@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/generation.h"
 #include "coord/agent.h"
 #include "coord/coordinator.h"
+#include "fault/fault.h"
 #include "net/ethernet_switch.h"
 #include "os/dhcp.h"
 #include "os/netfs.h"
@@ -75,6 +77,44 @@ class Cluster {
     return coord::Coordinator::Member{nodes_.at(node_index)->ip(), pod};
   }
 
+  // --- failure model ------------------------------------------------------
+
+  // Arms a fault plan cluster-wide: the coordinator and every agent
+  // consult it on the injection hook points, and the plan's node-crash
+  // schedule is turned into sim events (Node::Fail + agent crash at
+  // crash_at; Node::Reboot + agent restart + stale-pod cleanup at
+  // crash_at + reboot_after). The plan must outlive the cluster run.
+  void ArmFaults(fault::FaultPlan& plan);
+
+  // Simulates a coordinator process crash + restart: the old incarnation
+  // is destroyed and a fresh one recovers from the intent journal
+  // (aborting any in-flight op and collecting its partial images).
+  void RestartCoordinator();
+
+  // Outcome of a generation-aware coordinated operation.
+  struct GenerationOpResult {
+    coord::Coordinator::OpStats stats;
+    std::uint64_t generation = 0;       // written (checkpoint) / used (restart)
+    std::uint64_t latest_committed = 0; // newest committed gen, 0 = none
+    bool fell_back = false;             // restart skipped corrupt newer gen(s)
+  };
+
+  // Coordinated checkpoint into a fresh generation directory. The
+  // generation is committed (manifest with per-image CRCs) only if every
+  // agent reported <done>; on abort the partial generation is discarded.
+  GenerationOpResult RunGenerationCheckpoint(
+      std::vector<coord::Coordinator::Member> members,
+      coord::Coordinator::Options options = {},
+      const std::string& root = ckpt::GenerationStore::kDefaultRoot);
+
+  // Coordinated restart from the newest *intact* committed generation:
+  // every member image is verified against the manifest CRCs first, and
+  // corrupt generations are skipped in favor of older intact ones.
+  GenerationOpResult RunGenerationRestart(
+      std::vector<coord::Coordinator::Member> members,
+      coord::Coordinator::Options options = {},
+      const std::string& root = ckpt::GenerationStore::kDefaultRoot);
+
  private:
   sim::Simulator sim_;
   os::NetworkFileSystem fs_;
@@ -85,6 +125,7 @@ class Cluster {
   std::unique_ptr<os::Node> coordinator_node_;
   std::unique_ptr<coord::Coordinator> coordinator_;
   std::unique_ptr<os::DhcpServer> dhcp_;
+  fault::FaultPlan* armed_plan_ = nullptr;
   std::uint32_t next_pod_ip_offset_ = 100;
 };
 

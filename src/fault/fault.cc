@@ -1,0 +1,127 @@
+#include "fault/fault.h"
+
+#include <sstream>
+
+namespace cruz::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageDrop:
+      return "msg-drop";
+    case FaultKind::kMessageDuplicate:
+      return "msg-dup";
+    case FaultKind::kMessageDelay:
+      return "msg-delay";
+    case FaultKind::kDiskWriteFail:
+      return "disk-write-fail";
+    case FaultKind::kImageCorrupt:
+      return "image-corrupt";
+    case FaultKind::kAgentCrash:
+      return "agent-crash";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeReboot:
+      return "node-reboot";
+  }
+  return "?";
+}
+
+void FaultPlan::ArmDiskWriteFailure(const std::string& node,
+                                    std::uint32_t count) {
+  disk_failures_[node] += count;
+}
+
+void FaultPlan::ArmImageCorruption(const std::string& node,
+                                   std::uint32_t count) {
+  corruptions_[node] += count;
+}
+
+void FaultPlan::ArmAgentCrash(const std::string& node,
+                              std::uint8_t msg_type) {
+  agent_crashes_[node] = msg_type;
+}
+
+void FaultPlan::ArmNodeCrash(std::size_t index, TimeNs crash_at,
+                             DurationNs reboot_after) {
+  node_crashes_.push_back(NodeCrashSpec{index, crash_at, reboot_after});
+}
+
+std::size_t FaultPlan::CountEvents(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string FaultPlan::EventLog() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << FaultKindName(e.kind) << " " << e.detail << "\n";
+  }
+  return os.str();
+}
+
+void FaultPlan::RecordEvent(FaultKind kind, const std::string& detail) {
+  events_.push_back(FaultEvent{kind, detail});
+}
+
+MessageFate FaultPlan::OnControlSend(const std::string& sender_node,
+                                     std::uint32_t receiver_ip,
+                                     std::uint8_t msg_type) {
+  MessageFate fate;
+  // One RNG draw per armed fault class per message keeps the stream
+  // consumption — and with it the whole run — deterministic.
+  std::string detail = sender_node + "->" + std::to_string(receiver_ip) +
+                       " type=" + std::to_string(msg_type);
+  if (loss_p_ > 0.0 && rng_.NextBernoulli(loss_p_)) {
+    fate.drop = true;
+    RecordEvent(FaultKind::kMessageDrop, detail);
+    return fate;  // dropped messages are neither delayed nor duplicated
+  }
+  if (dup_p_ > 0.0 && rng_.NextBernoulli(dup_p_)) {
+    fate.duplicate = true;
+    RecordEvent(FaultKind::kMessageDuplicate, detail);
+  }
+  if (delay_p_ > 0.0 && max_delay_ > 0 && rng_.NextBernoulli(delay_p_)) {
+    fate.delay = rng_.NextBelow(max_delay_) + 1;
+    RecordEvent(FaultKind::kMessageDelay, detail);
+  }
+  return fate;
+}
+
+bool FaultPlan::FailImageWrite(const std::string& node,
+                               const std::string& path) {
+  auto it = disk_failures_.find(node);
+  if (it == disk_failures_.end() || it->second == 0) return false;
+  --it->second;
+  RecordEvent(FaultKind::kDiskWriteFail, node + " " + path);
+  return true;
+}
+
+void FaultPlan::MaybeCorruptImage(const std::string& node,
+                                  const std::string& path,
+                                  cruz::Bytes& image) {
+  auto it = corruptions_.find(node);
+  if (it == corruptions_.end() || it->second == 0 || image.empty()) return;
+  --it->second;
+  // Flip a handful of bits at seeded offsets; enough to defeat the image
+  // CRC with certainty while leaving the file readable.
+  std::size_t flips = 1 + rng_.NextBelow(7);
+  for (std::size_t i = 0; i < flips; ++i) {
+    std::size_t at = rng_.NextBelow(image.size());
+    image[at] ^= static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
+  }
+  RecordEvent(FaultKind::kImageCorrupt, node + " " + path);
+}
+
+bool FaultPlan::CrashAgentOnMessage(const std::string& node,
+                                    std::uint8_t msg_type) {
+  auto it = agent_crashes_.find(node);
+  if (it == agent_crashes_.end() || it->second != msg_type) return false;
+  agent_crashes_.erase(it);  // one-shot
+  RecordEvent(FaultKind::kAgentCrash, node);
+  return true;
+}
+
+}  // namespace cruz::fault

@@ -1,0 +1,177 @@
+// Deterministic fault injection.
+//
+// The paper claims the Fig. 2 protocol "can be extended in a
+// straightforward way to tolerate Coordinator and Agent failures"; this
+// module provides the machinery to actually exercise those extensions. A
+// FaultPlan is armed from tests and benches with a set of fault specs —
+// agent-process crashes, whole-node crashes (with scheduled reboot), disk
+// write failures, checkpoint-image bit corruption, and control-channel
+// drop/duplicate/delay — and every probabilistic decision is drawn from a
+// single seeded RNG, so a run is reproducible bit-for-bit from the seed.
+//
+// The plan is passive: the coordination and checkpoint layers consult it
+// at well-defined hook points (Injector interface) and apply whatever fate
+// it dictates. Node crash/reboot schedules are the one exception — they
+// are fixed times computed at arm time, executed by cruz::Cluster::
+// ArmFaults, which keeps the plan itself free of simulator dependencies.
+// Every injected fault is appended to an event log tests can assert on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace cruz::fault {
+
+// What happens to one control-plane message about to be sent.
+struct MessageFate {
+  bool drop = false;
+  bool duplicate = false;
+  DurationNs delay = 0;  // applied to the original (and the duplicate)
+};
+
+enum class FaultKind : std::uint8_t {
+  kMessageDrop,
+  kMessageDuplicate,
+  kMessageDelay,
+  kDiskWriteFail,
+  kImageCorrupt,
+  kAgentCrash,
+  kNodeCrash,
+  kNodeReboot,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// One injected fault, recorded for post-run assertions.
+struct FaultEvent {
+  FaultKind kind;
+  std::string detail;  // node name, image path, message type, ...
+};
+
+// Hook interface consulted by the coordination / checkpoint layers. All
+// hooks are no-fault by default so a null injector and a default injector
+// behave identically.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  // Control-channel message about to leave `sender_node` for
+  // `receiver_node`; `msg_type` is the raw coord::MsgType byte.
+  virtual MessageFate OnControlSend(const std::string& sender_node,
+                                    std::uint32_t receiver_ip,
+                                    std::uint8_t msg_type) {
+    (void)sender_node;
+    (void)receiver_ip;
+    (void)msg_type;
+    return {};
+  }
+
+  // True if the checkpoint-image write on `node` must fail with an I/O
+  // error (the agent reports the failure instead of <done>).
+  virtual bool FailImageWrite(const std::string& node,
+                              const std::string& path) {
+    (void)node;
+    (void)path;
+    return false;
+  }
+
+  // Flips bits in an image that is about to be written (silent media
+  // corruption; detected later by the CRC check on restore/verify).
+  virtual void MaybeCorruptImage(const std::string& node,
+                                 const std::string& path,
+                                 cruz::Bytes& image) {
+    (void)node;
+    (void)path;
+    (void)image;
+  }
+
+  // True if the agent process on `node` must crash upon receiving a
+  // message of `msg_type` (it stops responding until Reset()).
+  virtual bool CrashAgentOnMessage(const std::string& node,
+                                   std::uint8_t msg_type) {
+    (void)node;
+    (void)msg_type;
+    return false;
+  }
+};
+
+// A whole-node crash with an optional scheduled reboot, executed by
+// Cluster::ArmFaults through sim events.
+struct NodeCrashSpec {
+  std::size_t node_index = 0;
+  TimeNs crash_at = 0;
+  DurationNs reboot_after = 0;  // 0 = stays down
+};
+
+class FaultPlan : public Injector {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  // --- arming -------------------------------------------------------------
+  // Control-channel faults, applied to every coordination message.
+  void ArmMessageLoss(double probability) { loss_p_ = probability; }
+  void ArmMessageDuplication(double probability) { dup_p_ = probability; }
+  void ArmMessageDelay(double probability, DurationNs max_delay) {
+    delay_p_ = probability;
+    max_delay_ = max_delay;
+  }
+
+  // Fails the next `count` checkpoint-image writes on `node`.
+  void ArmDiskWriteFailure(const std::string& node, std::uint32_t count = 1);
+
+  // Corrupts the next `count` image writes on `node` (random bit flips).
+  void ArmImageCorruption(const std::string& node, std::uint32_t count = 1);
+
+  // Crashes the agent on `node` when it next receives a message of
+  // `msg_type` (e.g. coord::MsgType::kCheckpoint as a raw byte).
+  void ArmAgentCrash(const std::string& node, std::uint8_t msg_type);
+
+  // Schedules a fail-stop of node `index` at `crash_at` (absolute sim
+  // time), rebooting `reboot_after` later (0 = stays down). Executed by
+  // Cluster::ArmFaults.
+  void ArmNodeCrash(std::size_t index, TimeNs crash_at,
+                    DurationNs reboot_after = 0);
+
+  const std::vector<NodeCrashSpec>& node_crashes() const {
+    return node_crashes_;
+  }
+
+  // --- injected-fault log -------------------------------------------------
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t CountEvents(FaultKind kind) const;
+  // Compact one-line-per-event form; equal across runs with equal seeds
+  // and equal schedules (determinism assertions).
+  std::string EventLog() const;
+  void RecordEvent(FaultKind kind, const std::string& detail);
+
+  // --- Injector -----------------------------------------------------------
+  MessageFate OnControlSend(const std::string& sender_node,
+                            std::uint32_t receiver_ip,
+                            std::uint8_t msg_type) override;
+  bool FailImageWrite(const std::string& node,
+                      const std::string& path) override;
+  void MaybeCorruptImage(const std::string& node, const std::string& path,
+                         cruz::Bytes& image) override;
+  bool CrashAgentOnMessage(const std::string& node,
+                           std::uint8_t msg_type) override;
+
+ private:
+  Rng rng_;
+  double loss_p_ = 0.0;
+  double dup_p_ = 0.0;
+  double delay_p_ = 0.0;
+  DurationNs max_delay_ = 0;
+  std::map<std::string, std::uint32_t> disk_failures_;   // node -> remaining
+  std::map<std::string, std::uint32_t> corruptions_;     // node -> remaining
+  std::map<std::string, std::uint8_t> agent_crashes_;    // node -> msg type
+  std::vector<NodeCrashSpec> node_crashes_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cruz::fault

@@ -109,8 +109,11 @@ void DhcpClient::Request(NetworkStack& stack, net::MacAddress chaddr,
         net::MacAddress acked;
         net::Ipv4Address ip;
         if (!DecodeDhcpAck(payload, &acked, &ip) || acked != chaddr) return;
+        // Unregistering destroys this closure; copy the callback out first
+        // so it survives its own deregistration.
+        LeaseCallback deliver = on_lease;
         stack.UnregisterUdpService(kDhcpClientPort);
-        on_lease(ip);
+        deliver(ip);
       });
   net::UdpDatagram dgram;
   dgram.src_port = kDhcpClientPort;

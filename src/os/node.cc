@@ -34,4 +34,11 @@ void Node::Fail() {
   for (Pid pid : pids) os_->DestroyProcess(pid, 128 + kSigKill);
 }
 
+void Node::Reboot() {
+  if (!failed_) return;
+  failed_ = false;
+  CRUZ_INFO("node") << name_ << ": REBOOT";
+  ethernet_.AttachNic(nic_.get());
+}
+
 }  // namespace cruz::os

@@ -71,6 +71,13 @@ class Node {
   void Fail();
   bool failed() const { return failed_; }
 
+  // Brings a failed node back: re-attaches the NIC to the switch. All
+  // pre-crash processes are gone (Fail destroyed them); higher layers are
+  // responsible for cleaning up stale pod bookkeeping and restoring work
+  // from checkpoints, like a machine rejoining the cluster after a power
+  // cycle.
+  void Reboot();
+
  private:
   sim::Simulator& sim_;
   net::EthernetSwitch& ethernet_;

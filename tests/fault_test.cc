@@ -1,0 +1,365 @@
+// Deterministic fault injection against the coordination protocol: the
+// FaultPlan's seeded fates must reproduce bit-for-bit, and every injected
+// failure (disk I/O error, agent crash, coordinator crash, node crash,
+// stale-epoch replay, unbounded loss) must leave the cluster in a clean
+// state — pods running, no leaked partial images, fencing intact.
+#include <gtest/gtest.h>
+
+#include "apps/programs.h"
+#include "ckpt/generation.h"
+#include "coord/agent.h"
+#include "cruz/cluster.h"
+#include "fault/fault.h"
+
+namespace cruz {
+namespace {
+
+constexpr std::uint8_t kCheckpointByte =
+    static_cast<std::uint8_t>(coord::MsgType::kCheckpoint);
+constexpr std::uint8_t kContinueByte =
+    static_cast<std::uint8_t>(coord::MsgType::kContinue);
+
+os::PodId SpawnCounterPod(Cluster& c, std::size_t node,
+                          const std::string& name) {
+  os::PodId id = c.CreatePod(node, name);
+  c.pods(node).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  return id;
+}
+
+bool PodProcessLive(Cluster& c, std::size_t node, os::PodId pod) {
+  os::Pid real = c.pods(node).ToRealPid(pod, 1);
+  if (real == os::kNoPid) return false;
+  os::Process* proc = c.node(node).os().FindProcess(real);
+  return proc != nullptr && proc->state() == os::ProcessState::kLive;
+}
+
+// Identically seeded runs must produce identical fault-event logs and
+// identical protocol outcomes — this is what makes a chaos failure
+// replayable from its seed.
+TEST(Fault, EventLogIsDeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    ClusterConfig config;
+    config.seed = seed;
+    config.num_nodes = 2;
+    Cluster c(config);
+    fault::FaultPlan plan(seed * 13 + 1);
+    plan.ArmMessageLoss(0.3);
+    plan.ArmMessageDuplication(0.3);
+    plan.ArmMessageDelay(0.3, 20 * kMillisecond);
+    c.ArmFaults(plan);
+
+    os::PodId a = SpawnCounterPod(c, 0, "a");
+    os::PodId b = SpawnCounterPod(c, 1, "b");
+    c.sim().RunFor(10 * kMillisecond);
+    coord::Coordinator::Options options;
+    options.retransmit_interval = 200 * kMillisecond;
+    options.timeout = 60 * kSecond;
+    auto stats =
+        c.RunCheckpoint({c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+    return plan.EventLog() + "|" + (stats.success ? "ok" : "fail") + "|" +
+           std::to_string(stats.retransmits);
+  };
+
+  std::string first = run(42);
+  std::string second = run(42);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('|'), std::string::npos);
+  // With 30% fault rates on every control message, at least one fault
+  // must have fired (the log is non-empty).
+  EXPECT_GT(first.find('|'), 0u);
+  // A different seed draws different fates.
+  EXPECT_NE(run(43), first);
+}
+
+TEST(Fault, DiskWriteFailureAbortsFastWithoutLeakingImages) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(7);
+  plan.ArmDiskWriteFailure("node2");
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  TimeNs before = c.sim().Now();
+  auto result = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)});
+  EXPECT_FALSE(result.stats.success);
+  EXPECT_NE(result.stats.abort_reason.find("failed"), std::string::npos);
+  EXPECT_EQ(result.generation, 0u);      // aborted gen was discarded
+  EXPECT_EQ(result.latest_committed, 0u);
+  // The <failed> report aborts the op orders of magnitude faster than the
+  // 120 s operation timeout.
+  EXPECT_LT(c.sim().Now() - before, 10 * kSecond);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kDiskWriteFail), 1u);
+
+  // No partial image of either member survives anywhere under the
+  // generation root, and both pods are running again.
+  EXPECT_TRUE(c.fs().List("/ckpt/gens/gen_").empty());
+  c.sim().RunFor(10 * kMillisecond);
+  EXPECT_TRUE(PodProcessLive(c, 0, a));
+  EXPECT_TRUE(PodProcessLive(c, 1, b));
+
+  // The failure was one-shot: the next attempt commits a generation.
+  auto retry = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)});
+  EXPECT_TRUE(retry.stats.success);
+  EXPECT_EQ(retry.latest_committed, retry.generation);
+}
+
+// A coordinator crash mid-op: the restarted incarnation replays the
+// intent journal, aborts the in-flight op, garbage-collects its partial
+// images, and continues with a fenced (higher) epoch.
+TEST(Fault, CoordinatorRestartRecoversFromIntentJournal) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(11);
+  // Stall the op at step 3: the second agent's process dies on <continue>,
+  // after both images are already on the shared FS.
+  plan.ArmAgentCrash("node2", kContinueByte);
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.image_prefix = "/ckpt/jrec";
+  options.retransmit_interval = 500 * kMillisecond;
+  bool finished = false;
+  c.coordinator().Checkpoint({c.MemberFor(0, a), c.MemberFor(1, b)},
+                             options, [&](const auto&) { finished = true; });
+  c.sim().RunFor(3 * kSecond);
+  ASSERT_FALSE(finished);  // stalled waiting for the crashed agent
+  ASSERT_EQ(c.fs().List("/ckpt/jrec/").size(), 2u);
+
+  // The coordinator process "crashes" and comes back.
+  c.RestartCoordinator();
+  const auto& recovery = c.coordinator().recovery();
+  EXPECT_TRUE(recovery.had_incomplete);
+  EXPECT_FALSE(recovery.was_restart);
+  EXPECT_EQ(recovery.epoch, 1u);
+  EXPECT_EQ(recovery.images_removed, 2u);
+  EXPECT_TRUE(c.fs().List("/ckpt/jrec/").empty());
+  EXPECT_EQ(c.coordinator().epoch(), 1u);  // resumes the fencing sequence
+
+  // Recovery also sent <abort>: the healthy agent resumes its pod.
+  c.sim().RunFor(100 * kMillisecond);
+  EXPECT_TRUE(PodProcessLive(c, 0, a));
+
+  // Restart the dead agent process and verify the cluster is whole: a
+  // fresh op succeeds under the next epoch.
+  c.agent(1).Reset();
+  c.sim().RunFor(10 * kMillisecond);
+  auto stats = c.RunCheckpoint({c.MemberFor(0, a), c.MemberFor(1, b)});
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.op_id, 2u);
+}
+
+// A replayed request from a dead (lower-epoch) coordinator incarnation
+// must be silently dropped by the fencing check, even when its op id is
+// novel.
+TEST(Fault, EpochFencingDropsStaleCoordinatorRequests) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = SpawnCounterPod(c, 0, "job");
+  c.sim().RunFor(10 * kMillisecond);
+  auto stats = c.RunCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(stats.success);
+  ASSERT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 1u);
+
+  coord::CoordMessage stale;
+  stale.type = coord::MsgType::kCheckpoint;
+  stale.op_id = 999;  // novel op — only the epoch marks it stale
+  stale.epoch = 0;
+  stale.pod_id = id;
+  stale.image_path = "/ckpt/stale.img";
+  net::UdpDatagram dgram;
+  dgram.src_port = coord::kCoordinatorPort;
+  dgram.dst_port = coord::kAgentPort;
+  dgram.payload = stale.Encode();
+  net::Ipv4Packet pkt;
+  pkt.src = c.coordinator_node().ip();
+  pkt.dst = c.node(0).ip();
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  c.coordinator_node().stack().SendIpv4(pkt);
+  c.sim().RunFor(kSecond);
+
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 1u);
+  EXPECT_FALSE(c.fs().Exists("/ckpt/stale.img"));
+  EXPECT_TRUE(PodProcessLive(c, 0, id));
+
+  // The live coordinator's next (higher-epoch) op still goes through.
+  auto next = c.RunCheckpoint({c.MemberFor(0, id)});
+  EXPECT_TRUE(next.success);
+  EXPECT_EQ(next.epoch, 2u);
+}
+
+// With the channel fully dead, the retransmit-round cap bounds the op far
+// below the 120 s operation timeout.
+TEST(Fault, RetryCapAbortsUnreachableAgentsFast) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(3);
+  plan.ArmMessageLoss(1.0);
+  c.ArmFaults(plan);
+
+  os::PodId id = SpawnCounterPod(c, 0, "job");
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.retransmit_interval = 100 * kMillisecond;
+  options.max_retransmit_rounds = 3;
+  options.timeout = 60 * kSecond;
+  TimeNs before = c.sim().Now();
+  auto stats = c.RunCheckpoint({c.MemberFor(0, id)}, options);
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.abort_reason, "retry cap");
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_GE(stats.retransmits, 3u);
+  EXPECT_GE(stats.aborts, 1u);
+  EXPECT_LT(c.sim().Now() - before, 5 * kSecond);
+  EXPECT_GT(plan.CountEvents(fault::FaultKind::kMessageDrop), 0u);
+  // The agent never saw the request; its pod kept running throughout.
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 0u);
+  EXPECT_TRUE(PodProcessLive(c, 0, id));
+}
+
+// A whole-machine fail-stop between checkpoints, followed by a scheduled
+// reboot: the work is lost with the machine, but the rebooted node can
+// host the pod again, restored from the last committed generation.
+TEST(Fault, NodeCrashRebootThenGenerationRestart) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = SpawnCounterPod(c, 0, "job");
+  c.sim().RunFor(20 * kMillisecond);
+  auto ck = c.RunGenerationCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(ck.stats.success);
+  ASSERT_GT(ck.generation, 0u);
+
+  fault::FaultPlan plan(5);
+  plan.ArmNodeCrash(0, c.sim().Now() + 50 * kMillisecond,
+                    /*reboot_after=*/100 * kMillisecond);
+  c.ArmFaults(plan);
+  c.sim().RunFor(300 * kMillisecond);
+
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kNodeCrash), 1u);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kNodeReboot), 1u);
+  EXPECT_FALSE(c.node(0).failed());
+  EXPECT_EQ(c.pods(0).Find(id), nullptr);  // pod died with the machine
+
+  auto rs = c.RunGenerationRestart({c.MemberFor(0, id)});
+  EXPECT_TRUE(rs.stats.success);
+  EXPECT_EQ(rs.generation, ck.generation);
+  EXPECT_FALSE(rs.fell_back);
+
+  os::Pid real = c.pods(0).ToRealPid(id, 1);
+  ASSERT_NE(real, os::kNoPid);
+  os::Process* proc = c.node(0).os().FindProcess(real);
+  ASSERT_NE(proc, nullptr);
+  std::uint64_t before = apps::ReadCounter(*proc);
+  c.sim().RunFor(20 * kMillisecond);
+  EXPECT_GT(apps::ReadCounter(*proc), before);
+}
+
+// Silent bit corruption injected at image-write time survives the commit
+// (the manifest CRC is computed over the already-corrupt bytes) but is
+// caught by the deep verification pass — the image's own CRC trailer
+// fails to deserialize — so restart falls back to the older generation.
+TEST(Fault, SilentImageCorruptionCaughtAtRestart) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = SpawnCounterPod(c, 0, "job");
+  c.sim().RunFor(20 * kMillisecond);
+  auto g1 = c.RunGenerationCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(g1.stats.success);
+
+  fault::FaultPlan plan(13);
+  plan.ArmImageCorruption("node1");
+  c.ArmFaults(plan);
+  c.sim().RunFor(20 * kMillisecond);
+  auto g2 = c.RunGenerationCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(g2.stats.success);  // the corruption is silent at write time
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kImageCorrupt), 1u);
+
+  c.pods(0).DestroyPod(id);
+  c.sim().RunFor(10 * kMillisecond);
+  auto rs = c.RunGenerationRestart({c.MemberFor(0, id)});
+  EXPECT_TRUE(rs.stats.success);
+  EXPECT_TRUE(rs.fell_back);
+  EXPECT_EQ(rs.generation, g1.generation);
+  EXPECT_EQ(rs.latest_committed, g2.generation);
+  EXPECT_TRUE(PodProcessLive(c, 0, id));
+}
+
+// Duplicated and delayed control messages alone (no loss) must never
+// break an op: dedupe by op id and epoch fencing absorb them.
+TEST(Fault, DuplicationAndDelayAreHarmless) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(9);
+  plan.ArmMessageDuplication(0.5);
+  plan.ArmMessageDelay(0.5, 30 * kMillisecond);
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  for (int round = 0; round < 3; ++round) {
+    auto result = c.RunGenerationCheckpoint(
+        {c.MemberFor(0, a), c.MemberFor(1, b)});
+    ASSERT_TRUE(result.stats.success) << "round " << round;
+    EXPECT_EQ(result.latest_committed, result.generation);
+    c.sim().RunFor(20 * kMillisecond);
+  }
+  EXPECT_EQ(c.agent(0).checkpoints_served(), 3u);
+  EXPECT_EQ(c.agent(1).checkpoints_served(), 3u);
+  EXPECT_GT(plan.CountEvents(fault::FaultKind::kMessageDuplicate) +
+                plan.CountEvents(fault::FaultKind::kMessageDelay),
+            0u);
+}
+
+// The agent-crash hook takes the agent down *before* it can process the
+// request, so this also exercises heartbeat-based liveness detection in
+// the checkpoint (not just journal-recovery) path.
+TEST(Fault, AgentCrashOnRequestDetectedByHeartbeat) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(21);
+  plan.ArmAgentCrash("node2", kCheckpointByte);
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.retransmit_interval = 500 * kMillisecond;
+  options.heartbeat_interval = 200 * kMillisecond;
+  options.max_missed_heartbeats = 2;
+  options.timeout = 60 * kSecond;
+  TimeNs before = c.sim().Now();
+  auto stats =
+      c.RunCheckpoint({c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.abort_reason.find("unresponsive"), std::string::npos);
+  EXPECT_LT(c.sim().Now() - before, 10 * kSecond);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kAgentCrash), 1u);
+  EXPECT_TRUE(c.agent(1).crashed());
+}
+
+}  // namespace
+}  // namespace cruz
