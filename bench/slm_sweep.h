@@ -28,6 +28,8 @@ struct SweepResult {
   double mean_overhead_us = 0;  // Fig. 5b: coordination overhead
   double stddev_overhead_us = 0;
   double mean_local_ms = 0;     // max local checkpoint time
+  double mean_downtime_ms = 0;  // max pod downtime (== local for
+                                // stop-the-world, snapshot-only for COW)
   std::uint32_t samples = 0;
   std::uint32_t messages_per_op = 0;
   std::vector<std::string> last_images;  // for restart benches
@@ -41,6 +43,11 @@ struct SweepOptions {
   DurationNs app_duration = 40 * kSecond;
   DurationNs checkpoint_interval = 8 * kSecond;
   coord::ProtocolVariant variant = coord::ProtocolVariant::kBlocking;
+  // Forked (copy-on-write) capture: the pod resumes after the in-memory
+  // snapshot; serialize + disk write happen in the background.
+  bool copy_on_write = false;
+  // Version-2 images with RLE page compression.
+  bool compress = false;
   // Grid sized for a ~2 MiB image; the disk rate makes that ~1 s.
   std::uint32_t grid_rows = 512;
   std::uint32_t grid_cols = 512;
@@ -100,7 +107,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
   }
   cluster.sim().RunFor(kSecond);  // ring establishment
 
-  std::vector<double> latencies_ms, overheads_us, locals_ms;
+  std::vector<double> latencies_ms, overheads_us, locals_ms, downtimes_ms;
   SweepResult result;
   result.nodes = nodes;
   TimeNs end = cluster.sim().Now() + opt.app_duration;
@@ -109,6 +116,8 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
     cluster.sim().RunFor(opt.checkpoint_interval);
     coord::Coordinator::Options options;
     options.variant = opt.variant;
+    options.copy_on_write = opt.copy_on_write;
+    options.compress = opt.compress;
     options.image_prefix =
         "/ckpt/sweep_n" + std::to_string(nodes) + "_g" +
         std::to_string(generation++);
@@ -117,6 +126,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
     latencies_ms.push_back(ToMillis(stats.checkpoint_latency));
     overheads_us.push_back(ToMicros(stats.coordination_overhead));
     locals_ms.push_back(ToMillis(stats.max_local));
+    downtimes_ms.push_back(ToMillis(stats.max_downtime));
     result.messages_per_op = stats.total_messages;
     result.last_images = stats.image_paths;
   }
@@ -139,6 +149,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
   result.stddev_overhead_us =
       stddev(overheads_us, result.mean_overhead_us);
   result.mean_local_ms = mean(locals_ms);
+  result.mean_downtime_ms = mean(downtimes_ms);
   return result;
 }
 

@@ -38,6 +38,37 @@ void CheckpointEngine::ResumePod(pod::PodManager& pods, os::PodId id) {
   }
 }
 
+std::uint64_t PodSnapshot::SnapshotPages() const {
+  std::uint64_t pages = 0;
+  for (const ProcessMemory& m : memory_) {
+    pages += m.include.has_value() ? m.include->size()
+                                   : m.memory.PageCount();
+  }
+  return pages;
+}
+
+std::uint64_t PodSnapshot::EstimatedStateBytes() const {
+  return meta_.StateBytes() + SnapshotPages() * os::kPageSize;
+}
+
+PodCheckpoint PodSnapshot::Materialize() const {
+  PodCheckpoint ck = meta_;
+  for (const ProcessMemory& m : memory_) {
+    for (ProcessRecord& rec : ck.processes) {
+      if (rec.vpid != m.vpid) continue;
+      for (const auto& [page_index, page] : m.memory.pages()) {
+        if (m.include.has_value() && m.include->count(page_index) == 0) {
+          continue;  // unchanged since the parent image
+        }
+        rec.pages.push_back(
+            PageRecord{page_index, cruz::Bytes(page->begin(), page->end())});
+      }
+      break;
+    }
+  }
+  return ck;
+}
+
 PodCheckpoint CheckpointEngine::CapturePod(pod::PodManager& pods,
                                            os::PodId id,
                                            CaptureStats* stats) {
@@ -48,6 +79,13 @@ PodCheckpoint CheckpointEngine::CapturePod(pod::PodManager& pods,
                                            os::PodId id,
                                            const CaptureOptions& options,
                                            CaptureStats* stats) {
+  return SnapshotPod(pods, id, options, stats).Materialize();
+}
+
+PodSnapshot CheckpointEngine::SnapshotPod(pod::PodManager& pods,
+                                          os::PodId id,
+                                          const CaptureOptions& options,
+                                          CaptureStats* stats) {
   pod::Pod* pod = pods.Find(id);
   CRUZ_CHECK(pod != nullptr, "CapturePod: no such pod");
   os::Node& node = pods.node();
@@ -58,7 +96,8 @@ PodCheckpoint CheckpointEngine::CapturePod(pod::PodManager& pods,
   //    to stop the execution of all processes in a pod").
   StopPod(pods, id);
 
-  PodCheckpoint ck;
+  PodSnapshot snap;
+  PodCheckpoint& ck = snap.meta_;
   ck.pod_id = pod->id;
   ck.pod_name = pod->name;
   ck.ip = pod->ip;
@@ -104,15 +143,19 @@ PodCheckpoint CheckpointEngine::CapturePod(pod::PodManager& pods,
       rec.threads.push_back(ThreadRecord{t.tid, t.regs});
       ++local_stats.threads;
     }
-    for (const auto& [page_index, page] : proc->memory().pages()) {
-      if (options.incremental && !proc->memory().IsDirty(page_index)) {
-        continue;  // unchanged since the parent image
-      }
-      rec.pages.push_back(
-          PageRecord{page_index, cruz::Bytes(page.begin(), page.end())});
+    // Memory is not copied here: the snapshot shares every page with the
+    // live address space, and post-resume writes copy lazily (COW).
+    PodSnapshot::ProcessMemory mem;
+    mem.vpid = rec.vpid;
+    mem.memory = proc->memory().Snapshot();
+    if (options.incremental) {
+      mem.include = proc->memory().dirty_pages();
     }
-    // Every capture (full or incremental) starts the next delta window.
+    // Every capture (full or incremental) starts the next delta window at
+    // SNAPSHOT time: pages written after the pod resumes — even while the
+    // background write-out is still running — belong to the next delta.
     proc->memory().ClearDirty();
+    snap.memory_.push_back(std::move(mem));
     for (const auto& [fd, desc] : proc->fds()) {
       auto ref_it = desc_refs.find(desc.get());
       if (ref_it == desc_refs.end()) {
@@ -220,14 +263,16 @@ PodCheckpoint CheckpointEngine::CapturePod(pod::PodManager& pods,
   local_stats.network_lock_hold =
       local_stats.tcp_connections * kPerConnectionLockCost +
       socket_bytes * kSecond / kSocketCopyBytesPerSec;
-  local_stats.state_bytes = ck.StateBytes();
+  local_stats.snapshot_pages = snap.SnapshotPages();
+  local_stats.state_bytes = snap.EstimatedStateBytes();
   if (stats != nullptr) *stats = local_stats;
 
-  CRUZ_INFO("ckpt") << node.name() << ": captured pod " << pod->name << " ("
-                    << local_stats.processes << " procs, "
+  CRUZ_INFO("ckpt") << node.name() << ": snapshotted pod " << pod->name
+                    << " (" << local_stats.processes << " procs, "
                     << local_stats.tcp_connections << " conns, "
+                    << local_stats.snapshot_pages << " pages, "
                     << local_stats.state_bytes << " state bytes)";
-  return ck;
+  return snap;
 }
 
 PodCheckpoint CheckpointEngine::LoadImageChain(os::NetworkFileSystem& fs,

@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
 
 #include "ckpt/image.h"
 #include "pod/pod.h"
@@ -28,10 +31,18 @@ struct CaptureStats {
   std::uint32_t listeners = 0;
   std::uint32_t pipes = 0;
   std::uint64_t state_bytes = 0;
+  // Memory pages referenced by the capture (after incremental filtering).
+  std::uint64_t snapshot_pages = 0;
   // Time the network stack's locks were held while the socket state was
   // extracted (the paper holds them "only for the duration needed to save
   // the socket states").
   DurationNs network_lock_hold = 0;
+  // Downtime/total split, filled by the agent's cost model: how long the
+  // pod was actually stopped (with copy-on-write this covers only the
+  // in-memory snapshot; stop-the-world covers the whole save) and the
+  // full capture time including the background serialize + disk write.
+  DurationNs downtime = 0;
+  DurationNs total = 0;
 };
 
 struct CaptureOptions {
@@ -41,6 +52,46 @@ struct CaptureOptions {
   bool incremental = false;
   std::string parent_image;
   std::uint32_t generation = 0;
+};
+
+// Result of the stop-the-world phase of a forked (copy-on-write) capture
+// (paper §5.2). Kernel state — sockets, pipes, IPC, fds, registers — is
+// small and captured eagerly into `meta`; process memory is held as
+// shared-page snapshot handles, so taking a PodSnapshot costs O(page
+// table), not O(image). The pod can resume immediately afterwards: its
+// writes copy pages lazily (os::Memory COW faults) and never perturb the
+// snapshot. Materialize() — typically called later, from the background
+// write-out — assembles the final PodCheckpoint, byte-identical to a
+// stop-the-world capture taken at the snapshot point.
+class PodSnapshot {
+ public:
+  const PodCheckpoint& meta() const { return meta_; }
+  os::PodId pod_id() const { return meta_.pod_id; }
+
+  // Pages this snapshot will serialize (after incremental filtering).
+  std::uint64_t SnapshotPages() const;
+  // Estimate of the eventual image's dominant bytes (pages + buffers),
+  // used by the agent's cost model before the image exists.
+  std::uint64_t EstimatedStateBytes() const;
+
+  // Assembles the full checkpoint from the frozen page handles. Pure:
+  // may be called any number of times, at any (simulated) time after the
+  // snapshot, with identical results.
+  PodCheckpoint Materialize() const;
+
+ private:
+  friend class CheckpointEngine;
+
+  struct ProcessMemory {
+    os::Pid vpid = 0;
+    os::MemorySnapshot memory;
+    // Set for incremental captures: only these pages are serialized
+    // (dirty at snapshot time). Unset = all snapshot pages.
+    std::optional<std::set<std::uint64_t>> include;
+  };
+
+  PodCheckpoint meta_;  // all kernel state; process page lists left empty
+  std::vector<ProcessMemory> memory_;
 };
 
 class CheckpointEngine {
@@ -54,6 +105,17 @@ class CheckpointEngine {
   static PodCheckpoint CapturePod(pod::PodManager& pods, os::PodId id,
                                   const CaptureOptions& options,
                                   CaptureStats* stats = nullptr);
+
+  // Stop-the-world phase only: stops the pod and captures kernel state
+  // eagerly but memory as shared-page COW handles. The pod may be
+  // resumed right after this returns, while the image is materialized
+  // and written out in the background. The dirty-page baseline resets
+  // HERE (snapshot time), not at image-commit time, so an incremental
+  // capture taken after a COW capture carries exactly the pages written
+  // post-snapshot.
+  static PodSnapshot SnapshotPod(pod::PodManager& pods, os::PodId id,
+                                 const CaptureOptions& options,
+                                 CaptureStats* stats = nullptr);
 
   // Loads a checkpoint image from the shared filesystem, resolving the
   // incremental parent chain (oldest-to-newest page overlay). Throws

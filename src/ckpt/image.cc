@@ -10,7 +10,8 @@ namespace cruz::ckpt {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'R', 'U', 'Z', 'I', 'M', 'G', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionRaw = 1;         // raw fixed-size pages
+constexpr std::uint32_t kVersionCompressed = 2;  // per-page codec blobs
 
 void PutMac(cruz::ByteWriter& w, net::MacAddress mac) {
   w.PutBytes(mac.octets.data(), 6);
@@ -39,7 +40,7 @@ std::uint64_t PodCheckpoint::StateBytes() const {
   return n;
 }
 
-cruz::Bytes PodCheckpoint::Serialize() const {
+cruz::Bytes PodCheckpoint::Serialize(bool compress) const {
   cruz::ByteWriter body;
   body.PutU32(pod_id);
   body.PutString(pod_name);
@@ -119,7 +120,11 @@ cruz::Bytes PodCheckpoint::Serialize() const {
     body.PutU32(static_cast<std::uint32_t>(p.pages.size()));
     for (const PageRecord& page : p.pages) {
       body.PutU64(page.page_index);
-      body.PutBytes(page.content);
+      if (compress) {
+        body.PutBlob(EncodePage(page.content, PageCodec::kRle));
+      } else {
+        body.PutBytes(page.content);
+      }
     }
     body.PutU32(static_cast<std::uint32_t>(p.fds.size()));
     for (const FdRecord& f : p.fds) {
@@ -133,9 +138,16 @@ cruz::Bytes PodCheckpoint::Serialize() const {
     }
   }
 
-  cruz::ByteWriter out(body.size() + 24);
+  cruz::ByteWriter out(body.size() + 25);
   out.PutBytes(reinterpret_cast<const std::uint8_t*>(kMagic), 8);
-  out.PutU32(kVersion);
+  if (compress) {
+    // Self-describing header: version 2 carries the preferred codec id so
+    // tools can identify the page encoding without parsing the body.
+    out.PutU32(kVersionCompressed);
+    out.PutU8(static_cast<std::uint8_t>(PageCodec::kRle));
+  } else {
+    out.PutU32(kVersionRaw);
+  }
   out.PutBlob(body.data());
   out.PutU32(cruz::Crc32(body.data()));
   return out.Take();
@@ -149,9 +161,17 @@ PodCheckpoint PodCheckpoint::Deserialize(cruz::ByteSpan image) {
     throw cruz::CodecError("not a Cruz checkpoint image");
   }
   std::uint32_t version = outer.GetU32();
-  if (version != kVersion) {
+  if (version != kVersionRaw && version != kVersionCompressed) {
     throw cruz::CodecError("unsupported image version " +
                            std::to_string(version));
+  }
+  bool compressed = version == kVersionCompressed;
+  if (compressed) {
+    std::uint8_t codec = outer.GetU8();
+    if (codec > static_cast<std::uint8_t>(PageCodec::kRle)) {
+      throw cruz::CodecError("unsupported image page codec " +
+                             std::to_string(codec));
+    }
   }
   cruz::Bytes body = outer.GetBlob();
   std::uint32_t crc = outer.GetU32();
@@ -267,7 +287,11 @@ PodCheckpoint PodCheckpoint::Deserialize(cruz::ByteSpan image) {
     for (std::uint32_t j = 0; j < pages; ++j) {
       PageRecord page;
       page.page_index = r.GetU64();
-      page.content = r.GetBytes(os::kPageSize);
+      if (compressed) {
+        page.content = DecodePage(r.GetBlob());
+      } else {
+        page.content = r.GetBytes(os::kPageSize);
+      }
       p.pages.push_back(std::move(page));
     }
     std::uint32_t fds = r.GetU32();

@@ -11,12 +11,23 @@
 // The wire format is: magic "CRUZIMG1", version, length-prefixed payload,
 // CRC-32 trailer. Deserialization validates all of it and throws
 // CodecError on corruption.
+//
+// Two on-disk versions coexist (the header is self-describing):
+//   version 1 — raw pages (fixed kPageSize bytes per page record). The
+//     original format; still written by default and always readable.
+//   version 2 — compressed pages: the header gains a codec id byte and
+//     each page record is a length-prefixed blob encoded by
+//     ckpt::EncodePage (per-page codec tag + raw-page CRC + payload).
+// Readers dispatch on the version field, so images written by the
+// uncompressed codec load unchanged and compressed images are rejected
+// with CodecError on any per-page corruption.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ckpt/page_codec.h"
 #include "common/bytes.h"
 #include "net/address.h"
 #include "os/file.h"
@@ -141,7 +152,9 @@ struct PodCheckpoint {
   // Bytes of state that dominate disk time (memory pages + buffers).
   std::uint64_t StateBytes() const;
 
-  cruz::Bytes Serialize() const;
+  // `compress == false` emits the version-1 format byte-for-byte;
+  // `compress == true` emits version 2 with RLE-compressed pages.
+  cruz::Bytes Serialize(bool compress = false) const;
   static PodCheckpoint Deserialize(cruz::ByteSpan image);
 
   // Overlays this (incremental) image's pages and current state onto

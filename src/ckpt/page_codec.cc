@@ -1,0 +1,85 @@
+#include "ckpt/page_codec.h"
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "os/memory.h"
+
+namespace cruz::ckpt {
+
+namespace {
+
+// RLE payload: (u16 run length, u8 value) tokens summing to kPageSize.
+cruz::Bytes RleBody(cruz::ByteSpan page) {
+  cruz::ByteWriter w;
+  std::size_t i = 0;
+  while (i < page.size()) {
+    std::uint8_t value = page[i];
+    std::size_t run = 1;
+    while (i + run < page.size() && page[i + run] == value &&
+           run < 0xFFFF) {
+      ++run;
+    }
+    w.PutU16(static_cast<std::uint16_t>(run));
+    w.PutU8(value);
+    i += run;
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+cruz::Bytes EncodePage(cruz::ByteSpan page, PageCodec preferred) {
+  CRUZ_CHECK(page.size() == os::kPageSize, "EncodePage: wrong page size");
+  std::uint32_t crc = cruz::Crc32(page);
+  cruz::ByteWriter out;
+  if (preferred == PageCodec::kRle) {
+    cruz::Bytes body = RleBody(page);
+    if (body.size() < page.size()) {
+      out.PutU8(static_cast<std::uint8_t>(PageCodec::kRle));
+      out.PutU32(crc);
+      out.PutBytes(body);
+      return out.Take();
+    }
+    // RLE would expand this page; store it raw instead.
+  }
+  out.PutU8(static_cast<std::uint8_t>(PageCodec::kRaw));
+  out.PutU32(crc);
+  out.PutBytes(page);
+  return out.Take();
+}
+
+cruz::Bytes DecodePage(cruz::ByteSpan encoded) {
+  cruz::ByteReader r(encoded);
+  std::uint8_t codec = r.GetU8();
+  std::uint32_t crc = r.GetU32();
+  cruz::Bytes page;
+  switch (static_cast<PageCodec>(codec)) {
+    case PageCodec::kRaw:
+      page = r.GetBytes(os::kPageSize);
+      break;
+    case PageCodec::kRle: {
+      page.reserve(os::kPageSize);
+      while (page.size() < os::kPageSize) {
+        std::uint16_t run = r.GetU16();
+        std::uint8_t value = r.GetU8();
+        if (run == 0 || page.size() + run > os::kPageSize) {
+          throw cruz::CodecError("compressed page: malformed run length");
+        }
+        page.insert(page.end(), run, value);
+      }
+      break;
+    }
+    default:
+      throw cruz::CodecError("compressed page: unknown codec id " +
+                             std::to_string(codec));
+  }
+  if (!r.AtEnd()) {
+    throw cruz::CodecError("compressed page: trailing bytes");
+  }
+  if (cruz::Crc32(page) != crc) {
+    throw cruz::CodecError("compressed page: CRC mismatch");
+  }
+  return page;
+}
+
+}  // namespace cruz::ckpt

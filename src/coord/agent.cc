@@ -266,10 +266,16 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     capture.parent_image = previous->second.first;
     capture.generation = previous->second.second + 1;
   }
+  if (m.copy_on_write) {
+    // Forked checkpoint (§5.2): snapshot now, write out in the background
+    // after the pod has resumed.
+    StartForkedCheckpoint(m, capture);
+    return;
+  }
   ckpt::CaptureStats stats;
   ckpt::PodCheckpoint ck =
       ckpt::CheckpointEngine::CapturePod(pods_, m.pod_id, capture, &stats);
-  cruz::Bytes image = ck.Serialize();
+  cruz::Bytes image = ck.Serialize(m.compress);
   std::uint64_t image_bytes = image.size();
   if (fault_ != nullptr && fault_->FailImageWrite(node_.name(),
                                                   m.image_path)) {
@@ -302,19 +308,9 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
       capture_cost + image_bytes * kSecond / kSerializeBytesPerSec +
       node_.DiskWriteDuration(image_bytes);
   op_.local_duration = local;
+  // Stop-the-world: the pod stays stopped for the entire local save.
+  op_.downtime = local;
   ++checkpoints_served_;
-
-  // Copy-on-write (§5.2): the state is snapshotted in memory; the pod may
-  // resume as soon as the capture itself is done, while the serialization
-  // and disk write proceed in the background.
-  if (m.copy_on_write) {
-    std::uint64_t cow_op = op_.op_id;
-    node_.os().sim().Schedule(capture_cost, [this, cow_op] {
-      if (crashed_ || !op_active_ || op_.op_id != cow_op) return;
-      op_.resume_ready = true;
-      MaybeResume();
-    });
-  }
 
   // Fig. 4 optimization: announce communication-disabled immediately so
   // the coordinator can grant early resume permission.
@@ -341,12 +337,117 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     done.epoch = op_.epoch;
     done.pod_id = op_.pod;
     done.local_duration = op_.local_duration;
+    done.downtime = op_.downtime;
     done.extra_messages = op_.flush_messages;
     last_done_reply_ = done;
     Send(op_.coordinator, done);
     MaybeResume();
     MaybeFinishOp();
   });
+}
+
+void CheckpointAgent::StartForkedCheckpoint(
+    const CoordMessage& m, const ckpt::CaptureOptions& capture) {
+  // Stop-the-world phase: kernel state is extracted eagerly, memory is
+  // frozen as shared COW page handles — O(page table), not O(image).
+  ckpt::CaptureStats stats;
+  ckpt::PodSnapshot snap =
+      ckpt::CheckpointEngine::SnapshotPod(pods_, m.pod_id, capture, &stats);
+
+  DurationNs capture_cost = kFilterConfigCost +
+                            stats.processes * kPerProcessStopCost +
+                            stats.network_lock_hold;
+  DurationNs serialize_cost =
+      stats.state_bytes * kSecond / kSerializeBytesPerSec;
+  op_.downtime = capture_cost;
+  op_.local_duration = capture_cost + serialize_cost;  // + disk, known later
+  ++checkpoints_served_;
+
+  // The pod may resume as soon as the in-memory snapshot exists; its
+  // writes from here on hit COW faults instead of the frozen pages.
+  std::uint64_t op_id = op_.op_id;
+  node_.os().sim().Schedule(capture_cost, [this, op_id] {
+    if (crashed_ || !op_active_ || op_.op_id != op_id) return;
+    op_.resume_ready = true;
+    MaybeResume();
+  });
+
+  // Fig. 4: announce communication-disabled immediately, so the early
+  // resume permission overlaps the background save.
+  if (op_.variant == ProtocolVariant::kOptimized) {
+    CoordMessage disabled;
+    disabled.type = MsgType::kCommDisabled;
+    disabled.op_id = op_.op_id;
+    disabled.epoch = op_.epoch;
+    disabled.pod_id = op_.pod;
+    Send(op_.coordinator, disabled);
+  }
+
+  // Background write-out. Materialization is deferred to the end of the
+  // serialize window — by then the pod has typically been running (and
+  // writing) for a while, which is exactly what the COW snapshot defends
+  // against: the image bytes are still the snapshot-point state.
+  bool compress = m.compress;
+  std::string image_path = m.image_path;
+  std::uint32_t generation = capture.generation;
+  node_.os().sim().Schedule(
+      capture_cost + serialize_cost,
+      [this, op_id, snap = std::move(snap), compress, image_path,
+       generation] {
+        if (crashed_ || !op_active_ || op_.op_id != op_id) return;
+        cruz::Bytes image = snap.Materialize().Serialize(compress);
+        std::uint64_t image_bytes = image.size();
+        if (fault_ != nullptr) {
+          fault_->MaybeCorruptImage(node_.name(), image_path, image);
+        }
+        // The file appears on the shared FS now but counts as partial
+        // until <done> commits it; an abort or crash before then GCs it.
+        node_.os().fs().WriteFile(image_path, std::move(image));
+        op_.image_path = image_path;
+        op_.image_written = true;
+        DurationNs disk = node_.DiskWriteDuration(image_bytes);
+        op_.local_duration += disk;
+        node_.os().sim().Schedule(disk, [this, op_id, image_path,
+                                         generation] {
+          if (crashed_ || !op_active_ || op_.op_id != op_id) return;
+          if (fault_ != nullptr &&
+              fault_->FailImageWrite(node_.name(), image_path)) {
+            // The background write failed after the pod already resumed:
+            // GC the partial image, invalidate the incremental baseline,
+            // and fail the op. The previous generation stays latest.
+            DiscardCheckpointImage(op_.pod, image_path);
+            if (!op_.resumed) {
+              ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+              RemoveDropFilter();
+            }
+            CoordMessage request;
+            request.op_id = op_.op_id;
+            request.epoch = op_.epoch;
+            request.pod_id = op_.pod;
+            net::Endpoint coordinator = op_.coordinator;
+            op_active_ = false;
+            FailLocalOp(coordinator, request,
+                        "background image write I/O error");
+            return;
+          }
+          op_.save_done = true;
+          op_.resume_ready = true;
+          last_image_[op_.pod] = {image_path, generation};
+          op_.done_sent = true;
+          CoordMessage done;
+          done.type = MsgType::kDone;
+          done.op_id = op_.op_id;
+          done.epoch = op_.epoch;
+          done.pod_id = op_.pod;
+          done.local_duration = op_.local_duration;
+          done.downtime = op_.downtime;
+          done.extra_messages = op_.flush_messages;
+          last_done_reply_ = done;
+          Send(op_.coordinator, done);
+          MaybeResume();
+          MaybeFinishOp();
+        });
+      });
 }
 
 // ---------------------------------------------------------------------------

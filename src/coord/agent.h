@@ -82,6 +82,9 @@ class CheckpointAgent {
     std::uint64_t filter_id = 0;
     TimeNs started = 0;
     DurationNs local_duration = 0;
+    // How long the pod's processes are stopped: the whole save for a
+    // stop-the-world checkpoint, only the snapshot for copy-on-write.
+    DurationNs downtime = 0;
     bool save_done = false;
     // With copy-on-write the pod may resume before the disk write
     // finishes: resume_ready flips at capture time instead of save time.
@@ -100,6 +103,10 @@ class CheckpointAgent {
   void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
   void HandleCheckpoint(const CoordMessage& m, net::Endpoint from);
   void StartLocalCheckpoint(const CoordMessage& m);
+  // Forked (copy-on-write) checkpoint: short stop-the-world snapshot,
+  // then a background serialize + disk write after the pod resumes.
+  void StartForkedCheckpoint(const CoordMessage& m,
+                             const ckpt::CaptureOptions& capture);
   void HandleRestart(const CoordMessage& m, net::Endpoint from);
   void HandleContinue(const CoordMessage& m);
   void HandleAbort(const CoordMessage& m);

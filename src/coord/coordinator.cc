@@ -139,6 +139,7 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
     if (!is_restart) {
       m.incremental = options_.incremental;
       m.copy_on_write = options_.copy_on_write;
+      m.compress = options_.compress;
     }
     if (options_.variant == ProtocolVariant::kFlushBaseline) {
       m.peers = peer_ips;
@@ -260,6 +261,7 @@ void Coordinator::OnDatagram(net::Endpoint from,
     case MsgType::kDone:
       if (pending_done_.erase(from.ip.value) != 0) {
         stats_.max_local = std::max(stats_.max_local, m.local_duration);
+        stats_.max_downtime = std::max(stats_.max_downtime, m.downtime);
         stats_.total_messages += m.extra_messages;
         if (pending_done_.empty()) {
           stats_.checkpoint_latency = node_.os().sim().Now() - op_start_;
@@ -339,6 +341,7 @@ void Coordinator::RetransmitPending() {
       if (!is_restart_) {
         m.incremental = options_.incremental;
         m.copy_on_write = options_.copy_on_write;
+        m.compress = options_.compress;
       }
       ++stats_.retransmits;
       SendToAgent(i, std::move(m));

@@ -88,6 +88,9 @@ class Coordinator {
     // resume permission also arrives early.
     bool incremental = false;
     bool copy_on_write = false;
+    // Write version-2 images with RLE-compressed pages (shrinks the
+    // dominant disk-write time; restore reads either version).
+    bool compress = false;
   };
 
   struct OpStats {
@@ -100,6 +103,10 @@ class Coordinator {
     DurationNs full_latency = 0;
     DurationNs max_local = 0;     // max agent-local checkpoint/restore time
     DurationNs max_continue = 0;  // max agent-local continue time
+    // Max agent-reported pod downtime: how long any pod's processes were
+    // stopped. Stop-the-world: ≈ max_local. Copy-on-write: only the
+    // snapshot, so downtime ≪ max_local (the Fig. 5a split this PR adds).
+    DurationNs max_downtime = 0;
     // full_latency − max_local − max_continue (Fig. 5b metric).
     DurationNs coordination_overhead = 0;
     std::uint32_t coordinator_messages = 0;  // sent by the coordinator

@@ -14,7 +14,9 @@ cruz::Bytes CoordMessage::Encode() const {
   w.PutString(image_path);
   w.PutBool(incremental);
   w.PutBool(copy_on_write);
+  w.PutBool(compress);
   w.PutU64(local_duration);
+  w.PutU64(downtime);
   w.PutU32(extra_messages);
   w.PutU32(sender_index);
   w.PutU32(static_cast<std::uint32_t>(peers.size()));
@@ -41,7 +43,9 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   m.image_path = r.GetString();
   m.incremental = r.GetBool();
   m.copy_on_write = r.GetBool();
+  m.compress = r.GetBool();
   m.local_duration = r.GetU64();
+  m.downtime = r.GetU64();
   m.extra_messages = r.GetU32();
   m.sender_index = r.GetU32();
   std::uint32_t n = r.GetU32();

@@ -64,11 +64,18 @@ struct CoordMessage {
   // completes in the background.
   bool incremental = false;
   bool copy_on_write = false;
+  // Write version-2 images with RLE-compressed pages (self-describing
+  // header; agents restoring read either version).
+  bool compress = false;
 
   // Agent-reported local durations (kDone / kContinueDone), used by the
   // coordinator to compute the coordination overhead exactly as §6 does:
   // total latency minus the max local checkpoint and continue times.
   DurationNs local_duration = 0;
+  // Agent-reported pod downtime (kDone): how long the pod's processes
+  // were actually stopped. Under copy-on-write this covers only the
+  // stop-the-world snapshot, not the background write-out.
+  DurationNs downtime = 0;
   // Extra agent-to-agent messages (flush baseline) for the message count.
   std::uint32_t extra_messages = 0;
   std::uint32_t sender_index = 0;  // member index (flush marker routing)

@@ -119,6 +119,22 @@ void Cluster::ArmFaults(fault::FaultPlan& plan) {
       });
     }
   }
+
+  // Timed agent-process crashes (node stays up). These can hit inside an
+  // agent's background write-out window, which no message-triggered crash
+  // can reach once the pod has resumed.
+  for (const fault::AgentCrashSpec& spec : plan.agent_crash_times()) {
+    CRUZ_CHECK(spec.node_index < agents_.size(),
+               "agent crash spec out of range");
+    coord::CheckpointAgent* agent = agents_[spec.node_index].get();
+    fault::FaultPlan* p = &plan;
+    TimeNs crash_delay =
+        spec.crash_at > sim_.Now() ? spec.crash_at - sim_.Now() : 0;
+    sim_.Schedule(crash_delay, [agent, p] {
+      agent->Crash();
+      p->RecordEvent(fault::FaultKind::kAgentCrash, agent->node().name());
+    });
+  }
 }
 
 void Cluster::RestartCoordinator() {

@@ -46,6 +46,10 @@ void FaultPlan::ArmNodeCrash(std::size_t index, TimeNs crash_at,
   node_crashes_.push_back(NodeCrashSpec{index, crash_at, reboot_after});
 }
 
+void FaultPlan::ArmAgentCrashAt(std::size_t index, TimeNs crash_at) {
+  agent_crash_times_.push_back(AgentCrashSpec{index, crash_at});
+}
+
 std::size_t FaultPlan::CountEvents(FaultKind kind) const {
   std::size_t n = 0;
   for (const FaultEvent& e : events_) {

@@ -109,6 +109,16 @@ struct NodeCrashSpec {
   DurationNs reboot_after = 0;  // 0 = stays down
 };
 
+// An agent-process crash at an absolute sim time (the node stays up),
+// executed by Cluster::ArmFaults through sim events. Unlike the
+// message-triggered ArmAgentCrash, a timed crash can land in the middle
+// of an agent's background work — e.g. the copy-on-write write-out
+// window, after the pod has already resumed.
+struct AgentCrashSpec {
+  std::size_t node_index = 0;
+  TimeNs crash_at = 0;
+};
+
 class FaultPlan : public Injector {
  public:
   explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
@@ -138,8 +148,16 @@ class FaultPlan : public Injector {
   void ArmNodeCrash(std::size_t index, TimeNs crash_at,
                     DurationNs reboot_after = 0);
 
+  // Crashes only the agent process on node `index` at `crash_at`
+  // (absolute sim time); the node itself keeps running. Executed by
+  // Cluster::ArmFaults.
+  void ArmAgentCrashAt(std::size_t index, TimeNs crash_at);
+
   const std::vector<NodeCrashSpec>& node_crashes() const {
     return node_crashes_;
+  }
+  const std::vector<AgentCrashSpec>& agent_crash_times() const {
+    return agent_crash_times_;
   }
 
   // --- injected-fault log -------------------------------------------------
@@ -171,6 +189,7 @@ class FaultPlan : public Injector {
   std::map<std::string, std::uint32_t> corruptions_;     // node -> remaining
   std::map<std::string, std::uint8_t> agent_crashes_;    // node -> msg type
   std::vector<NodeCrashSpec> node_crashes_;
+  std::vector<AgentCrashSpec> agent_crash_times_;
   std::vector<FaultEvent> events_;
 };
 

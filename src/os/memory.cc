@@ -10,14 +10,20 @@ Memory::Page& Memory::PageForWrite(std::uint64_t page_index) {
   dirty_.insert(page_index);
   auto it = pages_.find(page_index);
   if (it == pages_.end()) {
-    it = pages_.emplace(page_index, Page(kPageSize, 0)).first;
+    it = pages_.emplace(page_index, std::make_shared<Page>(kPageSize, 0))
+             .first;
+  } else if (it->second.use_count() > 1) {
+    // The page is shared with at least one snapshot: copy before the
+    // write so the snapshot's view stays frozen (COW fault).
+    it->second = std::make_shared<Page>(*it->second);
+    ++cow_faults_;
   }
-  return it->second;
+  return *it->second;
 }
 
 const Memory::Page* Memory::PageForRead(std::uint64_t page_index) const {
   auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : &it->second;
+  return it == pages_.end() ? nullptr : it->second.get();
 }
 
 void Memory::WriteBytes(std::uint64_t addr, cruz::ByteSpan data) {
@@ -90,17 +96,26 @@ double Memory::ReadF64(std::uint64_t addr) const {
 
 void Memory::InstallPage(std::uint64_t page_index, cruz::ByteSpan content) {
   CRUZ_CHECK(content.size() == kPageSize, "InstallPage: wrong size");
-  pages_[page_index] = Page(content.begin(), content.end());
+  pages_[page_index] =
+      std::make_shared<Page>(content.begin(), content.end());
   dirty_.insert(page_index);
 }
 
 void Memory::DropZeroPages() {
   for (auto it = pages_.begin(); it != pages_.end();) {
     bool all_zero =
-        std::all_of(it->second.begin(), it->second.end(),
+        std::all_of(it->second->begin(), it->second->end(),
                     [](std::uint8_t b) { return b == 0; });
     it = all_zero ? pages_.erase(it) : std::next(it);
   }
+}
+
+MemorySnapshot Memory::Snapshot() const {
+  MemorySnapshot::PageMap shared;
+  for (const auto& [index, page] : pages_) {
+    shared.emplace(index, page);
+  }
+  return MemorySnapshot(std::move(shared));
 }
 
 }  // namespace cruz::os

@@ -1,15 +1,23 @@
-// Sparse paged process memory.
+// Sparse paged process memory with copy-on-write snapshots.
 //
 // A process address space is a map from page index to 4 KiB pages,
 // allocated on first write. The checkpoint engine serializes only the
 // allocated (non-zero) pages — "most of the state consists of the non-zero
 // contents of the virtual memory of all processes running in the pod"
 // (paper §6) — so checkpoint size tracks what the application touched.
+//
+// Pages are reference-counted so a checkpoint can take a MemorySnapshot —
+// a frozen view sharing every page — in O(page table) time while the pod
+// is stopped (paper §5.2, forked checkpointing). After the pod resumes,
+// the first write to a shared page copies it privately (a "COW fault"),
+// so the snapshot stays byte-stable while the background write-out
+// serializes it, and the running pod pays only for the pages it touches.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -19,6 +27,32 @@ namespace cruz::os {
 
 constexpr std::size_t kPageSize = 4096;
 constexpr std::uint64_t kPageShift = 12;
+
+// Immutable view of a memory image at snapshot time. Pages are shared
+// with the live Memory until the pod writes to them; the snapshot keeps
+// its own references, so it is unaffected by later writes (which copy)
+// and by page drops in the live address space.
+class MemorySnapshot {
+ public:
+  using Page = std::vector<std::uint8_t>;
+  using PageMap = std::map<std::uint64_t, std::shared_ptr<const Page>>;
+
+  MemorySnapshot() = default;
+  explicit MemorySnapshot(PageMap pages) : pages_(std::move(pages)) {}
+
+  const PageMap& pages() const { return pages_; }
+  std::size_t PageCount() const { return pages_.size(); }
+  std::uint64_t ResidentBytes() const { return pages_.size() * kPageSize; }
+
+  // Returns nullptr for pages not present at snapshot time.
+  const Page* Find(std::uint64_t page_index) const {
+    auto it = pages_.find(page_index);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+ private:
+  PageMap pages_;
+};
 
 class Memory {
  public:
@@ -36,7 +70,9 @@ class Memory {
   double ReadF64(std::uint64_t addr) const;
 
   // --- pages -------------------------------------------------------------------
-  const std::map<std::uint64_t, Page>& pages() const { return pages_; }
+  const std::map<std::uint64_t, std::shared_ptr<Page>>& pages() const {
+    return pages_;
+  }
   std::size_t PageCount() const { return pages_.size(); }
   std::size_t ResidentBytes() const { return pages_.size() * kPageSize; }
   void InstallPage(std::uint64_t page_index, cruz::ByteSpan content);
@@ -44,6 +80,17 @@ class Memory {
 
   // Drops pages that are entirely zero (used to keep checkpoints small).
   void DropZeroPages();
+
+  // --- copy-on-write snapshots (forked checkpointing, paper §5.2) ----------
+  // Freezes the current image by sharing every page with the returned
+  // snapshot. O(page table), no page copies. Writes after the snapshot
+  // copy the touched page first (counted in cow_faults), so the snapshot
+  // is byte-stable forever.
+  MemorySnapshot Snapshot() const;
+
+  // Pages copied because a write hit a page shared with a snapshot.
+  std::uint64_t cow_faults() const { return cow_faults_; }
+  void ResetCowFaults() { cow_faults_ = 0; }
 
   // --- dirty tracking (incremental checkpointing, paper §5.2) -------------
   // Every write marks its pages dirty; an incremental checkpoint saves
@@ -59,8 +106,11 @@ class Memory {
   // Returns nullptr for never-written pages (reads see zeros).
   const Page* PageForRead(std::uint64_t page_index) const;
 
-  std::map<std::uint64_t, Page> pages_;
+  // Pages are shared with snapshots; a write that hits a shared page
+  // (use_count > 1) clones it first.
+  std::map<std::uint64_t, std::shared_ptr<Page>> pages_;
   std::set<std::uint64_t> dirty_;
+  std::uint64_t cow_faults_ = 0;
 };
 
 }  // namespace cruz::os

@@ -361,5 +361,159 @@ TEST(Fault, AgentCrashOnRequestDetectedByHeartbeat) {
   EXPECT_TRUE(c.agent(1).crashed());
 }
 
+// A disk failure that hits DURING the background write-out of a forked
+// (copy-on-write) checkpoint: the pod resumed at snapshot time, long
+// before the write fails. The op must abort, the partial image must be
+// GC'd, and the previously committed generation must remain `latest`
+// and restorable.
+TEST(Fault, DiskFailureDuringCowWriteOutKeepsPriorGeneration) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.node_template.disk_write_bytes_per_sec = 2 * kMiB;
+  Cluster c(config);
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  // Enough state on node2 that its write-out takes real (simulated) time.
+  os::Process* bp = c.node(1).os().FindProcess(c.pods(1).ToRealPid(b, 1));
+  Bytes page(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    bp->memory().InstallPage(0x1000 + i, page);
+  }
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.variant = coord::ProtocolVariant::kOptimized;
+  options.copy_on_write = true;
+  options.compress = true;
+  auto g1 = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  ASSERT_TRUE(g1.stats.success);
+
+  fault::FaultPlan plan(11);
+  plan.ArmDiskWriteFailure("node2");
+  c.ArmFaults(plan);
+  auto g2 = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  EXPECT_FALSE(g2.stats.success);
+  EXPECT_NE(g2.stats.abort_reason.find("failed"), std::string::npos);
+  EXPECT_EQ(g2.generation, 0u);  // discarded, never committed
+  EXPECT_EQ(g2.latest_committed, g1.generation);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kDiskWriteFail), 1u);
+
+  // The aborted generation's partial images are gone: only generation-1
+  // files (plus the SEQ counter) remain under the root.
+  ckpt::GenerationStore store(c.fs());
+  std::string keep = store.Prefix(g1.generation);
+  for (const std::string& path : c.fs().List("/ckpt/gens/")) {
+    EXPECT_TRUE(path == "/ckpt/gens/SEQ" || path.rfind(keep, 0) == 0)
+        << path;
+  }
+
+  // Both pods kept running (the failed member was resumed on abort, the
+  // healthy one never noticed), and generation 1 restores cleanly.
+  c.sim().RunFor(10 * kMillisecond);
+  EXPECT_TRUE(PodProcessLive(c, 0, a));
+  EXPECT_TRUE(PodProcessLive(c, 1, b));
+  c.pods(0).DestroyPod(a);
+  c.pods(1).DestroyPod(b);
+  auto rs = c.RunGenerationRestart({c.MemberFor(0, a), c.MemberFor(1, b)});
+  EXPECT_TRUE(rs.stats.success);
+  EXPECT_FALSE(rs.fell_back);
+  EXPECT_EQ(rs.generation, g1.generation);
+}
+
+// An agent process crash in the middle of the background write-out: the
+// pod has already resumed and its TCP stream keeps flowing; heartbeats
+// detect the dead agent, the op aborts, the partial image is GC'd, the
+// prior generation stays `latest`, and the stream drains intact.
+TEST(Fault, AgentCrashDuringCowWriteOutLeavesStreamClean) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.node_template.disk_write_bytes_per_sec = 2 * kMiB;
+  Cluster c(config);
+  os::PodId rp = c.CreatePod(1, "recv");
+  net::Ipv4Address rip = c.pods(1).Find(rp)->ip;
+  // Bursty consumer (64 KiB per 20 ms): the 16 MiB stream stays active
+  // for several simulated seconds — far longer than the write-out.
+  os::Pid rv = c.pods(1).SpawnInPod(
+      rp, "cruz.stream_receiver",
+      apps::StreamReceiverArgs(9100, 20 * kMillisecond, 64 * 1024));
+  c.sim().RunFor(5 * kMillisecond);
+  os::PodId sp = c.CreatePod(0, "send");
+  c.pods(0).SpawnInPod(sp, "cruz.stream_sender",
+                       apps::StreamSenderArgs(rip, 9100, 16 * kMiB));
+  auto status = [&] {
+    os::Process* p =
+        c.node(1).os().FindProcess(c.pods(1).ToRealPid(rp, rv));
+    return p != nullptr ? apps::ReadStreamStatus(*p) : apps::StreamStatus{};
+  };
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] { return status().bytes > 256 * 1024; },
+      c.sim().Now() + 60 * kSecond));
+
+  // Pad the receiver pod with incompressible state so even the compressed
+  // write-out takes ~1 s on the slow disk.
+  os::Process* rproc =
+      c.node(1).os().FindProcess(c.pods(1).ToRealPid(rp, rv));
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    Bytes page(os::kPageSize);
+    for (std::size_t j = 0; j < page.size(); ++j) {
+      page[j] = static_cast<std::uint8_t>(j * 7 + i * 131 + 3);
+    }
+    rproc->memory().InstallPage(0x1000 + i, page);
+  }
+
+  coord::Coordinator::Options options;
+  options.variant = coord::ProtocolVariant::kOptimized;
+  options.copy_on_write = true;
+  options.compress = true;
+  options.retransmit_interval = 500 * kMillisecond;
+  options.heartbeat_interval = 200 * kMillisecond;
+  options.max_missed_heartbeats = 2;
+  options.timeout = 60 * kSecond;
+  auto g1 = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, sp), c.MemberFor(1, rp)}, options);
+  ASSERT_TRUE(g1.stats.success);
+
+  // Crash node2's agent 300 ms into the next checkpoint: far inside its
+  // background write-out window (the snapshot itself takes microseconds,
+  // the disk write around a second).
+  fault::FaultPlan plan(13);
+  plan.ArmAgentCrashAt(1, c.sim().Now() + 300 * kMillisecond);
+  c.ArmFaults(plan);
+  TimeNs before = c.sim().Now();
+  auto g2 = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, sp), c.MemberFor(1, rp)}, options);
+  EXPECT_FALSE(g2.stats.success);
+  EXPECT_NE(g2.stats.abort_reason.find("unresponsive"), std::string::npos);
+  EXPECT_LT(c.sim().Now() - before, 10 * kSecond);
+  EXPECT_EQ(g2.generation, 0u);
+  EXPECT_EQ(g2.latest_committed, g1.generation);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kAgentCrash), 1u);
+  EXPECT_TRUE(c.agent(1).crashed());
+
+  // The aborted generation (including the crashed agent's partial image)
+  // was garbage-collected wholesale.
+  ckpt::GenerationStore store(c.fs());
+  std::string keep = store.Prefix(g1.generation);
+  for (const std::string& path : c.fs().List("/ckpt/gens/")) {
+    EXPECT_TRUE(path == "/ckpt/gens/SEQ" || path.rfind(keep, 0) == 0)
+        << path;
+  }
+
+  // The receiver pod resumed before the crash; after the agent process
+  // restarts, the stream drains to completion without a corrupted byte.
+  c.agent(1).Reset();
+  apps::StreamStatus last;
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] {
+        auto s = status();
+        if (s.bytes != 0) last = s;
+        return last.bytes >= 16 * kMiB;
+      },
+      c.sim().Now() + 600 * kSecond));
+  EXPECT_EQ(last.mismatches, 0u);
+}
+
 }  // namespace
 }  // namespace cruz

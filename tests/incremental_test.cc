@@ -3,6 +3,8 @@
 // and copy-on-write checkpoint-and-continue.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/programs.h"
 #include "apps/slm.h"
 #include "ckpt/engine.h"
@@ -327,6 +329,72 @@ TEST(CopyOnWrite, StreamSurvivesCowCheckpoint) {
       },
       c.sim().Now() + 600 * kSecond));
   EXPECT_EQ(last.mismatches, 0u);
+}
+
+// The dirty-page baseline resets at SNAPSHOT time, not at write-out
+// completion: an incremental capture taken after a forked (COW) capture
+// holds exactly the pages written after the snapshot point — pages that
+// only exist in the (conceptually still-being-written) base image do not
+// reappear in the delta.
+TEST(Incremental, DeltaAfterCowCaptureHoldsOnlyPostSnapshotPages) {
+  Cluster c;
+  os::PodId id = c.CreatePod(0, "job");
+  os::Pid vpid = c.pods(0).SpawnInPod(id, "cruz.counter",
+                                      apps::CounterArgs(1u << 30));
+  os::Process* proc =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, vpid));
+  cruz::Bytes page(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    proc->memory().InstallPage(0x1000 + i, page);
+  }
+  c.sim().RunFor(10 * kMillisecond);
+
+  // Forked full capture: snapshot now, materialize later.
+  PodSnapshot snap =
+      CheckpointEngine::SnapshotPod(c.pods(0), id, CaptureOptions{});
+  CheckpointEngine::ResumePod(c.pods(0), id);
+
+  // Writes landing while the background write-out would still be running:
+  // one snapshot page, one brand-new page, plus whatever the counter
+  // touches while time passes.
+  proc->memory().WriteU64((0x1000 + 3) * os::kPageSize + 8, 1);
+  proc->memory().WriteU64(0x5000 * os::kPageSize, 2);
+  c.sim().RunFor(5 * kMillisecond);
+
+  // The base image materializes only now — after the delta's writes.
+  c.fs().WriteFile("/ckpt/cowbase.img", snap.Materialize().Serialize());
+
+  CaptureOptions options;
+  options.incremental = true;
+  options.parent_image = "/ckpt/cowbase.img";
+  options.generation = 1;
+  PodCheckpoint delta = CheckpointEngine::CapturePod(c.pods(0), id, options);
+
+  std::set<std::uint64_t> indices;
+  for (const PageRecord& p : delta.processes.at(0).pages) {
+    indices.insert(p.page_index);
+  }
+  EXPECT_TRUE(indices.count(0x1000 + 3));
+  EXPECT_TRUE(indices.count(0x5000));
+  EXPECT_TRUE(indices.count(apps::kStatusAddr / os::kPageSize));
+  EXPECT_LT(indices.size(), 8u);  // nothing beyond the post-snapshot set
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (i != 3) EXPECT_FALSE(indices.count(0x1000 + i)) << i;
+  }
+
+  // The chain (raw base + compressed delta) restores to current state.
+  std::uint64_t at_delta = apps::ReadCounter(*proc);
+  c.fs().WriteFile("/ckpt/cowdelta.img", delta.Serialize(true));
+  c.pods(0).DestroyPod(id);
+  PodCheckpoint merged =
+      CheckpointEngine::LoadImageChain(c.fs(), "/ckpt/cowdelta.img");
+  os::PodId restored = CheckpointEngine::RestorePod(c.pods(0), merged);
+  os::Process* rp =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(restored, vpid));
+  ASSERT_NE(rp, nullptr);
+  EXPECT_EQ(apps::ReadCounter(*rp), at_delta);
+  EXPECT_EQ(rp->memory().ReadBytes((0x1000 + 5) * os::kPageSize, 8),
+            cruz::Bytes(8, 0x42));
 }
 
 }  // namespace
