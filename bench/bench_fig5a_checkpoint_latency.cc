@@ -9,8 +9,15 @@
 // the forked (copy-on-write) capture of §5.2 the pod is stopped only for
 // the in-memory snapshot, so downtime drops from O(image) to O(pages
 // touched) while the total (background) latency stays disk-bound.
-// Results are also emitted as BENCH_downtime.json for tooling.
+//
+// Timing comes from two independent sources that must agree: the
+// coordinator's <done>-reported statistics (CaptureStats-driven) and the
+// agent.save / agent.downtime spans in the trace. Results are emitted as
+// BENCH_downtime.json (mode table) and BENCH_fig5a.json (regression-gate
+// metrics, see bench/check_regression.py). CRUZ_BENCH_SMOKE=1 shrinks
+// the sweep for CI.
 #include <cstdio>
+#include <vector>
 
 #include "slm_sweep.h"
 
@@ -18,33 +25,54 @@ int main() {
   using namespace cruz;
   using namespace cruz::bench;
 
+  const bool smoke = BenchSmoke();
   std::printf("== Fig. 5(a): total checkpoint latency (slm, checkpoints "
-              "every 8 s) ==\n\n");
-  std::printf("%6s %18s %12s %16s %10s\n", "nodes", "latency (ms)",
-              "stddev", "max local (ms)", "samples");
+              "every 8 s)%s ==\n\n",
+              smoke ? " [smoke]" : "");
+  std::printf("%6s %18s %12s %16s %16s %10s\n", "nodes", "latency (ms)",
+              "stddev", "max local (ms)", "span local (ms)", "samples");
   SweepOptions opt;
+  if (smoke) {
+    opt.max_nodes = 4;
+    opt.app_duration = 16 * kSecond;
+  }
   double min_mean = 1e18, max_mean = 0;
+  bool spans_agree = true;
+  std::vector<SweepResult> sweep;
   for (std::uint32_t n = opt.min_nodes; n <= opt.max_nodes; ++n) {
     SweepResult r = RunSlmSweep(n, opt);
-    std::printf("%6u %18.1f %12.2f %16.1f %10u\n", r.nodes,
+    std::printf("%6u %18.1f %12.2f %16.1f %16.1f %10u\n", r.nodes,
                 r.mean_latency_ms, r.stddev_latency_ms, r.mean_local_ms,
-                r.samples);
+                r.span_mean_local_ms, r.samples);
     min_mean = std::min(min_mean, r.mean_latency_ms);
     max_mean = std::max(max_mean, r.mean_latency_ms);
+    // Trace spans and coordinator statistics measure the same sim-time
+    // windows; disagreement beyond float formatting noise means the
+    // instrumentation drifted from the protocol.
+    if (std::abs(r.span_mean_local_ms - r.mean_local_ms) >
+            0.01 * r.mean_local_ms + 0.01 ||
+        std::abs(r.span_mean_downtime_ms - r.mean_downtime_ms) >
+            0.01 * r.mean_downtime_ms + 0.01) {
+      spans_agree = false;
+    }
+    sweep.push_back(std::move(r));
   }
   std::printf("\npaper: ~1000 ms, flat across 2-8 nodes "
               "(dominated by writing state to disk)\n");
   bool flat = max_mean - min_mean < 0.2 * max_mean;
   bool second_scale = min_mean > 500 && max_mean < 2000;
-  std::printf("shape check: latency is %s and %s\n",
+  std::printf("shape check: latency is %s and %s; trace spans %s "
+              "coordinator stats\n",
               flat ? "flat across node counts" : "NOT FLAT",
-              second_scale ? "on the ~1 s scale" : "OFF SCALE");
+              second_scale ? "on the ~1 s scale" : "OFF SCALE",
+              spans_agree ? "match" : "DO NOT MATCH");
 
   // --- downtime vs total across capture modes -----------------------------
-  std::printf("\n== downtime vs total per capture mode (slm, 4 nodes) "
-              "==\n\n");
-  std::printf("%12s %18s %14s %12s\n", "state", "mode", "downtime (ms)",
-              "total (ms)");
+  std::printf("\n== downtime vs total per capture mode (slm, 4 nodes)%s "
+              "==\n\n",
+              smoke ? " [smoke]" : "");
+  std::printf("%12s %18s %14s %14s %12s\n", "state", "mode",
+              "downtime (ms)", "span dt (ms)", "total (ms)");
   struct Mode {
     const char* name;
     bool cow;
@@ -53,15 +81,18 @@ int main() {
   const Mode kModes[] = {{"stop-the-world", false, false},
                          {"cow", true, false},
                          {"cow+compressed", true, true}};
-  const std::uint32_t kRowsSweep[] = {128, 256, 512};  // memory sizes
+  std::vector<std::uint32_t> rows_sweep =
+      smoke ? std::vector<std::uint32_t>{256}
+            : std::vector<std::uint32_t>{128, 256, 512};
   std::FILE* json = std::fopen("BENCH_downtime.json", "w");
   if (json != nullptr) std::fprintf(json, "[\n");
   bool first_row = true;
   double stw_downtime_largest = 0, cow_downtime_largest = 0;
-  for (std::uint32_t rows : kRowsSweep) {
+  double cow_total_largest = 0;
+  for (std::uint32_t rows : rows_sweep) {
     for (const Mode& mode : kModes) {
       SweepOptions mopt;
-      mopt.app_duration = 24 * kSecond;
+      mopt.app_duration = smoke ? 12 * kSecond : 24 * kSecond;
       mopt.grid_rows = rows;
       mopt.grid_cols = 512;
       mopt.copy_on_write = mode.cow;
@@ -73,8 +104,13 @@ int main() {
       SweepResult r = RunSlmSweep(4, mopt);
       char state[32];
       std::snprintf(state, sizeof state, "%ux512", rows);
-      std::printf("%12s %18s %14.2f %12.1f\n", state, mode.name,
-                  r.mean_downtime_ms, r.mean_latency_ms);
+      std::printf("%12s %18s %14.2f %14.2f %12.1f\n", state, mode.name,
+                  r.mean_downtime_ms, r.span_mean_downtime_ms,
+                  r.mean_latency_ms);
+      if (std::abs(r.span_mean_downtime_ms - r.mean_downtime_ms) >
+          0.01 * r.mean_downtime_ms + 0.01) {
+        spans_agree = false;
+      }
       if (json != nullptr) {
         std::fprintf(json,
                      "%s  {\"grid\": \"%s\", \"mode\": \"%s\", "
@@ -84,10 +120,12 @@ int main() {
                      r.mean_downtime_ms, r.mean_latency_ms, r.samples);
         first_row = false;
       }
-      if (rows == kRowsSweep[2]) {
+      if (rows == rows_sweep.back()) {
         if (!mode.cow) stw_downtime_largest = r.mean_downtime_ms;
-        if (mode.cow && !mode.compress)
+        if (mode.cow && !mode.compress) {
           cow_downtime_largest = r.mean_downtime_ms;
+          cow_total_largest = r.mean_latency_ms;
+        }
       }
     }
   }
@@ -103,5 +141,32 @@ int main() {
               cow_downtime_largest,
               cow_cuts_downtime ? "< 25% of" : "NOT < 25% of",
               stw_downtime_largest);
-  return (flat && second_scale && cow_cuts_downtime) ? 0 : 1;
+
+  // Regression-gate metrics (all sim-time, hence deterministic).
+  std::FILE* gate = std::fopen("BENCH_fig5a.json", "w");
+  if (gate != nullptr) {
+    std::fprintf(gate, "{\"bench\": \"fig5a\", \"metrics\": [\n");
+    bool first = true;
+    auto metric = [&](const std::string& name, double value,
+                      const char* unit, const char* direction) {
+      std::fprintf(gate,
+                   "%s  {\"name\": \"%s\", \"value\": %.6f, "
+                   "\"unit\": \"%s\", \"direction\": \"%s\"}",
+                   first ? "" : ",\n", name.c_str(), value, unit,
+                   direction);
+      first = false;
+    };
+    for (const SweepResult& r : sweep) {
+      metric("mean_latency_ms_n" + std::to_string(r.nodes),
+             r.mean_latency_ms, "ms", "lower");
+    }
+    metric("stw_downtime_ms", stw_downtime_largest, "ms", "lower");
+    metric("cow_downtime_ms", cow_downtime_largest, "ms", "lower");
+    metric("cow_total_ms", cow_total_largest, "ms", "lower");
+    std::fprintf(gate, "\n]}\n");
+    std::fclose(gate);
+    std::printf("wrote BENCH_fig5a.json\n");
+  }
+  return (flat && second_scale && cow_cuts_downtime && spans_agree) ? 0
+                                                                    : 1;
 }

@@ -6,7 +6,11 @@
 // coordinator's serialized processing of converging <done>/<continue-done>
 // datagrams). Overhead = full operation latency minus the maxima of the
 // local checkpoint and continue times, exactly as §6 computes it.
+//
+// Emits BENCH_fig5b.json for the regression gate (check_regression.py).
+// CRUZ_BENCH_SMOKE=1 shrinks the sweep for CI.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "slm_sweep.h"
@@ -15,17 +19,25 @@ int main() {
   using namespace cruz;
   using namespace cruz::bench;
 
+  const bool smoke = BenchSmoke();
   std::printf("== Fig. 5(b): coordination overhead (slm, checkpoints "
-              "every 8 s) ==\n\n");
+              "every 8 s)%s ==\n\n",
+              smoke ? " [smoke]" : "");
   std::printf("%6s %20s %12s %10s\n", "nodes", "overhead (us)", "stddev",
               "samples");
   SweepOptions opt;
+  if (smoke) {
+    opt.max_nodes = 4;
+    opt.app_duration = 16 * kSecond;
+  }
+  std::vector<SweepResult> sweep;
   std::vector<double> overheads;
   for (std::uint32_t n = opt.min_nodes; n <= opt.max_nodes; ++n) {
     SweepResult r = RunSlmSweep(n, opt);
     std::printf("%6u %20.1f %12.2f %10u\n", r.nodes, r.mean_overhead_us,
                 r.stddev_overhead_us, r.samples);
     overheads.push_back(r.mean_overhead_us);
+    sweep.push_back(std::move(r));
   }
   std::printf("\npaper: 350-550 us total, increasing ~50 us per node "
               "beyond 4 nodes\n");
@@ -39,5 +51,28 @@ int main() {
               "checkpoint) and grows ~%.0f us/node (%s)\n",
               microsecond_scale ? "on the paper's scale" : "OFF SCALE",
               slope, grows_slowly ? "paper-like slope" : "UNEXPECTED");
+
+  std::FILE* gate = std::fopen("BENCH_fig5b.json", "w");
+  if (gate != nullptr) {
+    std::fprintf(gate, "{\"bench\": \"fig5b\", \"metrics\": [\n");
+    bool first = true;
+    auto metric = [&](const std::string& name, double value,
+                      const char* unit, const char* direction) {
+      std::fprintf(gate,
+                   "%s  {\"name\": \"%s\", \"value\": %.6f, "
+                   "\"unit\": \"%s\", \"direction\": \"%s\"}",
+                   first ? "" : ",\n", name.c_str(), value, unit,
+                   direction);
+      first = false;
+    };
+    for (const SweepResult& r : sweep) {
+      metric("mean_overhead_us_n" + std::to_string(r.nodes),
+             r.mean_overhead_us, "us", "lower");
+    }
+    metric("overhead_slope_us_per_node", slope, "us", "lower");
+    std::fprintf(gate, "\n]}\n");
+    std::fclose(gate);
+    std::printf("wrote BENCH_fig5b.json\n");
+  }
   return (microsecond_scale && grows_slowly) ? 0 : 1;
 }

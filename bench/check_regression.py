@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares BENCH_*.json metric files produced by a bench run against the
+committed baselines in bench/baselines/. Every metric is sim-time derived
+and therefore deterministic, so the comparison is exact in practice; the
+threshold exists to let intentional model recalibrations land without
+immediately re-baselining.
+
+Metric file schema (emitted by the bench binaries):
+
+    {"bench": "fig5a",
+     "metrics": [{"name": "...", "value": 1.0,
+                  "unit": "ms", "direction": "lower"}, ...]}
+
+`direction` is which way is better: "lower" fails when the current value
+exceeds baseline * (1 + threshold); "higher" fails when it falls below
+baseline * (1 - threshold).
+
+Usage:
+    python3 bench/check_regression.py --current-dir build/bench \
+        [--baseline-dir bench/baselines] [--threshold 0.20]
+
+Exit status: 0 = no regression, 1 = regression or missing data.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    baselines = sorted(
+        f for f in os.listdir(args.baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"no baselines found in {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for fname in baselines:
+        base_path = os.path.join(args.baseline_dir, fname)
+        cur_path = os.path.join(args.current_dir, fname)
+        if not os.path.exists(cur_path):
+            print(f"MISSING  {fname}: bench did not produce it")
+            failed = True
+            continue
+        base = load_metrics(base_path)
+        cur = load_metrics(cur_path)
+        print(f"== {fname} (threshold {args.threshold:.0%}) ==")
+        for name, bm in base.items():
+            if name not in cur:
+                print(f"  MISSING  {name}")
+                failed = True
+                continue
+            bv, cv = bm["value"], cur[name]["value"]
+            direction = bm.get("direction", "lower")
+            if direction == "lower":
+                bad = cv > bv * (1 + args.threshold)
+                delta = (cv - bv) / bv if bv else 0.0
+            else:
+                bad = cv < bv * (1 - args.threshold)
+                delta = (bv - cv) / bv if bv else 0.0
+            status = "REGRESS" if bad else "ok"
+            unit = bm.get("unit", "")
+            print(f"  {status:8} {name}: {cv:.3f} {unit} "
+                  f"(baseline {bv:.3f}, {delta:+.1%} worse-direction)")
+            failed = failed or bad
+        extra = set(cur) - set(base)
+        for name in sorted(extra):
+            print(f"  NEW      {name}: {cur[name]['value']:.3f} "
+                  f"(no baseline; add it to {base_path})")
+
+    print("\nregression gate:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

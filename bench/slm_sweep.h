@@ -14,12 +14,23 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "apps/slm.h"
 #include "cruz/cluster.h"
+#include "obs/trace_query.h"
 
 namespace cruz::bench {
+
+// CI smoke mode: CRUZ_BENCH_SMOKE=1 shrinks sweeps so the regression
+// gate runs in seconds. Committed baselines are generated in the same
+// mode, so comparisons stay apples-to-apples (and, because all metrics
+// are sim-time, exact).
+inline bool BenchSmoke() {
+  const char* v = std::getenv("CRUZ_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 struct SweepResult {
   std::uint32_t nodes = 0;
@@ -30,6 +41,12 @@ struct SweepResult {
   double mean_local_ms = 0;     // max local checkpoint time
   double mean_downtime_ms = 0;  // max pod downtime (== local for
                                 // stop-the-world, snapshot-only for COW)
+  // The same two quantities re-derived from the exported trace spans
+  // (agent.save / agent.downtime, max per op, mean across ops). Benches
+  // cross-check these against the coordinator-reported numbers above,
+  // which come from CaptureStats-driven <done> replies.
+  double span_mean_local_ms = 0;
+  double span_mean_downtime_ms = 0;
   std::uint32_t samples = 0;
   std::uint32_t messages_per_op = 0;
   std::vector<std::string> last_images;  // for restart benches
@@ -108,6 +125,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
   cluster.sim().RunFor(kSecond);  // ring establishment
 
   std::vector<double> latencies_ms, overheads_us, locals_ms, downtimes_ms;
+  std::vector<std::uint64_t> op_ids;
   SweepResult result;
   result.nodes = nodes;
   TimeNs end = cluster.sim().Now() + opt.app_duration;
@@ -127,8 +145,28 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
     overheads_us.push_back(ToMicros(stats.coordination_overhead));
     locals_ms.push_back(ToMillis(stats.max_local));
     downtimes_ms.push_back(ToMillis(stats.max_downtime));
+    op_ids.push_back(stats.op_id);
     result.messages_per_op = stats.total_messages;
     result.last_images = stats.image_paths;
+  }
+
+  // Re-derive local-save and downtime from the trace: for each op, the
+  // max agent.save / agent.downtime span duration across its members.
+  {
+    obs::TraceQuery query(cluster.sim().tracer());
+    double save_sum_ms = 0, downtime_sum_ms = 0;
+    for (std::uint64_t op : op_ids) {
+      save_sum_ms += ToMillis(query.MaxDuration(
+          obs::TraceQuery::Filter{}.Name("agent.save").Op(op)));
+      downtime_sum_ms += ToMillis(query.MaxDuration(
+          obs::TraceQuery::Filter{}.Name("agent.downtime").Op(op)));
+    }
+    if (!op_ids.empty()) {
+      result.span_mean_local_ms =
+          save_sum_ms / static_cast<double>(op_ids.size());
+      result.span_mean_downtime_ms =
+          downtime_sum_ms / static_cast<double>(op_ids.size());
+    }
   }
 
   auto mean = [](const std::vector<double>& v) {

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "sim/simulator.h"
 
 namespace cruz::ckpt {
 
@@ -267,6 +268,24 @@ PodSnapshot CheckpointEngine::SnapshotPod(pod::PodManager& pods,
   local_stats.state_bytes = snap.EstimatedStateBytes();
   if (stats != nullptr) *stats = local_stats;
 
+  sim::Simulator& sim = node.os().sim();
+  sim.tracer().Instant(
+      "ckpt", "ckpt.capture",
+      obs::TraceAttrs{}
+          .Agent(node.name())
+          .Pod(pod->id)
+          .Arg("processes", local_stats.processes)
+          .Arg("threads", local_stats.threads)
+          .Arg("tcp_connections", local_stats.tcp_connections)
+          .Arg("pages", local_stats.snapshot_pages)
+          .Arg("state_bytes", local_stats.state_bytes)
+          .Arg("incremental", options.incremental ? "true" : "false"));
+  sim.metrics().counter("ckpt.captures_total").Add();
+  sim.metrics().counter("ckpt.captured_pages_total")
+      .Add(local_stats.snapshot_pages);
+  sim.metrics().counter("ckpt.captured_state_bytes_total")
+      .Add(local_stats.state_bytes);
+
   CRUZ_INFO("ckpt") << node.name() << ": snapshotted pod " << pod->name
                     << " (" << local_stats.processes << " procs, "
                     << local_stats.tcp_connections << " conns, "
@@ -444,6 +463,17 @@ os::PodId CheckpointEngine::RestorePod(pod::PodManager& pods,
     // Threads become runnable but are not scheduled until SIGCONT.
     os.StartProcessThreads(pid);
   }
+
+  sim::Simulator& sim = node.os().sim();
+  sim.tracer().Instant("ckpt", "ckpt.restore",
+                       obs::TraceAttrs{}
+                           .Agent(node.name())
+                           .Pod(ck.pod_id)
+                           .Arg("processes", ck.processes.size())
+                           .Arg("tcp_connections", ck.conns.size())
+                           .Arg("listeners", ck.listeners.size())
+                           .Arg("generation", ck.generation));
+  sim.metrics().counter("ckpt.restores_total").Add();
 
   CRUZ_INFO("ckpt") << node.name() << ": restored pod " << ck.pod_name
                     << " (" << ck.processes.size() << " procs, "

@@ -41,9 +41,24 @@ CheckpointAgent::~CheckpointAgent() {
   node_.stack().UnregisterUdpService(kAgentPort);
 }
 
+void CheckpointAgent::EndOpSpans(const char* outcome) {
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  std::vector<std::pair<std::string, std::string>> args = {
+      {"outcome", outcome}};
+  tracer.EndSpan(op_.save_span, args);
+  op_.save_span = obs::kInvalidSpanId;
+  tracer.EndSpan(op_.downtime_span, args);
+  op_.downtime_span = obs::kInvalidSpanId;
+  tracer.EndSpan(op_.continue_span, args);
+  op_.continue_span = obs::kInvalidSpanId;
+}
+
 void CheckpointAgent::Crash() {
   if (crashed_) return;
   crashed_ = true;
+  EndOpSpans("agent-crash");
+  node_.os().sim().tracer().Instant(
+      "agent", "agent.crash", obs::TraceAttrs{}.Agent(node_.name()));
   CRUZ_WARN("agent") << node_.name() << ": agent process CRASHED";
 }
 
@@ -53,6 +68,7 @@ void CheckpointAgent::Reset() {
     // Recover the wreckage of the interrupted op: the pod may be stopped
     // behind a drop filter, and a checkpoint may have left a partial
     // image that will never be committed.
+    EndOpSpans("agent-reset");
     ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
     RemoveDropFilter();
     if (!op_.is_restart && op_.image_written) {
@@ -159,12 +175,18 @@ void CheckpointAgent::InstallDropFilter(net::Ipv4Address pod_ip) {
       [pod_ip](const net::Ipv4Packet& pkt) {
         return pkt.src == pod_ip || pkt.dst == pod_ip;
       });
+  node_.os().sim().tracer().Instant(
+      "agent", "agent.filter.install",
+      obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
 }
 
 void CheckpointAgent::RemoveDropFilter() {
   if (op_.filter_id != 0) {
     node_.stack().RemoveFilter(op_.filter_id);
     op_.filter_id = 0;
+    node_.os().sim().tracer().Instant(
+        "agent", "agent.filter.remove",
+        obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
   }
 }
 
@@ -172,6 +194,11 @@ void CheckpointAgent::FailLocalOp(net::Endpoint coordinator,
                                   const CoordMessage& m, const char* why) {
   CRUZ_WARN("agent") << node_.name() << ": op " << m.op_id
                      << " failed locally: " << why;
+  node_.os().sim().tracer().Instant(
+      "agent", "agent.failed",
+      obs::TraceAttrs{}.Op(m.op_id).Agent(node_.name()).Pod(m.pod_id).Arg(
+          "why", why));
+  node_.os().sim().metrics().counter("agent.local_failures_total").Add();
   CoordMessage failed;
   failed.type = MsgType::kFailed;
   failed.op_id = m.op_id;
@@ -277,12 +304,32 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
       ckpt::CheckpointEngine::CapturePod(pods_, m.pod_id, capture, &stats);
   cruz::Bytes image = ck.Serialize(m.compress);
   std::uint64_t image_bytes = image.size();
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  op_.save_span = tracer.BeginSpan(
+      "agent", "agent.save",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("save")
+          .Agent(node_.name())
+          .Pod(op_.pod)
+          .Arg("mode", "stop-the-world")
+          .Arg("state_bytes", stats.state_bytes)
+          .Arg("pages", stats.snapshot_pages)
+          .Arg("image_bytes", image_bytes));
+  op_.downtime_span = tracer.BeginSpan(
+      "agent", "agent.downtime",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("downtime")
+          .Agent(node_.name())
+          .Pod(op_.pod));
   if (fault_ != nullptr && fault_->FailImageWrite(node_.name(),
                                                   m.image_path)) {
     // Disk write error: the local checkpoint cannot complete. Resume the
     // pod (its in-memory state is untouched), invalidate the incremental
     // baseline (dirty bits were consumed by the capture), and tell the
     // coordinator to abort.
+    EndOpSpans("save-failed");
     ckpt::CheckpointEngine::ResumePod(pods_, m.pod_id);
     RemoveDropFilter();
     last_image_.erase(m.pod_id);
@@ -300,6 +347,15 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
   op_.image_path = m.image_path;
   op_.image_written = true;
   last_image_[m.pod_id] = {m.image_path, capture.generation};
+
+  obs::MetricsRegistry& metrics = node_.os().sim().metrics();
+  metrics.counter("ckpt.images_written_total").Add();
+  metrics.counter("ckpt.image_bytes_total").Add(image_bytes);
+  if (stats.state_bytes > 0) {
+    metrics.gauge("ckpt.codec_ratio")
+        .Set(static_cast<double>(image_bytes) /
+             static_cast<double>(stats.state_bytes));
+  }
 
   DurationNs capture_cost = kFilterConfigCost +
                             stats.processes * kPerProcessStopCost +
@@ -321,6 +377,9 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     disabled.epoch = op_.epoch;
     disabled.pod_id = op_.pod;
     Send(op_.coordinator, disabled);
+    node_.os().sim().tracer().Instant(
+        "agent", "agent.comm_disabled",
+        obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
   }
 
   // Step 3: <done> once the local checkpoint (dominated by the disk
@@ -331,6 +390,16 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     op_.save_done = true;
     op_.resume_ready = true;
     op_.done_sent = true;
+    obs::Tracer& tracer = node_.os().sim().tracer();
+    tracer.EndSpan(op_.save_span, {{"outcome", "ok"}});
+    op_.save_span = obs::kInvalidSpanId;
+    tracer.EndSpan(op_.downtime_span);
+    op_.downtime_span = obs::kInvalidSpanId;
+    obs::MetricsRegistry& metrics = node_.os().sim().metrics();
+    metrics.histogram("agent.save_us").Record(op_.local_duration /
+                                              kMicrosecond);
+    metrics.histogram("agent.downtime_us").Record(op_.downtime /
+                                                  kMicrosecond);
     CoordMessage done;
     done.type = MsgType::kDone;
     done.op_id = op_.op_id;
@@ -363,12 +432,35 @@ void CheckpointAgent::StartForkedCheckpoint(
   op_.local_duration = capture_cost + serialize_cost;  // + disk, known later
   ++checkpoints_served_;
 
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  op_.save_span = tracer.BeginSpan(
+      "agent", "agent.save",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("save")
+          .Agent(node_.name())
+          .Pod(op_.pod)
+          .Arg("mode", "copy-on-write")
+          .Arg("state_bytes", stats.state_bytes)
+          .Arg("pages", stats.snapshot_pages));
+  op_.downtime_span = tracer.BeginSpan(
+      "agent", "agent.downtime",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("downtime")
+          .Agent(node_.name())
+          .Pod(op_.pod));
+
   // The pod may resume as soon as the in-memory snapshot exists; its
   // writes from here on hit COW faults instead of the frozen pages.
   std::uint64_t op_id = op_.op_id;
   node_.os().sim().Schedule(capture_cost, [this, op_id] {
     if (crashed_ || !op_active_ || op_.op_id != op_id) return;
     op_.resume_ready = true;
+    node_.os().sim().tracer().EndSpan(op_.downtime_span);
+    op_.downtime_span = obs::kInvalidSpanId;
+    node_.os().sim().metrics().histogram("agent.downtime_us")
+        .Record(op_.downtime / kMicrosecond);
     MaybeResume();
   });
 
@@ -381,6 +473,9 @@ void CheckpointAgent::StartForkedCheckpoint(
     disabled.epoch = op_.epoch;
     disabled.pod_id = op_.pod;
     Send(op_.coordinator, disabled);
+    node_.os().sim().tracer().Instant(
+        "agent", "agent.comm_disabled",
+        obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
   }
 
   // Background write-out. Materialization is deferred to the end of the
@@ -390,10 +485,11 @@ void CheckpointAgent::StartForkedCheckpoint(
   bool compress = m.compress;
   std::string image_path = m.image_path;
   std::uint32_t generation = capture.generation;
+  std::uint64_t state_bytes = stats.state_bytes;
   node_.os().sim().Schedule(
       capture_cost + serialize_cost,
       [this, op_id, snap = std::move(snap), compress, image_path,
-       generation] {
+       generation, state_bytes] {
         if (crashed_ || !op_active_ || op_.op_id != op_id) return;
         cruz::Bytes image = snap.Materialize().Serialize(compress);
         std::uint64_t image_bytes = image.size();
@@ -405,6 +501,14 @@ void CheckpointAgent::StartForkedCheckpoint(
         node_.os().fs().WriteFile(image_path, std::move(image));
         op_.image_path = image_path;
         op_.image_written = true;
+        obs::MetricsRegistry& metrics = node_.os().sim().metrics();
+        metrics.counter("ckpt.images_written_total").Add();
+        metrics.counter("ckpt.image_bytes_total").Add(image_bytes);
+        if (state_bytes > 0) {
+          metrics.gauge("ckpt.codec_ratio")
+              .Set(static_cast<double>(image_bytes) /
+                   static_cast<double>(state_bytes));
+        }
         DurationNs disk = node_.DiskWriteDuration(image_bytes);
         op_.local_duration += disk;
         node_.os().sim().Schedule(disk, [this, op_id, image_path,
@@ -415,6 +519,7 @@ void CheckpointAgent::StartForkedCheckpoint(
             // The background write failed after the pod already resumed:
             // GC the partial image, invalidate the incremental baseline,
             // and fail the op. The previous generation stays latest.
+            EndOpSpans("save-failed");
             DiscardCheckpointImage(op_.pod, image_path);
             if (!op_.resumed) {
               ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
@@ -434,6 +539,11 @@ void CheckpointAgent::StartForkedCheckpoint(
           op_.resume_ready = true;
           last_image_[op_.pod] = {image_path, generation};
           op_.done_sent = true;
+          node_.os().sim().tracer().EndSpan(op_.save_span,
+                                            {{"outcome", "ok"}});
+          op_.save_span = obs::kInvalidSpanId;
+          node_.os().sim().metrics().histogram("agent.save_us")
+              .Record(op_.local_duration / kMicrosecond);
           CoordMessage done;
           done.type = MsgType::kDone;
           done.op_id = op_.op_id;
@@ -521,6 +631,15 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
   op_.local_duration = local;
   ++restarts_served_;
 
+  op_.save_span = node_.os().sim().tracer().BeginSpan(
+      "agent", "agent.restore",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("restore")
+          .Agent(node_.name())
+          .Pod(op_.pod)
+          .Arg("chain_bytes", chain_bytes));
+
   std::uint64_t op_id = m.op_id;
   node_.os().sim().Schedule(local, [this, op_id, ck = std::move(ck)] {
     if (crashed_ || !op_active_ || op_.op_id != op_id) return;
@@ -530,6 +649,10 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
     op_.save_done = true;
     op_.resume_ready = true;
     op_.done_sent = true;
+    node_.os().sim().tracer().EndSpan(op_.save_span, {{"outcome", "ok"}});
+    op_.save_span = obs::kInvalidSpanId;
+    node_.os().sim().metrics().histogram("agent.restore_us")
+        .Record(op_.local_duration / kMicrosecond);
     CoordMessage done;
     done.type = MsgType::kDone;
     done.op_id = op_.op_id;
@@ -571,6 +694,17 @@ void CheckpointAgent::MaybeResume() {
   if (!op_.continue_received || !op_.resume_ready) return;
   op_.resumed = true;
 
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  op_.continue_span = tracer.BeginSpan(
+      "agent", "agent.continue",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("continue")
+          .Agent(node_.name())
+          .Pod(op_.pod));
+  tracer.Instant("agent", "agent.resume",
+                 obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(
+                     op_.pod));
   ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
   RemoveDropFilter();
   DurationNs resume_cost =
@@ -581,6 +715,8 @@ void CheckpointAgent::MaybeResume() {
   node_.os().sim().Schedule(resume_cost, [this, op_id, resume_cost] {
     if (crashed_ || !op_active_ || op_.op_id != op_id) return;
     op_.continue_done_sent = true;
+    node_.os().sim().tracer().EndSpan(op_.continue_span);
+    op_.continue_span = obs::kInvalidSpanId;
     CoordMessage done;
     done.type = MsgType::kContinueDone;
     done.op_id = op_id;
@@ -611,6 +747,10 @@ void CheckpointAgent::HandleAbort(const CoordMessage& m) {
     // Cancel: resume the pod as if nothing happened, and delete the
     // partially-written image — an aborted checkpoint must leave no
     // trace in the shared FS.
+    EndOpSpans("aborted");
+    node_.os().sim().tracer().Instant(
+        "agent", "agent.abort",
+        obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
     ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
     RemoveDropFilter();
     if (!op_.is_restart && op_.image_written) {

@@ -37,6 +37,7 @@
 #include "ckpt/engine.h"
 #include "coord/message.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 #include "os/node.h"
 #include "pod/pod.h"
 
@@ -98,6 +99,12 @@ class CheckpointAgent {
     std::uint32_t flush_messages = 0;
     std::set<std::uint32_t> flush_acks_pending;
     std::optional<CoordMessage> pending_request;  // original request
+    // Tracing: the local save/restore window, the pod-stopped window
+    // (ends when the pod becomes locally resumable), and the continue
+    // (resume) window.
+    obs::SpanId save_span = obs::kInvalidSpanId;
+    obs::SpanId downtime_span = obs::kInvalidSpanId;
+    obs::SpanId continue_span = obs::kInvalidSpanId;
   };
 
   void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
@@ -118,6 +125,8 @@ class CheckpointAgent {
   void InstallDropFilter(net::Ipv4Address pod_ip);
   void RemoveDropFilter();
   void Send(net::Endpoint to, CoordMessage m);
+  // Closes any spans the active op still holds open (abort/crash paths).
+  void EndOpSpans(const char* outcome);
   // Local failure: clean up, report <failed> so the coordinator aborts
   // fast instead of waiting out its timeout.
   void FailLocalOp(net::Endpoint coordinator, const CoordMessage& m,

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace cruz::coord {
@@ -46,6 +47,10 @@ void Coordinator::RecoverFromJournal() {
   recovery_.had_incomplete = true;
   recovery_.epoch = intent.epoch;
   recovery_.was_restart = intent.is_restart;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.recovery",
+      obs::TraceAttrs{}.Op(intent.epoch).Agent(node_.name()).Arg(
+          "kind", intent.is_restart ? "restart" : "checkpoint"));
   CRUZ_WARN("coord") << "journal recovery: aborting in-flight "
                      << (intent.is_restart ? "restart" : "checkpoint")
                      << " op epoch " << intent.epoch;
@@ -110,6 +115,24 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   retransmit_rounds_ = 0;
   op_start_ = node_.os().sim().Now();
 
+  // Trace the op and its Fig. 2 phases. The freeze phase runs from the
+  // first request to the last <done>; the commit phase opens when the
+  // <continue> broadcast goes out.
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  const char* kind = is_restart ? "restart" : "checkpoint";
+  op_span_ = tracer.BeginSpan("coord", std::string("coord.op.") + kind,
+                              obs::TraceAttrs{}
+                                  .Op(stats_.op_id)
+                                  .Phase("op")
+                                  .Agent(node_.name())
+                                  .Arg("members", members_.size()));
+  freeze_span_ = tracer.BeginSpan(
+      "coord", "coord.phase.freeze",
+      obs::TraceAttrs{}.Op(stats_.op_id).Phase("freeze").Agent(
+          node_.name()));
+  commit_span_ = obs::kInvalidSpanId;
+  node_.os().sim().metrics().counter("coord.ops_total").Add();
+
   // Write-ahead intent: on coordinator death the next incarnation learns
   // exactly which op (and which images) to abort and clean up.
   JournalRecord intent;
@@ -154,6 +177,10 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
         timeout_event_ = sim::kInvalidEventId;
         if (!op_active_) return;
         ++stats_.timeouts;
+        node_.os().sim().tracer().Instant(
+            "coord", "coord.timeout",
+            obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()));
+        node_.os().sim().metrics().counter("coord.timeouts_total").Add();
         AbortOp("timeout");
       });
 }
@@ -162,6 +189,13 @@ void Coordinator::SendToAgent(std::size_t member_index, CoordMessage m) {
   const Member& member = members_[member_index];
   ++stats_.coordinator_messages;
   ++stats_.total_messages;
+  node_.os().sim().tracer().Instant("coord", "coord.msg.send",
+                                    obs::TraceAttrs{}
+                                        .Op(stats_.op_id)
+                                        .Agent(node_.name())
+                                        .Pod(member.pod)
+                                        .Arg("type", MsgTypeName(m.type)));
+  node_.os().sim().metrics().counter("coord.messages_sent").Add();
   TransmitControl(member.agent_ip, m);
 }
 
@@ -200,6 +234,10 @@ void Coordinator::TransmitControl(net::Ipv4Address dst,
 void Coordinator::BroadcastContinue() {
   if (continue_sent_) return;
   continue_sent_ = true;
+  commit_span_ = node_.os().sim().tracer().BeginSpan(
+      "coord", "coord.phase.commit",
+      obs::TraceAttrs{}.Op(stats_.op_id).Phase("commit").Agent(
+          node_.name()));
   for (std::size_t i = 0; i < members_.size(); ++i) {
     CoordMessage m;
     m.type = MsgType::kContinue;
@@ -216,6 +254,11 @@ void Coordinator::AbortOp(const std::string& reason) {
   CRUZ_WARN("coord") << "operation " << stats_.op_id << " aborted ("
                      << reason << ")";
   stats_.abort_reason = reason;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.abort",
+      obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg("reason",
+                                                                reason));
+  node_.os().sim().metrics().counter("coord.aborts_total").Add();
   for (std::size_t i = 0; i < members_.size(); ++i) {
     CoordMessage abort;
     abort.type = MsgType::kAbort;
@@ -246,6 +289,10 @@ void Coordinator::OnDatagram(net::Endpoint from,
   }
   if (!op_active_ || m.op_id != stats_.op_id) return;
   ++stats_.total_messages;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.msg.recv",
+      obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
+          "type", MsgTypeName(m.type)));
 
   switch (m.type) {
     case MsgType::kCommDisabled:
@@ -265,6 +312,8 @@ void Coordinator::OnDatagram(net::Endpoint from,
         stats_.total_messages += m.extra_messages;
         if (pending_done_.empty()) {
           stats_.checkpoint_latency = node_.os().sim().Now() - op_start_;
+          node_.os().sim().tracer().EndSpan(freeze_span_);
+          freeze_span_ = obs::kInvalidSpanId;
           BroadcastContinue();  // Step 3 (no-op if Fig. 4 already sent it)
           // With copy-on-write the <continue-done>s can precede the last
           // <done> (resume happens before the disk write finishes).
@@ -344,6 +393,11 @@ void Coordinator::RetransmitPending() {
         m.compress = options_.compress;
       }
       ++stats_.retransmits;
+      node_.os().sim().tracer().Instant(
+          "coord", "coord.retransmit",
+          obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
+              "type", MsgTypeName(m.type)));
+      node_.os().sim().metrics().counter("coord.retransmits_total").Add();
       SendToAgent(i, std::move(m));
     } else if (continue_sent_ && pending_continue_done_.count(key) != 0) {
       CoordMessage m;
@@ -353,6 +407,11 @@ void Coordinator::RetransmitPending() {
       m.pod_id = members_[i].pod;
       m.variant = options_.variant;
       ++stats_.retransmits;
+      node_.os().sim().tracer().Instant(
+          "coord", "coord.retransmit",
+          obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
+              "type", MsgTypeName(m.type)));
+      node_.os().sim().metrics().counter("coord.retransmits_total").Add();
       SendToAgent(i, std::move(m));
     }
   }
@@ -415,6 +474,32 @@ void Coordinator::Finish(bool success) {
   stats_.coordination_overhead =
       stats_.full_latency > local ? stats_.full_latency - local : 0;
   op_active_ = false;
+
+  obs::Tracer& tracer = node_.os().sim().tracer();
+  tracer.EndSpan(freeze_span_);  // still open on abort paths
+  freeze_span_ = obs::kInvalidSpanId;
+  tracer.EndSpan(commit_span_);
+  commit_span_ = obs::kInvalidSpanId;
+  tracer.EndSpan(
+      op_span_,
+      {{"success", success ? "true" : "false"},
+       {"checkpoint_latency_ns", std::to_string(stats_.checkpoint_latency)},
+       {"coordination_overhead_ns",
+        std::to_string(stats_.coordination_overhead)},
+       {"max_downtime_ns", std::to_string(stats_.max_downtime)},
+       {"retransmits", std::to_string(stats_.retransmits)},
+       {"messages", std::to_string(stats_.total_messages)}});
+  op_span_ = obs::kInvalidSpanId;
+  obs::MetricsRegistry& metrics = node_.os().sim().metrics();
+  if (!success) metrics.counter("coord.ops_failed").Add();
+  if (success && !is_restart_) {
+    metrics.histogram("coord.checkpoint_latency_us")
+        .Record(stats_.checkpoint_latency / kMicrosecond);
+    metrics.histogram("coord.coordination_overhead_us")
+        .Record(stats_.coordination_overhead / kMicrosecond);
+    metrics.histogram("coord.downtime_us")
+        .Record(stats_.max_downtime / kMicrosecond);
+  }
   CRUZ_INFO("coord") << (is_restart_ ? "restart" : "checkpoint") << " op "
                      << stats_.op_id << (success ? " ok" : " FAILED")
                      << ": latency=" << ToMillis(stats_.checkpoint_latency)

@@ -46,6 +46,7 @@
 #include "coord/journal.h"
 #include "coord/message.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 #include "os/node.h"
 #include "sim/event_queue.h"
 
@@ -198,6 +199,11 @@ class Coordinator {
   sim::EventId timeout_event_ = sim::kInvalidEventId;
   sim::EventId retransmit_event_ = sim::kInvalidEventId;
   sim::EventId heartbeat_event_ = sim::kInvalidEventId;
+  // Tracing: the whole op, the freeze phase (first request -> last
+  // <done>), and the commit phase (<continue> -> last <continue-done>).
+  obs::SpanId op_span_ = obs::kInvalidSpanId;
+  obs::SpanId freeze_span_ = obs::kInvalidSpanId;
+  obs::SpanId commit_span_ = obs::kInvalidSpanId;
   DurationNs retransmit_interval_now_ = 0;  // current backoff interval
   std::uint32_t retransmit_rounds_ = 0;
   std::map<std::uint32_t, std::uint32_t> missed_heartbeats_;  // by agent ip

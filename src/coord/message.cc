@@ -4,6 +4,24 @@
 
 namespace cruz::coord {
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kDone: return "done";
+    case MsgType::kContinue: return "continue";
+    case MsgType::kContinueDone: return "continue-done";
+    case MsgType::kRestart: return "restart";
+    case MsgType::kAbort: return "abort";
+    case MsgType::kCommDisabled: return "comm-disabled";
+    case MsgType::kFlushMarker: return "flush-marker";
+    case MsgType::kFlushAck: return "flush-ack";
+    case MsgType::kFailed: return "failed";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+  }
+  return "unknown";
+}
+
 cruz::Bytes CoordMessage::Encode() const {
   cruz::ByteWriter w;
   w.PutU8(static_cast<std::uint8_t>(type));

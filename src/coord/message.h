@@ -39,6 +39,9 @@ enum class MsgType : std::uint8_t {
   kPong = 12,    // agent -> coordinator: liveness reply
 };
 
+// Human-readable message-type name (trace/metric labels).
+const char* MsgTypeName(MsgType type);
+
 enum class ProtocolVariant : std::uint8_t {
   kBlocking = 0,   // Fig. 2: all nodes resume after global completion
   kOptimized = 1,  // Fig. 4: resume as soon as local save completes,

@@ -89,6 +89,7 @@ coord::Coordinator::OpStats Cluster::RunRestart(
 
 void Cluster::ArmFaults(fault::FaultPlan& plan) {
   armed_plan_ = &plan;
+  plan.set_tracer(&sim_.tracer());
   coordinator_->set_fault_injector(&plan);
   for (auto& agent : agents_) agent->set_fault_injector(&plan);
 

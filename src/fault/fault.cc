@@ -68,6 +68,11 @@ std::string FaultPlan::EventLog() const {
 
 void FaultPlan::RecordEvent(FaultKind kind, const std::string& detail) {
   events_.push_back(FaultEvent{kind, detail});
+  if (tracer_ != nullptr) {
+    tracer_->Instant("fault",
+                     std::string("fault.") + FaultKindName(kind),
+                     obs::TraceAttrs{}.Arg("detail", detail));
+  }
 }
 
 MessageFate FaultPlan::OnControlSend(const std::string& sender_node,

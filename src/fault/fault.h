@@ -25,6 +25,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace cruz::fault {
 
@@ -160,6 +161,11 @@ class FaultPlan : public Injector {
     return agent_crash_times_;
   }
 
+  // Mirror every injected fault onto a tracer timeline (nullptr
+  // disables). Cluster::ArmFaults routes the plan to the sim's tracer so
+  // fault instants interleave with the protocol spans they perturb.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // --- injected-fault log -------------------------------------------------
   const std::vector<FaultEvent>& events() const { return events_; }
   std::size_t CountEvents(FaultKind kind) const;
@@ -181,6 +187,7 @@ class FaultPlan : public Injector {
 
  private:
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   double loss_p_ = 0.0;
   double dup_p_ = 0.0;
   double delay_p_ = 0.0;

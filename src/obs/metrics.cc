@@ -1,0 +1,82 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace cruz::obs {
+
+namespace {
+
+// Locale-independent double rendering (gauges, means).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Record(std::uint64_t v) {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && (1ull << bucket) < v) ++bucket;
+  ++buckets_[bucket];
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + FormatDouble(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + "_count " + std::to_string(h.count()) + "\n";
+    out += name + "_sum " + std::to_string(h.sum()) + "\n";
+    out += name + "_min " + std::to_string(h.min()) + "\n";
+    out += name + "_max " + std::to_string(h.max()) + "\n";
+    out += name + "_mean " + FormatDouble(h.mean()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":" + FormatDouble(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + std::to_string(h.sum()) +
+           ",\"min\":" + std::to_string(h.min()) +
+           ",\"max\":" + std::to_string(h.max()) +
+           ",\"mean\":" + FormatDouble(h.mean()) + "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace cruz::obs

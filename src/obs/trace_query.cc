@@ -1,0 +1,67 @@
+#include "obs/trace_query.h"
+
+#include <algorithm>
+
+namespace cruz::obs {
+
+TraceQuery::TraceQuery(const Tracer& tracer)
+    : events_(tracer.events().begin(), tracer.events().end()) {
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.seq < b.seq;
+            });
+}
+
+bool TraceQuery::Matches(const TraceEvent& e, const Filter& f) {
+  if (!f.category.empty() && e.category != f.category) return false;
+  if (!f.name.empty() && e.name != f.name) return false;
+  if (f.op != 0 && e.attrs.op != f.op) return false;
+  if (!f.agent.empty() && e.attrs.agent != f.agent) return false;
+  return true;
+}
+
+std::vector<const TraceEvent*> TraceQuery::Select(
+    const Filter& filter) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (Matches(e, filter)) out.push_back(&e);
+  }
+  return out;
+}
+
+const TraceEvent* TraceQuery::First(const Filter& filter) const {
+  for (const TraceEvent& e : events_) {
+    if (Matches(e, filter)) return &e;
+  }
+  return nullptr;
+}
+
+const TraceEvent* TraceQuery::Last(const Filter& filter) const {
+  const TraceEvent* found = nullptr;
+  for (const TraceEvent& e : events_) {
+    if (Matches(e, filter)) found = &e;
+  }
+  return found;
+}
+
+std::size_t TraceQuery::CountBetween(const Filter& filter, TimeNs begin,
+                                     TimeNs end) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.ts >= begin && e.ts <= end && Matches(e, filter)) ++n;
+  }
+  return n;
+}
+
+DurationNs TraceQuery::MaxDuration(const Filter& filter) const {
+  DurationNs max = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == EventKind::kSpan && Matches(e, filter)) {
+      max = std::max(max, e.dur);
+    }
+  }
+  return max;
+}
+
+}  // namespace cruz::obs

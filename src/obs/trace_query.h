@@ -1,0 +1,68 @@
+// Query helper over a Tracer's completed events.
+//
+// Tests and benches use this to turn the flat event ring into timeline
+// assertions: "the freeze phase ends before the commit phase begins",
+// "no pod traffic was delivered between this agent's filter install and
+// its resume", "the max agent save span for op 7 is X ns". Results are
+// returned in (ts, seq) order so iteration is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cruz::obs {
+
+class TraceQuery {
+ public:
+  // Snapshots the tracer's completed events, sorted by (ts, seq).
+  explicit TraceQuery(const Tracer& tracer);
+
+  // Filter predicates: empty string / 0 = wildcard.
+  struct Filter {
+    std::string category;
+    std::string name;
+    std::uint64_t op = 0;
+    std::string agent;
+
+    Filter& Category(std::string v) { category = std::move(v); return *this; }
+    Filter& Name(std::string v) { name = std::move(v); return *this; }
+    Filter& Op(std::uint64_t v) { op = v; return *this; }
+    Filter& Agent(std::string v) { agent = std::move(v); return *this; }
+  };
+
+  std::vector<const TraceEvent*> Select(const Filter& filter) const;
+  std::vector<const TraceEvent*> Named(const std::string& name) const {
+    return Select(Filter{}.Name(name));
+  }
+
+  // First/last matching event by timestamp; nullptr when none matches.
+  const TraceEvent* First(const Filter& filter) const;
+  const TraceEvent* Last(const Filter& filter) const;
+
+  std::size_t Count(const Filter& filter) const {
+    return Select(filter).size();
+  }
+  // Matching events with ts in [begin, end].
+  std::size_t CountBetween(const Filter& filter, TimeNs begin,
+                           TimeNs end) const;
+
+  // Max span duration among matches (0 when none).
+  DurationNs MaxDuration(const Filter& filter) const;
+
+  // True iff `inner` lies entirely within `outer` ([ts, end_ts]).
+  static bool Within(const TraceEvent& inner, const TraceEvent& outer) {
+    return inner.ts >= outer.ts && inner.end_ts() <= outer.end_ts();
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  static bool Matches(const TraceEvent& e, const Filter& f);
+
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cruz::obs

@@ -19,6 +19,7 @@ std::uint64_t ActiveSimTime() {
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
   g_active = this;
   Logger::SetSimTimeProvider(&ActiveSimTime);
+  tracer_.SetClock([this] { return now_; });
 }
 
 Simulator::~Simulator() {

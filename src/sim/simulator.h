@@ -12,6 +12,8 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace cruz::sim {
@@ -26,6 +28,14 @@ class Simulator {
 
   TimeNs Now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  // Per-run observability: every layer reaches the tracer and metrics
+  // through the simulator, and events are stamped with simulated time —
+  // so same-seed runs export byte-identical traces.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   // Schedules `cb` after `delay` (relative) or at `when` (absolute; must not
   // be in the past).
@@ -59,6 +69,8 @@ class Simulator {
   std::uint64_t events_executed_ = 0;
   EventQueue queue_;
   Rng rng_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace cruz::sim

@@ -294,7 +294,19 @@ void TcpConnection::EmitDataSegment(const SendSegment& seg, bool retransmit) {
   out.window = AdvertisedWindow();
   last_advertised_window_ = out.window;
   ++segments_sent_;
-  if (retransmit) ++retransmissions_;
+  if (retransmit) {
+    ++retransmissions_;
+    sim_.metrics().counter("tcp.retransmits_total").Add();
+  }
+  if (sim_.tracer().verbose()) {
+    sim_.tracer().Instant("tcp", "tcp.tx",
+                          obs::TraceAttrs{}
+                              .Conn(tuple_.ToString())
+                              .Arg("seq", seg.seq)
+                              .Arg("len", seg.data.size())
+                              .Arg("retransmit", retransmit ? "true"
+                                                            : "false"));
+  }
   output_(tuple_, out);
 }
 
@@ -352,6 +364,14 @@ std::uint16_t TcpConnection::AdvertisedWindow() const {
 
 void TcpConnection::OnSegment(const TcpSegment& seg) {
   ++segments_received_;
+  if (sim_.tracer().verbose()) {
+    sim_.tracer().Instant("tcp", "tcp.rx",
+                          obs::TraceAttrs{}
+                              .Conn(tuple_.ToString())
+                              .Arg("seq", seg.seq)
+                              .Arg("len", seg.payload.size())
+                              .Arg("ack", seg.ack_flag ? seg.ack : 0));
+  }
   switch (state_) {
     case TcpState::kClosed:
       if (!seg.rst) SendRst(seg.ack_flag ? seg.ack : 0);
@@ -454,6 +474,7 @@ void TcpConnection::ProcessAck(const TcpSegment& seg) {
     MaybeSampleRtt(ack);
     send_.AckUpTo(ack);
     snd_una_ = ack;
+    OnAckAdvance(acked, retransmit_recovery_);
     dup_acks_ = 0;
     backoff_count_ = 0;
     snd_wnd_ = seg.window;
@@ -510,6 +531,14 @@ void TcpConnection::ProcessAck(const TcpSegment& seg) {
         cwnd_ = ssthresh_;
         bytes_acked_in_ca_ = 0;
         rtt_sample_end_.reset();  // Karn: invalidate the RTT sample
+        if (!retransmit_recovery_) {
+          retransmit_recovery_ = true;
+          recovery_started_at_ = sim_.Now();
+        }
+        sim_.tracer().Instant("tcp", "tcp.fast_retransmit",
+                              obs::TraceAttrs{}
+                                  .Conn(tuple_.ToString())
+                                  .Arg("seq", s->seq));
         EmitDataSegment(*s, /*retransmit=*/true);
         send_.MarkTransmitted(s->seq);
         ArmRto();
@@ -672,9 +701,37 @@ void TcpConnection::OnRtoExpired() {
   rtt_sample_end_.reset();  // Karn's algorithm
   snd_nxt_ = snd_una_;      // go-back-N
 
+  if (!retransmit_recovery_) {
+    retransmit_recovery_ = true;
+    recovery_started_at_ = sim_.Now();
+  }
+  sim_.tracer().Instant("tcp", "tcp.rto",
+                        obs::TraceAttrs{}
+                            .Conn(tuple_.ToString())
+                            .Arg("inflight", inflight)
+                            .Arg("backoff", static_cast<std::uint64_t>(
+                                                backoff_count_))
+                            .Arg("rto_ns", rto_));
+  sim_.metrics().counter("tcp.rto_total").Add();
+
   rto_ = std::min<DurationNs>(rto_ * 2, cfg_.max_rto);
   ArmRto();
   TrySend();
+}
+
+void TcpConnection::OnAckAdvance(std::uint32_t acked_bytes,
+                                 bool was_retransmit_recovery) {
+  if (!was_retransmit_recovery) return;
+  // First cumulative-ACK advance after a loss episode: the peer is
+  // receiving our retransmissions again. This is the Fig. 6 "recovered"
+  // moment — recovery_ns measures RTO/fast-retransmit until here.
+  retransmit_recovery_ = false;
+  sim_.tracer().Instant("tcp", "tcp.recovered",
+                        obs::TraceAttrs{}
+                            .Conn(tuple_.ToString())
+                            .Arg("acked_bytes", acked_bytes)
+                            .Arg("recovery_ns",
+                                 sim_.Now() - recovery_started_at_));
 }
 
 void TcpConnection::MaybeSampleRtt(Seq ack) {
@@ -727,6 +784,18 @@ TcpConnCheckpoint TcpConnection::ExportCheckpoint() const {
   if (recv_) {
     recv_->PeekAll(ck.recv_pending);
   }
+  std::uint64_t send_bytes = 0;
+  for (const cruz::Bytes& p : ck.send_packets) send_bytes += p.size();
+  sim_.tracer().Instant("tcp", "tcp.export",
+                        obs::TraceAttrs{}
+                            .Conn(tuple_.ToString())
+                            .Arg("snd_una", ck.snd_una)
+                            .Arg("snd_nxt", snd_nxt_)
+                            .Arg("rcv_nxt", ck.rcv_nxt)
+                            .Arg("send_buffer_bytes", send_bytes)
+                            .Arg("recv_buffer_bytes",
+                                 ck.recv_pending.size()));
+  sim_.metrics().counter("tcp.exports_total").Add();
   return ck;
 }
 
@@ -736,6 +805,16 @@ std::unique_ptr<TcpConnection> TcpConnection::Restore(
   auto c = std::make_unique<TcpConnection>(sim, cfg, ck.tuple,
                                            std::move(output),
                                            std::move(callbacks));
+  std::uint64_t replay_bytes = 0;
+  for (const cruz::Bytes& p : ck.send_packets) replay_bytes += p.size();
+  sim.tracer().Instant("tcp", "tcp.restore",
+                       obs::TraceAttrs{}
+                           .Conn(ck.tuple.ToString())
+                           .Arg("snd_una", ck.snd_una)
+                           .Arg("rcv_nxt", ck.rcv_nxt)
+                           .Arg("replay_packets", ck.send_packets.size())
+                           .Arg("replay_bytes", replay_bytes));
+  sim.metrics().counter("tcp.restores_total").Add();
   c->state_ = ck.state;
   c->iss_ = ck.iss;
   c->irs_ = ck.irs;

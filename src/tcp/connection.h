@@ -207,6 +207,11 @@ class TcpConnection {
   std::uint32_t last_advertised_window_ = 0;
   Errno pending_error_ = CRUZ_EOK;
 
+  // Tracing: set while recovering lost data via RTO/fast retransmit;
+  // cleared (with a tcp.recovered event) by the first advancing ACK.
+  bool retransmit_recovery_ = false;
+  TimeNs recovery_started_at_ = 0;
+
   std::uint64_t segments_sent_ = 0;
   std::uint64_t segments_received_ = 0;
   std::uint64_t retransmissions_ = 0;

@@ -1,0 +1,274 @@
+// Unit tests for the observability layer: Tracer (spans, instants, ring
+// bound, exports), MetricsRegistry (counters, gauges, histograms, dumps),
+// and TraceQuery (filtering, ordering, window counts).
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_query.h"
+
+namespace cruz::obs {
+namespace {
+
+// A tracer driven by a hand-cranked clock, so tests control timestamps.
+struct ClockedTracer {
+  TimeNs now = 0;
+  Tracer tracer;
+
+  ClockedTracer() {
+    tracer.SetClock([this] { return now; });
+  }
+};
+
+TEST(Tracer, SpanRecordsBeginAndDuration) {
+  ClockedTracer t;
+  t.now = 100;
+  SpanId id = t.tracer.BeginSpan("coord", "coord.phase.freeze",
+                                 TraceAttrs{}.Op(7).Phase("freeze"));
+  ASSERT_NE(id, kInvalidSpanId);
+  EXPECT_EQ(t.tracer.open_spans(), 1u);
+  EXPECT_TRUE(t.tracer.events().empty());  // not completed yet
+
+  t.now = 350;
+  t.tracer.EndSpan(id);
+  ASSERT_EQ(t.tracer.events().size(), 1u);
+  const TraceEvent& e = t.tracer.events().front();
+  EXPECT_EQ(e.kind, EventKind::kSpan);
+  EXPECT_EQ(e.ts, 100u);
+  EXPECT_EQ(e.dur, 250u);
+  EXPECT_EQ(e.end_ts(), 350u);
+  EXPECT_EQ(e.category, "coord");
+  EXPECT_EQ(e.name, "coord.phase.freeze");
+  EXPECT_EQ(e.attrs.op, 7u);
+  EXPECT_EQ(e.attrs.phase, "freeze");
+  EXPECT_EQ(t.tracer.open_spans(), 0u);
+}
+
+TEST(Tracer, EndSpanAppendsExtraArgs) {
+  ClockedTracer t;
+  SpanId id = t.tracer.BeginSpan("agent", "agent.save",
+                                 TraceAttrs{}.Arg("mode", "stop-the-world"));
+  t.now = 10;
+  t.tracer.EndSpan(id, {{"outcome", "ok"}});
+  const TraceEvent& e = t.tracer.events().front();
+  ASSERT_EQ(e.attrs.args.size(), 2u);
+  EXPECT_EQ(e.attrs.args[0].first, "mode");
+  EXPECT_EQ(e.attrs.args[1].first, "outcome");
+  EXPECT_EQ(e.attrs.args[1].second, "ok");
+}
+
+TEST(Tracer, InstantStampsCurrentTime) {
+  ClockedTracer t;
+  t.now = 42;
+  t.tracer.Instant("tcp", "tcp.rto", TraceAttrs{}.Conn("a<->b"));
+  ASSERT_EQ(t.tracer.events().size(), 1u);
+  EXPECT_EQ(t.tracer.events().front().kind, EventKind::kInstant);
+  EXPECT_EQ(t.tracer.events().front().ts, 42u);
+  EXPECT_EQ(t.tracer.events().front().dur, 0u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  ClockedTracer t;
+  t.tracer.set_enabled(false);
+  EXPECT_EQ(t.tracer.BeginSpan("c", "n"), kInvalidSpanId);
+  t.tracer.Instant("c", "n");
+  t.tracer.EndSpan(kInvalidSpanId);    // must be a safe no-op
+  t.tracer.EndSpan(99999);             // unknown id ignored
+  EXPECT_TRUE(t.tracer.events().empty());
+}
+
+TEST(Tracer, RingDropsOldestBeyondCapacity) {
+  ClockedTracer t;
+  t.tracer.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    t.now = static_cast<TimeNs>(i);
+    t.tracer.Instant("c", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(t.tracer.events().size(), 4u);
+  EXPECT_EQ(t.tracer.dropped(), 6u);
+  EXPECT_EQ(t.tracer.events().front().name, "e6");
+  EXPECT_EQ(t.tracer.events().back().name, "e9");
+}
+
+TEST(Tracer, ClearResetsEventsAndDropCount) {
+  ClockedTracer t;
+  t.tracer.set_capacity(1);
+  t.tracer.Instant("c", "a");
+  t.tracer.Instant("c", "b");
+  EXPECT_EQ(t.tracer.dropped(), 1u);
+  t.tracer.Clear();
+  EXPECT_TRUE(t.tracer.events().empty());
+  EXPECT_EQ(t.tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeExportShape) {
+  ClockedTracer t;
+  t.now = 1500;  // 1.5 us
+  SpanId id = t.tracer.BeginSpan("coord", "coord.op.checkpoint",
+                                 TraceAttrs{}.Op(3).Agent("node0"));
+  t.now = 2500;
+  t.tracer.EndSpan(id);
+  t.tracer.Instant("fault", "fault.msg-drop");
+  std::string json = t.tracer.ExportChromeJson();
+  // Span event with microsecond timestamps at ns precision.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.000"), std::string::npos);
+  // Instant event.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Per-agent thread-name metadata track.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node0\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(Tracer, JsonlOneLinePerEvent) {
+  ClockedTracer t;
+  t.tracer.Instant("a", "one");
+  t.now = 5;
+  SpanId id = t.tracer.BeginSpan("b", "two");
+  t.now = 9;
+  t.tracer.EndSpan(id);
+  std::string jsonl = t.tracer.ExportJsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"kind\":\"instant\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_ns\":5,\"dur_ns\":4"), std::string::npos);
+}
+
+TEST(Tracer, ExportsEscapeControlAndQuoteCharacters) {
+  ClockedTracer t;
+  t.tracer.Instant("c", "evil",
+                   TraceAttrs{}.Arg("k", "a\"b\\c\nd\te\x01"));
+  std::string jsonl = t.tracer.ExportJsonl();
+  EXPECT_NE(jsonl.find("a\\\"b\\\\c\\nd\\te\\u0001"), std::string::npos);
+  // The raw control byte must not leak into the output.
+  EXPECT_EQ(jsonl.find('\x01'), std::string::npos);
+}
+
+TEST(Metrics, CountersGaugesHistograms) {
+  MetricsRegistry m;
+  m.counter("coord.ops_total").Add();
+  m.counter("coord.ops_total").Add(4);
+  EXPECT_EQ(m.counter("coord.ops_total").value(), 5u);
+
+  m.gauge("ckpt.codec_ratio").Set(0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("ckpt.codec_ratio").value(), 0.5);
+
+  Histogram& h = m.histogram("coord.downtime_us");
+  h.Record(3);
+  h.Record(5);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 108u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 36.0);
+  // Power-of-two buckets: 3 -> 2^2, 5 -> 2^3, 100 -> 2^7.
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(Metrics, DumpsAreSortedAndReset) {
+  MetricsRegistry m;
+  m.counter("z.last").Add(2);
+  m.counter("a.first").Add(1);
+  m.histogram("h.lat").Record(10);
+  std::string dump = m.TextDump();
+  EXPECT_LT(dump.find("a.first"), dump.find("z.last"));
+  EXPECT_NE(dump.find("h.lat_count 1"), std::string::npos);
+  std::string json = m.ExportJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.first\":1"), std::string::npos);
+  m.Reset();
+  EXPECT_EQ(m.counter("a.first").value(), 0u);
+  EXPECT_EQ(m.histogram("h.lat").count(), 0u);
+}
+
+// Builds a small timeline for query tests:
+//   t=10..50  span  coord/coord.phase.freeze   op=1
+//   t=20      inst  agent/agent.save           op=1 agent=n0 (as instant)
+//   t=60..90  span  coord/coord.phase.commit   op=1
+//   t=70      inst  tcp/tcp.rto
+//   t=95      inst  tcp/tcp.rto
+struct QueryFixture {
+  ClockedTracer t;
+
+  QueryFixture() {
+    Tracer& tr = t.tracer;
+    t.now = 10;
+    SpanId freeze = tr.BeginSpan("coord", "coord.phase.freeze",
+                                 TraceAttrs{}.Op(1).Phase("freeze"));
+    t.now = 20;
+    tr.Instant("agent", "agent.save", TraceAttrs{}.Op(1).Agent("n0"));
+    t.now = 50;
+    tr.EndSpan(freeze);
+    t.now = 60;
+    SpanId commit = tr.BeginSpan("coord", "coord.phase.commit",
+                                 TraceAttrs{}.Op(1).Phase("commit"));
+    t.now = 70;
+    tr.Instant("tcp", "tcp.rto");
+    t.now = 90;
+    tr.EndSpan(commit);
+    t.now = 95;
+    tr.Instant("tcp", "tcp.rto");
+  }
+};
+
+TEST(TraceQuery, FiltersAndOrdering) {
+  QueryFixture f;
+  TraceQuery q(f.t.tracer);
+  // Events come back sorted by begin time, not completion order: the
+  // freeze span (begun at 10, completed at 50) precedes the save instant.
+  ASSERT_EQ(q.events().size(), 5u);
+  EXPECT_EQ(q.events()[0].name, "coord.phase.freeze");
+  EXPECT_EQ(q.events()[1].name, "agent.save");
+
+  EXPECT_EQ(q.Count(TraceQuery::Filter{}.Category("coord")), 2u);
+  EXPECT_EQ(q.Count(TraceQuery::Filter{}.Op(1)), 3u);
+  EXPECT_EQ(q.Count(TraceQuery::Filter{}.Agent("n0")), 1u);
+  EXPECT_EQ(q.Named("tcp.rto").size(), 2u);
+  EXPECT_EQ(q.Count(TraceQuery::Filter{}.Name("nope")), 0u);
+}
+
+TEST(TraceQuery, FirstLastAndWindows) {
+  QueryFixture f;
+  TraceQuery q(f.t.tracer);
+  const TraceEvent* first = q.First(TraceQuery::Filter{}.Name("tcp.rto"));
+  const TraceEvent* last = q.Last(TraceQuery::Filter{}.Name("tcp.rto"));
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(first->ts, 70u);
+  EXPECT_EQ(last->ts, 95u);
+  EXPECT_EQ(q.First(TraceQuery::Filter{}.Name("nope")), nullptr);
+
+  // CountBetween is inclusive on both ends.
+  TraceQuery::Filter rto = TraceQuery::Filter{}.Name("tcp.rto");
+  EXPECT_EQ(q.CountBetween(rto, 70, 95), 2u);
+  EXPECT_EQ(q.CountBetween(rto, 71, 94), 0u);
+
+  EXPECT_EQ(q.MaxDuration(TraceQuery::Filter{}.Category("coord")), 40u);
+  EXPECT_EQ(q.MaxDuration(TraceQuery::Filter{}.Name("nope")), 0u);
+}
+
+TEST(TraceQuery, WithinChecksFullContainment) {
+  QueryFixture f;
+  TraceQuery q(f.t.tracer);
+  const TraceEvent* freeze =
+      q.First(TraceQuery::Filter{}.Name("coord.phase.freeze"));
+  const TraceEvent* commit =
+      q.First(TraceQuery::Filter{}.Name("coord.phase.commit"));
+  const TraceEvent* save = q.First(TraceQuery::Filter{}.Name("agent.save"));
+  ASSERT_NE(freeze, nullptr);
+  ASSERT_NE(commit, nullptr);
+  ASSERT_NE(save, nullptr);
+  EXPECT_TRUE(TraceQuery::Within(*save, *freeze));
+  EXPECT_FALSE(TraceQuery::Within(*save, *commit));
+  EXPECT_FALSE(TraceQuery::Within(*commit, *freeze));
+}
+
+}  // namespace
+}  // namespace cruz::obs

@@ -1,0 +1,260 @@
+// End-to-end assertions on the exported trace of a coordinated
+// checkpoint: the Fig. 2 phase ordering (freeze strictly precedes
+// commit, local saves happen inside freeze, continues inside commit),
+// the communication-silence guarantee (no pod TCP traffic delivered
+// while the packet filters are up), injected faults appearing on the
+// same timeline, and byte-identical exports across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/programs.h"
+#include "cruz/cluster.h"
+#include "fault/fault.h"
+#include "obs/trace_query.h"
+
+namespace cruz {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceQuery;
+
+os::PodId SpawnCounterPod(Cluster& c, std::size_t node,
+                          const std::string& name) {
+  os::PodId id = c.CreatePod(node, name);
+  c.pods(node).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  return id;
+}
+
+// Fig. 2: the blocking protocol's phases, read back from the trace. The
+// freeze span (checkpoint request through last <done>) must fully close
+// before the commit span (first <continue> through last <continue-done>)
+// opens, every agent's save span must sit inside freeze, and every
+// continue span inside commit.
+TEST(TracePipeline, Fig2PhaseOrderingFromTrace) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  auto stats =
+      c.RunCheckpoint({c.MemberFor(0, a), c.MemberFor(1, b)});
+  ASSERT_TRUE(stats.success);
+  ASSERT_NE(stats.op_id, 0u);
+
+  TraceQuery q(c.sim().tracer());
+  const TraceEvent* op = q.First(
+      TraceQuery::Filter{}.Name("coord.op.checkpoint").Op(stats.op_id));
+  const TraceEvent* freeze = q.First(
+      TraceQuery::Filter{}.Name("coord.phase.freeze").Op(stats.op_id));
+  const TraceEvent* commit = q.First(
+      TraceQuery::Filter{}.Name("coord.phase.commit").Op(stats.op_id));
+  ASSERT_NE(op, nullptr);
+  ASSERT_NE(freeze, nullptr);
+  ASSERT_NE(commit, nullptr);
+
+  // Phase ordering: freeze ends before commit begins; both lie inside
+  // the operation span.
+  EXPECT_LE(freeze->end_ts(), commit->ts);
+  EXPECT_TRUE(TraceQuery::Within(*freeze, *op));
+  EXPECT_TRUE(TraceQuery::Within(*commit, *op));
+
+  // One save and one continue span per member, contained in their phase.
+  std::vector<const TraceEvent*> saves =
+      q.Select(TraceQuery::Filter{}.Name("agent.save").Op(stats.op_id));
+  std::vector<const TraceEvent*> continues = q.Select(
+      TraceQuery::Filter{}.Name("agent.continue").Op(stats.op_id));
+  ASSERT_EQ(saves.size(), 2u);
+  ASSERT_EQ(continues.size(), 2u);
+  for (const TraceEvent* save : saves) {
+    EXPECT_TRUE(TraceQuery::Within(*save, *freeze))
+        << "agent.save for " << save->attrs.agent << " outside freeze";
+  }
+  for (const TraceEvent* cont : continues) {
+    EXPECT_TRUE(TraceQuery::Within(*cont, *commit))
+        << "agent.continue for " << cont->attrs.agent << " outside commit";
+  }
+
+  // Stop-the-world downtime is the save itself: the span sits inside
+  // freeze and closes with the local checkpoint.
+  std::vector<const TraceEvent*> downtimes = q.Select(
+      TraceQuery::Filter{}.Name("agent.downtime").Op(stats.op_id));
+  ASSERT_EQ(downtimes.size(), 2u);
+  for (const TraceEvent* dt : downtimes) {
+    EXPECT_TRUE(TraceQuery::Within(*dt, *freeze));
+  }
+
+  // Fig. 2 message complexity on the trace: 2 coordinator sends per
+  // member (<checkpoint>, <continue>) and one recv per reply.
+  EXPECT_EQ(q.Count(TraceQuery::Filter{}
+                        .Name("coord.msg.send")
+                        .Op(stats.op_id)),
+            4u);
+  EXPECT_GE(q.Count(TraceQuery::Filter{}
+                        .Name("coord.msg.recv")
+                        .Op(stats.op_id)),
+            4u);
+}
+
+// While the packet filters are up (between every agent's filter install
+// and the first resume), no TCP segment may be delivered to a pod
+// connection: the stall in Fig. 6 is silence, not queueing at the app.
+TEST(TracePipeline, NoPodTrafficDeliveredWhileFiltersUp) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+
+  os::PodId recv_pod = c.CreatePod(1, "recv");
+  net::Ipv4Address recv_ip = c.pods(1).Find(recv_pod)->ip;
+  os::Pid recv_vpid = c.pods(1).SpawnInPod(
+      recv_pod, "cruz.stream_receiver", apps::StreamReceiverArgs(9100));
+  c.sim().RunFor(5 * kMillisecond);
+  os::PodId send_pod = c.CreatePod(0, "send");
+  c.pods(0).SpawnInPod(send_pod, "cruz.stream_sender",
+                       apps::StreamSenderArgs(recv_ip, 9100, 8 * kMiB));
+  std::string pod_ip = recv_ip.ToString();
+
+  auto delivered = [&] {
+    os::Pid real = c.pods(1).ToRealPid(recv_pod, recv_vpid);
+    os::Process* proc = c.node(1).os().FindProcess(real);
+    return proc != nullptr ? apps::ReadStreamStatus(*proc).bytes : 0ull;
+  };
+  ASSERT_TRUE(c.sim().RunWhile([&] { return delivered() > 512 * 1024; },
+                               c.sim().Now() + 60 * kSecond));
+
+  // Record per-segment instants only around the checkpoint window.
+  c.sim().tracer().set_verbose(true);
+  auto stats = c.RunCheckpoint(
+      {c.MemberFor(0, send_pod), c.MemberFor(1, recv_pod)});
+  ASSERT_TRUE(stats.success);
+  // Run until the sender's retransmission recovers and fresh segments
+  // reach the receiver again (new deliveries imply new tcp.rx events).
+  std::uint64_t at_ckpt = delivered();
+  ASSERT_TRUE(c.sim().RunWhile(
+      [&] { return delivered() > at_ckpt + 64 * 1024; },
+      c.sim().Now() + 30 * kSecond));
+  c.sim().tracer().set_verbose(false);
+
+  TraceQuery q(c.sim().tracer());
+  std::vector<const TraceEvent*> installs = q.Select(
+      TraceQuery::Filter{}.Name("agent.filter.install").Op(stats.op_id));
+  std::vector<const TraceEvent*> resumes = q.Select(
+      TraceQuery::Filter{}.Name("agent.resume").Op(stats.op_id));
+  ASSERT_EQ(installs.size(), 2u);
+  ASSERT_EQ(resumes.size(), 2u);
+  TimeNs filters_up = 0, first_resume = ~TimeNs{0};
+  for (const TraceEvent* e : installs)
+    filters_up = std::max(filters_up, e->ts);
+  for (const TraceEvent* e : resumes)
+    first_resume = std::min(first_resume, e->ts);
+  ASSERT_LT(filters_up, first_resume);
+
+  // Partition the pod connection's rx instants around the silence window.
+  std::size_t before = 0, during = 0, after = 0;
+  for (const TraceEvent& e : q.events()) {
+    if (e.name != "tcp.rx" ||
+        e.attrs.conn.find(pod_ip) == std::string::npos) {
+      continue;
+    }
+    if (e.ts <= filters_up) {
+      ++before;
+    } else if (e.ts < first_resume) {
+      ++during;
+    } else {
+      ++after;
+    }
+  }
+  // Verbose capture saw live traffic on both sides of the window, and
+  // absolute silence inside it.
+  EXPECT_GT(before, 0u);
+  EXPECT_GT(after, 0u);
+  EXPECT_EQ(during, 0u);
+}
+
+// A chaos run's injected faults land on the same timeline as the
+// protocol events they perturb, and retransmissions show up as
+// coordinator instants.
+TEST(TracePipeline, FaultEventsShareTheTimeline) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  fault::FaultPlan plan(777);
+  plan.ArmMessageLoss(0.4);
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+  coord::Coordinator::Options options;
+  options.retransmit_interval = 200 * kMillisecond;
+  options.timeout = 60 * kSecond;
+  auto stats =
+      c.RunCheckpoint({c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  ASSERT_TRUE(stats.success);
+
+  TraceQuery q(c.sim().tracer());
+  std::size_t drops = q.Count(TraceQuery::Filter{}.Name("fault.msg-drop"));
+  ASSERT_EQ(drops, plan.events().size());
+  ASSERT_GT(drops, 0u);
+  // Drops were repaired by retransmissions, and both event kinds share
+  // one clock: the first retransmit can only follow a preceding drop
+  // (nothing else leaves a reply outstanding in this scenario).
+  std::vector<const TraceEvent*> rexmits =
+      q.Select(TraceQuery::Filter{}.Name("coord.retransmit"));
+  ASSERT_FALSE(rexmits.empty());
+  const TraceEvent* first_drop =
+      q.First(TraceQuery::Filter{}.Name("fault.msg-drop"));
+  EXPECT_LE(first_drop->ts, rexmits.front()->ts);
+  EXPECT_EQ(c.sim().metrics().counter("coord.retransmits_total").value(),
+            rexmits.size());
+}
+
+// The determinism contract behind the bench regression gate: two runs of
+// the same seeded scenario produce byte-identical trace exports and
+// metrics dumps.
+TEST(TracePipeline, SameSeedRunsExportIdenticalTraces) {
+  auto run = [](std::uint64_t seed) {
+    ClusterConfig config;
+    config.seed = seed;
+    config.num_nodes = 3;
+    Cluster c(config);
+    fault::FaultPlan plan(seed + 5);
+    plan.ArmMessageLoss(0.2);
+    c.ArmFaults(plan);
+    std::vector<coord::Coordinator::Member> members;
+    for (std::size_t n = 0; n < 3; ++n) {
+      members.push_back(c.MemberFor(
+          n, SpawnCounterPod(c, n, "p" + std::to_string(n))));
+    }
+    c.sim().RunFor(10 * kMillisecond);
+    coord::Coordinator::Options options;
+    options.retransmit_interval = 200 * kMillisecond;
+    options.timeout = 60 * kSecond;
+    c.RunCheckpoint(members, options);
+    struct Exports {
+      std::string chrome, jsonl, metrics;
+    } out{c.sim().tracer().ExportChromeJson(),
+          c.sim().tracer().ExportJsonl(),
+          c.sim().metrics().ExportJson()};
+    return out;
+  };
+
+  auto first = run(1234);
+  auto second = run(1234);
+  EXPECT_EQ(first.chrome, second.chrome);
+  EXPECT_EQ(first.jsonl, second.jsonl);
+  EXPECT_EQ(first.metrics, second.metrics);
+  // Sanity: the export is substantial, not trivially empty-equal.
+  EXPECT_GT(first.chrome.size(), 1000u);
+  EXPECT_NE(first.jsonl.find("coord.op.checkpoint"), std::string::npos);
+
+  auto other = run(4321);
+  EXPECT_NE(first.jsonl, other.jsonl);
+}
+
+}  // namespace
+}  // namespace cruz
