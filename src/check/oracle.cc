@@ -1,0 +1,322 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ckpt/generation.h"
+
+namespace cruz::check {
+
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceQuery;
+
+std::string ArgValue(const TraceEvent& e, const std::string& key) {
+  for (const auto& [k, v] : e.attrs.args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+void Violate(std::vector<Violation>& out, const std::string& invariant,
+             std::string detail) {
+  out.push_back(Violation{invariant, std::move(detail)});
+}
+
+// True for records that ran a coordinated checkpoint (a coordinator
+// crash still allocates a generation and may complete the op).
+bool IsCheckpointAttempt(const OpRecord& rec) {
+  return rec.attempted && (rec.kind == OpKind::kCheckpoint ||
+                           rec.kind == OpKind::kCoordinatorCrash);
+}
+
+// The workload must finish what it started, without corruption. Catches
+// any disturbance that silently kills or damages application state.
+void CheckWorkloadIntact(const RunContext& ctx,
+                         std::vector<Violation>& out) {
+  const char* name = "workload-intact";
+  if (!ctx.workload.completed) {
+    std::ostringstream d;
+    d << "workload did not complete: " << ctx.workload.units << "/"
+      << ctx.workload.target << " units";
+    Violate(out, name, d.str());
+    return;
+  }
+  if (ctx.workload.mismatches != 0) {
+    Violate(out, name,
+            "workload saw " + std::to_string(ctx.workload.mismatches) +
+                " verification failure(s)");
+  }
+  if (ctx.workload.target != 0 && ctx.workload.units != ctx.workload.target) {
+    std::ostringstream d;
+    d << "workload finished at " << ctx.workload.units << " units, expected "
+      << ctx.workload.target;
+    Violate(out, name, d.str());
+  }
+}
+
+// Paper §5: consistency comes from dropping pod traffic during the
+// coordinated window. Between the last filter install and the first
+// resume of a successful checkpoint, no TCP segment may be delivered on
+// a workload pod's connection.
+void CheckCommSilence(const RunContext& ctx, std::vector<Violation>& out) {
+  const char* name = "comm-silence";
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kCheckpoint || !rec.result.stats.success) {
+      continue;
+    }
+    std::uint64_t op_id = rec.result.stats.op_id;
+    auto installs = ctx.trace->Select(
+        TraceQuery::Filter{}.Name("agent.filter.install").Op(op_id));
+    auto resumes = ctx.trace->Select(
+        TraceQuery::Filter{}.Name("agent.resume").Op(op_id));
+    if (installs.size() != rec.members || resumes.size() != rec.members) {
+      continue;  // partial window (duplicated/aborted edges): no claim
+    }
+    TimeNs filters_up = 0;
+    TimeNs first_resume = ~TimeNs{0};
+    for (const TraceEvent* e : installs)
+      filters_up = std::max(filters_up, e->ts);
+    for (const TraceEvent* e : resumes)
+      first_resume = std::min(first_resume, e->ts);
+    if (filters_up >= first_resume) continue;
+    std::size_t during = 0;
+    for (const TraceEvent& e : ctx.trace->events()) {
+      if (e.name != "tcp.rx" || e.ts <= filters_up || e.ts >= first_resume) {
+        continue;
+      }
+      for (const std::string& ip : ctx.member_pod_ips) {
+        if (e.attrs.conn.find(ip) != std::string::npos) {
+          ++during;
+          break;
+        }
+      }
+    }
+    if (during > 0) {
+      std::ostringstream d;
+      d << "op " << op_id << ": " << during
+        << " pod TCP segment(s) delivered inside the filter window";
+      Violate(out, name, d.str());
+    }
+  }
+}
+
+// A generation manifest commits exactly once per successful epoch, only
+// after every agent's save (disk-done), and never for a failed epoch.
+void CheckGenCommit(const RunContext& ctx, std::vector<Violation>& out) {
+  const char* name = "gen-commit";
+  for (const OpRecord& rec : ctx.ops) {
+    if (!IsCheckpointAttempt(rec) || rec.allocated_generation == 0) continue;
+    std::vector<const TraceEvent*> commits;
+    for (const TraceEvent& e : ctx.trace->events()) {
+      if (e.name == "ckpt.generation.commit" &&
+          ArgValue(e, "gen") == std::to_string(rec.allocated_generation)) {
+        commits.push_back(&e);
+      }
+    }
+    std::uint64_t op_id = rec.result.stats.op_id;
+    if (rec.result.stats.success) {
+      if (commits.size() != 1) {
+        std::ostringstream d;
+        d << "generation " << rec.allocated_generation << " (op " << op_id
+          << ") committed " << commits.size() << " time(s), expected 1";
+        Violate(out, name, d.str());
+        continue;
+      }
+      auto saves = ctx.trace->Select(
+          TraceQuery::Filter{}.Name("agent.save").Op(op_id));
+      if (saves.size() == rec.members) {
+        TimeNs disk_done = 0;
+        for (const TraceEvent* e : saves)
+          disk_done = std::max(disk_done, e->end_ts());
+        if (commits.front()->ts < disk_done) {
+          std::ostringstream d;
+          d << "generation " << rec.allocated_generation
+            << " committed at " << commits.front()->ts
+            << " before the last save finished at " << disk_done;
+          Violate(out, name, d.str());
+        }
+      }
+    } else if (!commits.empty()) {
+      std::ostringstream d;
+      d << "generation " << rec.allocated_generation
+        << " committed although op " << op_id << " failed";
+      Violate(out, name, d.str());
+    }
+  }
+}
+
+// Restart must land on the newest generation that verifies intact —
+// never on a damaged newer one, and never fail while an intact
+// generation exists (unless an agent genuinely died).
+void CheckRestartNewestIntact(const RunContext& ctx,
+                              std::vector<Violation>& out) {
+  const char* name = "restart-newest-intact";
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kRestart || !rec.attempted) continue;
+    if (rec.result.stats.success) {
+      if (rec.result.generation != rec.newest_intact_before) {
+        std::ostringstream d;
+        d << "restart used generation " << rec.result.generation
+          << " but the newest intact generation was "
+          << rec.newest_intact_before;
+        Violate(out, name, d.str());
+      }
+    } else if (!rec.any_agent_crashed && rec.newest_intact_before != 0) {
+      std::ostringstream d;
+      d << "restart failed (" << rec.result.stats.abort_reason
+        << ") although generation " << rec.newest_intact_before
+        << " was intact and no agent had crashed";
+      Violate(out, name, d.str());
+    }
+  }
+}
+
+// Fig. 2 structure: fencing epochs strictly increase across operations,
+// and for blocking stop-the-world checkpoints the freeze phase closes
+// before commit opens, with every save inside the freeze.
+void CheckProtocolOrder(const RunContext& ctx, std::vector<Violation>& out) {
+  const char* name = "protocol-order";
+  std::uint64_t last_epoch = 0;
+  for (const OpRecord& rec : ctx.ops) {
+    if (!rec.attempted || rec.result.stats.epoch == 0) continue;
+    if (rec.result.stats.epoch <= last_epoch) {
+      std::ostringstream d;
+      d << "epoch " << rec.result.stats.epoch
+        << " does not exceed the preceding epoch " << last_epoch
+        << " (stale coordinator state?)";
+      Violate(out, name, d.str());
+    }
+    last_epoch = std::max(last_epoch, rec.result.stats.epoch);
+  }
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kCheckpoint || !rec.result.stats.success ||
+        rec.copy_on_write ||
+        rec.variant != coord::ProtocolVariant::kBlocking) {
+      continue;
+    }
+    std::uint64_t op_id = rec.result.stats.op_id;
+    const TraceEvent* op = ctx.trace->First(
+        TraceQuery::Filter{}.Name("coord.op.checkpoint").Op(op_id));
+    const TraceEvent* freeze = ctx.trace->First(
+        TraceQuery::Filter{}.Name("coord.phase.freeze").Op(op_id));
+    const TraceEvent* commit = ctx.trace->First(
+        TraceQuery::Filter{}.Name("coord.phase.commit").Op(op_id));
+    if (op == nullptr || freeze == nullptr || commit == nullptr) {
+      Violate(out, name,
+              "op " + std::to_string(op_id) +
+                  ": missing op/freeze/commit span in the trace");
+      continue;
+    }
+    if (freeze->end_ts() > commit->ts) {
+      std::ostringstream d;
+      d << "op " << op_id << ": freeze ends at " << freeze->end_ts()
+        << " after commit begins at " << commit->ts;
+      Violate(out, name, d.str());
+    }
+    if (!TraceQuery::Within(*freeze, *op) ||
+        !TraceQuery::Within(*commit, *op)) {
+      Violate(out, name,
+              "op " + std::to_string(op_id) +
+                  ": phase span extends outside the operation span");
+    }
+    for (const TraceEvent* save : ctx.trace->Select(
+             TraceQuery::Filter{}.Name("agent.save").Op(op_id))) {
+      if (!TraceQuery::Within(*save, *freeze)) {
+        Violate(out, name,
+                "op " + std::to_string(op_id) + ": agent.save of " +
+                    save->attrs.agent + " outside the freeze phase");
+      }
+    }
+  }
+}
+
+// The <continue> broadcast happens exactly once per member per
+// successful op (Fig. 4: the optimized variant must not double-fire the
+// early continue under duplicated <comm-disabled> messages).
+void CheckContinueExactlyOnce(const RunContext& ctx,
+                              std::vector<Violation>& out) {
+  const char* name = "continue-exactly-once";
+  for (const OpRecord& rec : ctx.ops) {
+    if (!IsCheckpointAttempt(rec) || !rec.result.stats.success) continue;
+    std::uint64_t op_id = rec.result.stats.op_id;
+    std::size_t sends = 0;
+    std::size_t retransmits = 0;
+    for (const TraceEvent& e : ctx.trace->events()) {
+      if (e.attrs.op != op_id || ArgValue(e, "type") != "continue") continue;
+      if (e.name == "coord.msg.send") ++sends;
+      if (e.name == "coord.retransmit") ++retransmits;
+    }
+    if (sends - retransmits != rec.members) {
+      std::ostringstream d;
+      d << "op " << op_id << ": " << sends << " <continue> send(s) with "
+        << retransmits << " retransmit(s) for " << rec.members
+        << " member(s)";
+      Violate(out, name, d.str());
+    }
+    std::size_t commit_spans = ctx.trace->Count(
+        TraceQuery::Filter{}.Name("coord.phase.commit").Op(op_id));
+    if (commit_spans != 1) {
+      std::ostringstream d;
+      d << "op " << op_id << ": " << commit_spans
+        << " commit phase span(s), expected 1";
+      Violate(out, name, d.str());
+    }
+  }
+}
+
+// Abort/discard paths never leak: every file under the generation root
+// belongs to a committed generation.
+void CheckNoPartialState(const RunContext& ctx, std::vector<Violation>& out) {
+  const char* name = "no-partial-state";
+  ckpt::GenerationStore store(ctx.cluster->fs(), ctx.gen_root);
+  std::vector<std::uint64_t> committed = store.Committed();
+  const std::string prefix = ctx.gen_root + "/gen_";
+  for (const std::string& path : ctx.cluster->fs().List(prefix)) {
+    std::uint64_t gen = 0;
+    for (std::size_t i = prefix.size();
+         i < path.size() && path[i] >= '0' && path[i] <= '9'; ++i) {
+      gen = gen * 10 + static_cast<std::uint64_t>(path[i] - '0');
+    }
+    if (std::find(committed.begin(), committed.end(), gen) ==
+        committed.end()) {
+      Violate(out, name,
+              "file " + path + " belongs to no committed generation");
+    }
+  }
+}
+
+}  // namespace
+
+void InvariantOracle::Register(std::string name, CheckFn check) {
+  checks_.emplace_back(std::move(name), std::move(check));
+}
+
+InvariantOracle InvariantOracle::Defaults() {
+  InvariantOracle oracle;
+  oracle.Register("workload-intact", CheckWorkloadIntact);
+  oracle.Register("comm-silence", CheckCommSilence);
+  oracle.Register("gen-commit", CheckGenCommit);
+  oracle.Register("restart-newest-intact", CheckRestartNewestIntact);
+  oracle.Register("protocol-order", CheckProtocolOrder);
+  oracle.Register("continue-exactly-once", CheckContinueExactlyOnce);
+  oracle.Register("no-partial-state", CheckNoPartialState);
+  return oracle;
+}
+
+std::vector<Violation> InvariantOracle::Check(const RunContext& ctx) const {
+  std::vector<Violation> violations;
+  for (const auto& [name, check] : checks_) {
+    check(ctx, violations);
+  }
+  return violations;
+}
+
+std::vector<std::string> InvariantOracle::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, check] : checks_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cruz::check

@@ -1,0 +1,88 @@
+// Whole-run invariants over a finished scenario.
+//
+// The oracle is the shared "what must always hold" half of the explorer:
+// every chaos test and every seed of a sweep asserts through the same
+// registered checks instead of private per-test asserts. Checks read the
+// run's trace (obs::TraceQuery), the per-operation records collected by
+// the Explorer, and the final shared-FS state, and emit Violations — a
+// passing run emits none. Defaults() registers the catalog documented in
+// DESIGN.md §9; tests can Register() extra checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+#include "cruz/cluster.h"
+#include "obs/trace_query.h"
+
+namespace cruz::check {
+
+// What the explorer recorded about one scheduled operation.
+struct OpRecord {
+  OpKind kind = OpKind::kCheckpoint;
+  // False when the op was skipped (e.g. a restart with no committed
+  // generation to restore from, or a migration with no legal target).
+  bool attempted = true;
+  Cluster::GenerationOpResult result;
+  // Generation number allocated for a checkpoint attempt (committed or
+  // discarded); 0 for non-checkpoint ops.
+  std::uint64_t allocated_generation = 0;
+  // NewestIntact() sampled immediately before a restart attempt.
+  std::uint64_t newest_intact_before = 0;
+  std::size_t members = 0;
+  coord::ProtocolVariant variant = coord::ProtocolVariant::kBlocking;
+  bool copy_on_write = false;
+  // Any agent process was in the crashed state right after the op (a
+  // legitimate reason for the op to fail).
+  bool any_agent_crashed = false;
+};
+
+struct WorkloadResult {
+  bool completed = false;
+  std::uint64_t units = 0;       // bytes / operations / iterations done
+  std::uint64_t mismatches = 0;  // verification failures
+  std::uint64_t target = 0;
+};
+
+// Everything an invariant may inspect about one finished run.
+struct RunContext {
+  const Scenario* scenario = nullptr;
+  Cluster* cluster = nullptr;
+  obs::TraceQuery* trace = nullptr;
+  std::vector<OpRecord> ops;
+  WorkloadResult workload;
+  std::string gen_root;
+  // Workload pod addresses, for spotting pod traffic in tcp.rx conns.
+  std::vector<std::string> member_pod_ips;
+};
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantOracle {
+ public:
+  using CheckFn =
+      std::function<void(const RunContext&, std::vector<Violation>&)>;
+
+  void Register(std::string name, CheckFn check);
+
+  // The full catalog (see DESIGN.md §9): workload-intact, comm-silence,
+  // gen-commit, restart-newest-intact, protocol-order,
+  // continue-exactly-once, no-partial-state.
+  static InvariantOracle Defaults();
+
+  // Runs every registered invariant; empty result = run passed.
+  std::vector<Violation> Check(const RunContext& ctx) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, CheckFn>> checks_;
+};
+
+}  // namespace cruz::check

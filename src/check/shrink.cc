@@ -1,0 +1,114 @@
+#include "check/shrink.h"
+
+namespace cruz::check {
+
+ShrinkResult Shrinker::Shrink(const Scenario& failing,
+                              std::size_t max_runs) {
+  Explorer explorer(options_);
+  ShrinkResult result;
+  Scenario best = failing;
+  std::vector<Violation> best_violations;
+
+  auto fails = [&](const Scenario& candidate,
+                   std::vector<Violation>& violations) {
+    if (result.runs >= max_runs) return false;
+    ++result.runs;
+    RunResult r = explorer.RunScenario(candidate);
+    violations = std::move(r.violations);
+    return !r.passed;
+  };
+
+  // Establish the baseline (and its violations for the report).
+  if (!fails(best, best_violations)) {
+    result.minimal = best;
+    result.repro = best.Encode();
+    return result;  // does not reproduce: nothing to shrink
+  }
+
+  bool progress = true;
+  while (progress && result.runs < max_runs) {
+    progress = false;
+    std::vector<Violation> v;
+
+    // Faults: ddmin-style — first try dropping each half, then singles.
+    if (best.faults.size() > 1) {
+      for (int half = 0; half < 2; ++half) {
+        Scenario t = best;
+        std::size_t mid = t.faults.size() / 2;
+        if (half == 0) {
+          t.faults.erase(t.faults.begin(),
+                         t.faults.begin() + static_cast<long>(mid));
+        } else {
+          t.faults.erase(t.faults.begin() + static_cast<long>(mid),
+                         t.faults.end());
+        }
+        if (fails(t, v)) {
+          best = std::move(t);
+          best_violations = std::move(v);
+          progress = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < best.faults.size();) {
+      Scenario t = best;
+      t.faults.erase(t.faults.begin() + static_cast<long>(i));
+      if (fails(t, v)) {
+        best = std::move(t);
+        best_violations = std::move(v);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Operations, one at a time.
+    for (std::size_t i = 0; i < best.ops.size();) {
+      Scenario t = best;
+      t.ops.erase(t.ops.begin() + static_cast<long>(i));
+      if (fails(t, v)) {
+        best = std::move(t);
+        best_violations = std::move(v);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Topology: collapse to the minimum cluster.
+    if (best.num_nodes > 2) {
+      Scenario t = best;
+      t.num_nodes = 2;
+      if (fails(t, v)) {
+        best = std::move(t);
+        best_violations = std::move(v);
+        progress = true;
+      }
+    }
+
+    // Workload size, halving while the failure persists.
+    while (best.workload_units > 2 && result.runs < max_runs) {
+      Scenario t = best;
+      t.workload_units = std::max<std::uint64_t>(t.workload_units / 2, 1);
+      if (t.workload == WorkloadKind::kStream) {
+        t.workload_units = std::max<std::uint64_t>(t.workload_units,
+                                                   64 * 1024);
+      }
+      if (t.workload_units == best.workload_units) break;
+      if (fails(t, v)) {
+        best = std::move(t);
+        best_violations = std::move(v);
+        progress = true;
+      } else {
+        break;
+      }
+    }
+  }
+
+  result.minimal = best;
+  result.repro = best.Encode();
+  result.violations = std::move(best_violations);
+  return result;
+}
+
+}  // namespace cruz::check

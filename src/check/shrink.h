@@ -1,0 +1,39 @@
+// Delta-debugging minimizer for failing scenarios.
+//
+// Given a scenario that fails the oracle, the Shrinker searches for a
+// smaller one that still fails: it removes fault specs (chunk halves,
+// then singles), drops operations, collapses the topology to two nodes,
+// and halves the workload size, iterating to a fixpoint. Every candidate
+// is re-run through a fresh Explorer, so the result is a genuinely
+// reproducing minimal case, emitted as a repro string.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/scenario.h"
+
+namespace cruz::check {
+
+struct ShrinkResult {
+  Scenario minimal;
+  std::size_t runs = 0;  // explorer runs spent (including the final check)
+  std::string repro;     // minimal.Encode()
+  std::vector<Violation> violations;  // of the minimal scenario
+};
+
+class Shrinker {
+ public:
+  explicit Shrinker(RunOptions options = {}) : options_(options) {}
+
+  // `failing` must fail the oracle under the same RunOptions; the result
+  // is the smallest still-failing scenario found within `max_runs`.
+  ShrinkResult Shrink(const Scenario& failing, std::size_t max_runs = 200);
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace cruz::check

@@ -48,6 +48,10 @@ void GenerationStore::Commit(std::uint64_t gen,
   // WriteFile is create-or-truncate in one step: the manifest appears
   // whole or not at all, making it the commit point.
   fs_.WriteFile(ManifestPath(gen), framed.Take());
+  if (tracer_ != nullptr) {
+    tracer_->Instant("ckpt", "ckpt.generation.commit",
+                     obs::TraceAttrs{}.Arg("gen", gen));
+  }
 }
 
 std::size_t GenerationStore::Discard(std::uint64_t gen) {
@@ -58,6 +62,10 @@ std::size_t GenerationStore::Discard(std::uint64_t gen) {
   if (removed > 0) {
     CRUZ_INFO("ckpt") << "generation " << gen << ": discarded " << removed
                       << " file(s)";
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("ckpt", "ckpt.generation.discard",
+                     obs::TraceAttrs{}.Arg("gen", gen));
   }
   return removed;
 }

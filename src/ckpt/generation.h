@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "os/netfs.h"
 #include "os/types.h"
 
@@ -68,6 +69,11 @@ class GenerationStore {
   // Newest committed generation that passes Verify, scanning backwards.
   std::optional<std::uint64_t> NewestIntact() const;
 
+  // Mirror commit/discard decisions onto a tracer timeline (nullptr
+  // disables), so invariant checks can pin the commit point against the
+  // protocol spans around it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::string SeqPath() const { return root_ + "/SEQ"; }
   std::string ManifestPath(std::uint64_t gen) const {
@@ -76,6 +82,7 @@ class GenerationStore {
 
   os::NetworkFileSystem& fs_;
   std::string root_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cruz::ckpt

@@ -81,6 +81,7 @@ void CheckpointAgent::Reset() {
   max_epoch_seen_ = 0;
   last_image_.clear();
   last_completed_op_ = 0;
+  last_aborted_op_ = 0;
   last_completed_was_checkpoint_ = false;
   last_completed_pod_ = os::kNoPod;
   last_completed_image_path_.clear();
@@ -171,10 +172,12 @@ void CheckpointAgent::OnDatagram(net::Endpoint from,
 }
 
 void CheckpointAgent::InstallDropFilter(net::Ipv4Address pod_ip) {
-  op_.filter_id = node_.stack().AddFilter(
-      [pod_ip](const net::Ipv4Packet& pkt) {
-        return pkt.src == pod_ip || pkt.dst == pod_ip;
-      });
+  if (!test_skip_filter_) {
+    op_.filter_id = node_.stack().AddFilter(
+        [pod_ip](const net::Ipv4Packet& pkt) {
+          return pkt.src == pod_ip || pkt.dst == pod_ip;
+        });
+  }
   node_.os().sim().tracer().Instant(
       "agent", "agent.filter.install",
       obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Pod(op_.pod));
@@ -235,6 +238,11 @@ void CheckpointAgent::HandleCheckpoint(const CoordMessage& m,
     // Fully served already; the coordinator lost our replies.
     Send(from, last_done_reply_);
     Send(from, last_continue_done_reply_);
+    return;
+  }
+  if (m.op_id == last_aborted_op_) {
+    // The op's <abort> overtook this delayed request; serving it now
+    // would freeze the pod for an op nobody is coordinating.
     return;
   }
   op_ = ActiveOp{};
@@ -577,6 +585,9 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
     Send(from, last_continue_done_reply_);
     return;
   }
+  if (m.op_id == last_aborted_op_) {
+    return;  // this op's <abort> already arrived; see HandleCheckpoint
+  }
   // Total bytes read from the shared FS: the image plus any incremental
   // parents the chain resolves through (restore cost model).
   std::uint64_t chain_bytes = 0;
@@ -743,6 +754,9 @@ void CheckpointAgent::MaybeFinishOp() {
 }
 
 void CheckpointAgent::HandleAbort(const CoordMessage& m) {
+  // Fence any copy of this op's request that is still in flight (delayed
+  // original or coordinator retransmit): once aborted, never serve it.
+  last_aborted_op_ = m.op_id;
   if (op_active_ && m.op_id == op_.op_id) {
     // Cancel: resume the pod as if nothing happened, and delete the
     // partially-written image — an aborted checkpoint must leave no

@@ -59,6 +59,12 @@ class CheckpointAgent {
   // Deterministic fault injection (tests/benches); nullptr disables.
   void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
 
+  // Sabotage hook for oracle self-tests: report the drop filter as
+  // installed (the trace instant still fires) without actually adding it
+  // to the netstack, so pod traffic keeps flowing through the "frozen"
+  // window. Never set outside tests.
+  void set_test_skip_filter(bool skip) { test_skip_filter_ = skip; }
+
   // Simulates the agent process dying: all messages are ignored and any
   // in-flight local work is abandoned (the pod stays stopped, the drop
   // filter stays installed — exactly the wreckage a real agent crash
@@ -138,6 +144,7 @@ class CheckpointAgent {
   os::Node& node_;
   pod::PodManager& pods_;
   fault::Injector* fault_ = nullptr;
+  bool test_skip_filter_ = false;
   bool crashed_ = false;
   ActiveOp op_;
   // Fencing: highest epoch observed from any coordinator; lower-epoch
@@ -148,6 +155,10 @@ class CheckpointAgent {
   // Message-loss tolerance: replies for the most recently completed op,
   // re-sent when the coordinator retransmits a request we already served.
   std::uint64_t last_completed_op_ = 0;
+  // Abort fencing: a delayed <checkpoint>/<restart> can arrive after its
+  // op's <abort> already did; serving it would freeze the pod for a dead
+  // coordinator op and leak an orphan image.
+  std::uint64_t last_aborted_op_ = 0;
   bool last_completed_was_checkpoint_ = false;
   os::PodId last_completed_pod_ = os::kNoPod;
   std::string last_completed_image_path_;

@@ -238,14 +238,17 @@ void Coordinator::BroadcastContinue() {
       "coord", "coord.phase.commit",
       obs::TraceAttrs{}.Op(stats_.op_id).Phase("commit").Agent(
           node_.name()));
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    CoordMessage m;
-    m.type = MsgType::kContinue;
-    m.op_id = stats_.op_id;
-    m.epoch = stats_.epoch;
-    m.pod_id = members_[i].pod;
-    m.variant = options_.variant;
-    SendToAgent(i, std::move(m));
+  int rounds = test_duplicate_continue_ ? 2 : 1;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      CoordMessage m;
+      m.type = MsgType::kContinue;
+      m.op_id = stats_.op_id;
+      m.epoch = stats_.epoch;
+      m.pod_id = members_[i].pod;
+      m.variant = options_.variant;
+      SendToAgent(i, std::move(m));
+    }
   }
 }
 

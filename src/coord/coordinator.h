@@ -154,6 +154,11 @@ class Coordinator {
   // Deterministic fault injection (tests/benches); nullptr disables.
   void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
 
+  // Sabotage hook for oracle self-tests: broadcast <continue> twice from
+  // the protocol layer (above the fault-injection hooks, so the extra
+  // copies count as real sends). Never set outside tests.
+  void set_test_duplicate_continue(bool dup) { test_duplicate_continue_ = dup; }
+
   static std::string ImagePath(const std::string& prefix, os::PodId pod) {
     return prefix + "/pod_" + std::to_string(pod) + ".img";
   }
@@ -179,6 +184,7 @@ class Coordinator {
   os::Node& node_;
   IntentJournal journal_;
   fault::Injector* fault_ = nullptr;
+  bool test_duplicate_continue_ = false;
   // Monotonic fencing epoch, persisted through the journal. Each op gets
   // epoch_ + 1; op ids equal epochs so they are also globally unique.
   std::uint64_t epoch_ = 0;

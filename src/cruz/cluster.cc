@@ -148,23 +148,39 @@ void Cluster::RestartCoordinator() {
   }
 }
 
-Cluster::GenerationOpResult Cluster::RunGenerationCheckpoint(
+std::shared_ptr<Cluster::PendingGenerationOp>
+Cluster::StartGenerationCheckpoint(
     std::vector<coord::Coordinator::Member> members,
     coord::Coordinator::Options options, const std::string& root) {
   ckpt::GenerationStore store(fs_, root);
+  auto op = std::make_shared<PendingGenerationOp>();
+  op->generation = store.Allocate();
+  op->members = members;
+  op->root = root;
+  options.image_prefix = store.Prefix(op->generation);
+  std::shared_ptr<PendingGenerationOp> capture = op;
+  coordinator_->Checkpoint(std::move(members), options,
+                           [capture](const coord::Coordinator::OpStats& s) {
+                             capture->stats = s;
+                             capture->finished = true;
+                           });
+  return op;
+}
+
+Cluster::GenerationOpResult Cluster::SettleGenerationCheckpoint(
+    const std::shared_ptr<PendingGenerationOp>& op) {
+  ckpt::GenerationStore store(fs_, op->root);
+  store.set_tracer(&sim_.tracer());
   GenerationOpResult result;
-  result.generation = store.Allocate();
-  options.image_prefix = store.Prefix(result.generation);
-
-  std::vector<coord::Coordinator::Member> member_copy = members;
-  result.stats = RunCheckpoint(std::move(members), options);
-
-  if (result.stats.success) {
+  result.allocated = op->generation;
+  result.stats = op->stats;
+  if (op->finished && op->stats.success) {
+    result.generation = op->generation;
     std::vector<ckpt::ManifestEntry> entries;
-    for (std::size_t i = 0; i < member_copy.size(); ++i) {
+    for (std::size_t i = 0; i < op->members.size(); ++i) {
       ckpt::ManifestEntry e;
-      e.pod = member_copy[i].pod;
-      e.image_path = result.stats.image_paths.at(i);
+      e.pod = op->members[i].pod;
+      e.image_path = op->stats.image_paths.at(i);
       cruz::Bytes image;
       CRUZ_CHECK(SysOk(fs_.ReadFile(e.image_path, image)),
                  "committed image missing from the shared FS");
@@ -174,11 +190,26 @@ Cluster::GenerationOpResult Cluster::RunGenerationCheckpoint(
     }
     store.Commit(result.generation, entries);
   } else {
-    store.Discard(result.generation);
+    // Aborted — or never finished (coordinator crashed mid-op): the
+    // partial generation must not survive either way.
+    if (!op->finished) result.stats.success = false;
+    store.Discard(op->generation);
     result.generation = 0;
   }
   result.latest_committed = store.LatestCommitted().value_or(0);
   return result;
+}
+
+Cluster::GenerationOpResult Cluster::RunGenerationCheckpoint(
+    std::vector<coord::Coordinator::Member> members,
+    coord::Coordinator::Options options, const std::string& root) {
+  DurationNs timeout = options.timeout;
+  std::shared_ptr<PendingGenerationOp> op =
+      StartGenerationCheckpoint(std::move(members), options, root);
+  bool done = sim_.RunWhile([&] { return op->finished; },
+                            sim_.Now() + timeout + kSecond);
+  CRUZ_CHECK(done, "coordinated checkpoint did not complete");
+  return SettleGenerationCheckpoint(op);
 }
 
 Cluster::GenerationOpResult Cluster::RunGenerationRestart(

@@ -95,6 +95,7 @@ class Cluster {
   struct GenerationOpResult {
     coord::Coordinator::OpStats stats;
     std::uint64_t generation = 0;       // written (checkpoint) / used (restart)
+    std::uint64_t allocated = 0;        // gen allocated for the attempt
     std::uint64_t latest_committed = 0; // newest committed gen, 0 = none
     bool fell_back = false;             // restart skipped corrupt newer gen(s)
   };
@@ -106,6 +107,26 @@ class Cluster {
       std::vector<coord::Coordinator::Member> members,
       coord::Coordinator::Options options = {},
       const std::string& root = ckpt::GenerationStore::kDefaultRoot);
+
+  // Asynchronous form of RunGenerationCheckpoint, for scenarios that need
+  // to perturb the cluster (coordinator crash, ...) while the op is in
+  // flight. Start allocates the generation and launches the coordinated
+  // checkpoint; Settle (called after driving the sim) commits the
+  // generation iff the op finished successfully, and discards it
+  // otherwise — including when the op never finished at all.
+  struct PendingGenerationOp {
+    std::uint64_t generation = 0;
+    bool finished = false;
+    coord::Coordinator::OpStats stats;
+    std::vector<coord::Coordinator::Member> members;
+    std::string root;
+  };
+  std::shared_ptr<PendingGenerationOp> StartGenerationCheckpoint(
+      std::vector<coord::Coordinator::Member> members,
+      coord::Coordinator::Options options = {},
+      const std::string& root = ckpt::GenerationStore::kDefaultRoot);
+  GenerationOpResult SettleGenerationCheckpoint(
+      const std::shared_ptr<PendingGenerationOp>& op);
 
   // Coordinated restart from the newest *intact* committed generation:
   // every member image is verified against the manifest CRCs first, and

@@ -138,6 +138,41 @@ TEST(Tracer, JsonlOneLinePerEvent) {
   EXPECT_NE(jsonl.find("\"ts_ns\":5,\"dur_ns\":4"), std::string::npos);
 }
 
+// An empty ring must still export well-formed artifacts: Chrome JSON
+// with an empty traceEvents array and a zero drop count, and an empty
+// JSONL document (zero lines, not a blank line).
+TEST(Tracer, EmptyRingExportsAreWellFormed) {
+  ClockedTracer t;
+  EXPECT_EQ(t.tracer.ExportChromeJson(),
+            "{\"traceEvents\":[\n],"
+            "\"displayTimeUnit\":\"ms\","
+            "\"otherData\":{\"dropped\":\"0\"}}\n");
+  EXPECT_EQ(t.tracer.ExportJsonl(), "");
+}
+
+// When the ring overflows, the exports must account for the loss: the
+// drop count appears in the Chrome JSON metadata and the JSONL line
+// count matches the surviving events exactly.
+TEST(Tracer, OverflowDropCountSurfacesInExports) {
+  ClockedTracer t;
+  t.tracer.set_capacity(3);
+  for (int i = 0; i < 8; ++i) {
+    t.now = static_cast<TimeNs>(i);
+    SpanId id = t.tracer.BeginSpan("c", "span" + std::to_string(i));
+    t.tracer.EndSpan(id);
+  }
+  EXPECT_EQ(t.tracer.dropped(), 5u);
+  std::string chrome = t.tracer.ExportChromeJson();
+  EXPECT_NE(chrome.find("\"dropped\":\"5\""), std::string::npos);
+  // The oldest events are gone from the export, the newest survive.
+  EXPECT_EQ(chrome.find("span0"), std::string::npos);
+  EXPECT_NE(chrome.find("span7"), std::string::npos);
+  std::string jsonl = t.tracer.ExportJsonl();
+  std::size_t lines = 0;
+  for (char ch : jsonl) lines += ch == '\n';
+  EXPECT_EQ(lines, 3u);
+}
+
 TEST(Tracer, ExportsEscapeControlAndQuoteCharacters) {
   ClockedTracer t;
   t.tracer.Instant("c", "evil",
@@ -170,6 +205,41 @@ TEST(Metrics, CountersGaugesHistograms) {
   EXPECT_EQ(h.bucket(2), 1u);
   EXPECT_EQ(h.bucket(3), 1u);
   EXPECT_EQ(h.bucket(7), 1u);
+}
+
+// Degenerate histogram: identical samples collapse into a single
+// power-of-two bucket, and every summary statistic must still be exact
+// (min == max == mean, all other buckets empty).
+TEST(Metrics, SingleBucketHistogramSummaryIsExact) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("agent.save_us");
+  for (int i = 0; i < 7; ++i) h.Record(6);  // 6 -> 2^3 for every sample
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.min(), 6u);
+  EXPECT_EQ(h.max(), 6u);
+  EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h.bucket(i), i == 3 ? 7u : 0u) << "bucket " << i;
+  }
+
+  std::string dump = m.TextDump();
+  EXPECT_NE(dump.find("agent.save_us_count 7"), std::string::npos);
+  EXPECT_NE(dump.find("agent.save_us_sum 42"), std::string::npos);
+  EXPECT_NE(dump.find("agent.save_us_min 6"), std::string::npos);
+  EXPECT_NE(dump.find("agent.save_us_max 6"), std::string::npos);
+  EXPECT_NE(dump.find("agent.save_us_mean 6"), std::string::npos);
+}
+
+// An empty histogram reports zeros, not garbage: min() must not leak
+// its ~0 sentinel and mean() must not divide by zero.
+TEST(Metrics, EmptyHistogramSummaryIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
 TEST(Metrics, DumpsAreSortedAndReset) {

@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "apps/programs.h"
+#include "check/explorer.h"
+#include "check/scenario.h"
 #include "ckpt/engine.h"
 #include "ckpt/generation.h"
 #include "ckpt/image.h"
@@ -152,83 +154,40 @@ class ChaosSequence : public ::testing::TestWithParam<int> {};
 TEST_P(ChaosSequence, StreamAlwaysIntact) {
   const int seed = GetParam();
   Rng rng(static_cast<std::uint64_t>(seed) * 31 + 5);
-  ClusterConfig config;
-  config.num_nodes = 4;
-  config.seed = static_cast<std::uint64_t>(seed);
-  Cluster c(config);
-
-  const std::uint64_t total = 3 * kMiB;
-  std::size_t recv_node = 1, send_node = 0;
-  os::PodId rp = c.CreatePod(recv_node, "recv");
-  net::Ipv4Address rip = c.pods(recv_node).Find(rp)->ip;
-  os::Pid rv = c.pods(recv_node).SpawnInPod(
-      rp, "cruz.stream_receiver", apps::StreamReceiverArgs(9100));
-  c.sim().RunFor(5 * kMillisecond);
-  os::PodId sp = c.CreatePod(send_node, "send");
-  c.pods(send_node).SpawnInPod(sp, "cruz.stream_sender",
-                               apps::StreamSenderArgs(rip, 9100, total));
-
-  apps::StreamStatus last;
-  bool receiver_exited = false;
-  for (std::size_t n = 0; n < c.num_nodes(); ++n) {
-    c.node(n).os().set_process_exit_hook([&, n](os::Pid p, int) {
-      os::Process* proc = c.node(n).os().FindProcess(p);
-      if (proc != nullptr && proc->pod() == rp &&
-          proc->program_name() == "cruz.stream_receiver") {
-        last = apps::ReadStreamStatus(*proc);
-        receiver_exited = true;
-      }
-    });
-  }
-  auto status = [&] {
-    os::Process* p = c.node(recv_node).os().FindProcess(
-        c.pods(recv_node).ToRealPid(rp, rv));
-    if (p != nullptr) last = apps::ReadStreamStatus(*p);
-    return last;
-  };
-
-  std::vector<std::string> images;
-  for (int op = 0; op < 5 && status().bytes < total; ++op) {
-    // Random progress before the next disturbance.
-    c.sim().RunFor(20 * kMillisecond + rng.NextBelow(150 * kMillisecond));
-    coord::Coordinator::Options options;
-    options.image_prefix = "/ckpt/chaos" + std::to_string(seed) + "_" +
-                           std::to_string(op);
-    options.incremental = rng.NextBernoulli(0.5);
-    options.copy_on_write = rng.NextBernoulli(0.5);
-    if (options.copy_on_write) {
-      options.variant = ProtocolVariant::kOptimized;
+  check::Scenario scenario;
+  scenario.seed = static_cast<std::uint64_t>(seed);
+  scenario.num_nodes = 4;
+  scenario.workload = check::WorkloadKind::kStream;
+  scenario.workload_units = 3 * kMiB;
+  for (int op = 0; op < 5; ++op) {
+    check::OpSpec ck;
+    ck.kind = check::OpKind::kCheckpoint;
+    ck.pre_delay = 20 * kMillisecond + rng.NextBelow(150 * kMillisecond);
+    ck.incremental = rng.NextBernoulli(0.5);
+    ck.copy_on_write = rng.NextBernoulli(0.5);
+    if (ck.copy_on_write) {
+      ck.variant = ProtocolVariant::kOptimized;
     }
-    auto stats = c.RunCheckpoint(
-        {c.MemberFor(send_node, sp), c.MemberFor(recv_node, rp)}, options);
-    ASSERT_TRUE(stats.success) << "seed " << seed << " op " << op;
-    images = stats.image_paths;
-
+    scenario.ops.push_back(ck);
     if (rng.NextBernoulli(0.5)) {
       // Kill both pods and restart them on random (distinct) nodes.
-      c.pods(send_node).DestroyPod(sp);
-      c.pods(recv_node).DestroyPod(rp);
-      c.sim().RunFor(rng.NextBelow(300 * kMillisecond));
-      // One pod per node per coordinated operation (the paper's model:
-      // one agent serves one pod per op), so pick distinct nodes.
-      std::size_t new_send = rng.NextBelow(4);
-      std::size_t new_recv =
-          (new_send + 1 + rng.NextBelow(3)) % 4;
-      auto rs = c.RunRestart({c.MemberFor(new_send, sp),
-                              c.MemberFor(new_recv, rp)},
-                             images, {});
-      ASSERT_TRUE(rs.success) << "seed " << seed << " op " << op;
-      send_node = new_send;
-      recv_node = new_recv;
+      check::OpSpec rs;
+      rs.kind = check::OpKind::kRestart;
+      rs.pre_delay = rng.NextBelow(300 * kMillisecond);
+      rs.placement_salt = static_cast<std::uint32_t>(rng.NextU64());
+      scenario.ops.push_back(rs);
     }
   }
 
-  ASSERT_TRUE(c.sim().RunWhile(
-      [&] { return receiver_exited || status().bytes >= total; },
-      c.sim().Now() + 1200 * kSecond))
-      << "seed " << seed << " bytes=" << last.bytes;
-  EXPECT_EQ(last.bytes, total) << "seed " << seed;
-  EXPECT_EQ(last.mismatches, 0u) << "seed " << seed;
+  // The oracle subsumes the old hand-rolled assertions: stream intact
+  // (workload-intact), checkpoints commit and restarts land correctly,
+  // protocol ordering holds, and no partial images are left behind.
+  check::Explorer explorer;
+  check::RunResult result = explorer.RunScenario(scenario);
+  EXPECT_TRUE(result.passed) << result.summary;
+  for (const check::Violation& v : result.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSequence, ::testing::Range(1, 9));
@@ -338,94 +297,40 @@ class FaultChaos : public ::testing::TestWithParam<int> {};
 TEST_P(FaultChaos, StreamIntactUnderArmedPlan) {
   const int seed = GetParam();
   Rng rng(static_cast<std::uint64_t>(seed) * 17 + 3);
-  ClusterConfig config;
-  config.num_nodes = 4;
-  config.seed = static_cast<std::uint64_t>(seed);
-  Cluster c(config);
-  fault::FaultPlan plan(static_cast<std::uint64_t>(seed) * 101 + 7);
-  plan.ArmMessageLoss(0.1);
-  plan.ArmMessageDuplication(0.15);
-  plan.ArmMessageDelay(0.15, 20 * kMillisecond);
-  c.ArmFaults(plan);
-
-  const std::uint64_t total = 2 * kMiB;
-  std::size_t recv_node = 1, send_node = 0;
-  os::PodId rp = c.CreatePod(recv_node, "recv");
-  net::Ipv4Address rip = c.pods(recv_node).Find(rp)->ip;
-  os::Pid rv = c.pods(recv_node).SpawnInPod(
-      rp, "cruz.stream_receiver", apps::StreamReceiverArgs(9100));
-  c.sim().RunFor(5 * kMillisecond);
-  os::PodId sp = c.CreatePod(send_node, "send");
-  c.pods(send_node).SpawnInPod(sp, "cruz.stream_sender",
-                               apps::StreamSenderArgs(rip, 9100, total));
-
-  apps::StreamStatus last;
-  bool receiver_exited = false;
-  for (std::size_t n = 0; n < c.num_nodes(); ++n) {
-    c.node(n).os().set_process_exit_hook([&, n](os::Pid p, int) {
-      os::Process* proc = c.node(n).os().FindProcess(p);
-      if (proc != nullptr && proc->pod() == rp &&
-          proc->program_name() == "cruz.stream_receiver") {
-        last = apps::ReadStreamStatus(*proc);
-        receiver_exited = true;
-      }
-    });
-  }
-  auto status = [&] {
-    os::Process* p = c.node(recv_node).os().FindProcess(
-        c.pods(recv_node).ToRealPid(rp, rv));
-    if (p != nullptr) last = apps::ReadStreamStatus(*p);
-    return last;
+  check::Scenario scenario;
+  scenario.seed = static_cast<std::uint64_t>(seed);
+  scenario.num_nodes = 4;
+  scenario.workload = check::WorkloadKind::kStream;
+  scenario.workload_units = 2 * kMiB;
+  scenario.faults = {
+      {check::FaultSpecKind::kMessageLoss, 0, 100, 0},
+      {check::FaultSpecKind::kMessageDup, 0, 150, 0},
+      {check::FaultSpecKind::kMessageDelay, 0, 150, 20},
   };
-
-  for (int cycle = 0; cycle < 4 && status().bytes < total; ++cycle) {
-    c.sim().RunFor(20 * kMillisecond + rng.NextBelow(150 * kMillisecond));
-    coord::Coordinator::Options options;
-    options.retransmit_interval = 300 * kMillisecond;
-    options.timeout = 60 * kSecond;
-    options.incremental = rng.NextBernoulli(0.5);
-    auto ck = c.RunGenerationCheckpoint(
-        {c.MemberFor(send_node, sp), c.MemberFor(recv_node, rp)}, options);
-    ASSERT_TRUE(ck.stats.success) << "seed " << seed << " cycle " << cycle;
-
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    check::OpSpec ck;
+    ck.kind = check::OpKind::kCheckpoint;
+    ck.pre_delay = 20 * kMillisecond + rng.NextBelow(150 * kMillisecond);
+    ck.incremental = rng.NextBernoulli(0.5);
+    scenario.ops.push_back(ck);
     if (rng.NextBernoulli(0.5)) {
-      c.pods(send_node).DestroyPod(sp);
-      c.pods(recv_node).DestroyPod(rp);
-      c.sim().RunFor(rng.NextBelow(300 * kMillisecond));
-      std::size_t new_send = rng.NextBelow(4);
-      std::size_t new_recv = (new_send + 1 + rng.NextBelow(3)) % 4;
-      auto rs = c.RunGenerationRestart({c.MemberFor(new_send, sp),
-                                        c.MemberFor(new_recv, rp)},
-                                       options);
-      ASSERT_TRUE(rs.stats.success) << "seed " << seed << " cycle " << cycle;
-      EXPECT_FALSE(rs.fell_back);
-      send_node = new_send;
-      recv_node = new_recv;
+      check::OpSpec rs;
+      rs.kind = check::OpKind::kRestart;
+      rs.pre_delay = rng.NextBelow(300 * kMillisecond);
+      rs.placement_salt = static_cast<std::uint32_t>(rng.NextU64());
+      scenario.ops.push_back(rs);
     }
   }
 
-  ASSERT_TRUE(c.sim().RunWhile(
-      [&] { return receiver_exited || status().bytes >= total; },
-      c.sim().Now() + 1200 * kSecond))
-      << "seed " << seed << " bytes=" << last.bytes;
-  EXPECT_EQ(last.bytes, total) << "seed " << seed;
-  EXPECT_EQ(last.mismatches, 0u) << "seed " << seed;
-
-  // End-state consistency: every file under the generation root belongs
-  // to a committed generation — fault handling never leaks partial state.
-  ckpt::GenerationStore store(c.fs());
-  std::vector<std::uint64_t> committed = store.Committed();
-  const std::string prefix = std::string(ckpt::GenerationStore::kDefaultRoot)
-                             + "/gen_";
-  for (const std::string& path : c.fs().List(prefix)) {
-    std::uint64_t gen = 0;
-    for (std::size_t i = prefix.size();
-         i < path.size() && path[i] >= '0' && path[i] <= '9'; ++i) {
-      gen = gen * 10 + static_cast<std::uint64_t>(path[i] - '0');
-    }
-    EXPECT_TRUE(std::find(committed.begin(), committed.end(), gen) !=
-                committed.end())
-        << "uncommitted file " << path << " (seed " << seed << ")";
+  // Oracle-checked end state replaces the old manual assertions: stream
+  // loss/duplicate-free (workload-intact), restarts on the newest intact
+  // generation, and no uncommitted files under the generation root
+  // (no-partial-state) — fault handling never leaks partial state.
+  check::Explorer explorer;
+  check::RunResult result = explorer.RunScenario(scenario);
+  EXPECT_TRUE(result.passed) << result.summary;
+  for (const check::Violation& v : result.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
   }
 }
 
@@ -558,6 +463,72 @@ TEST(CodecCompat, CompressedGenerationRestartFallsBack) {
   EXPECT_EQ(rs.generation, g1.generation);
   EXPECT_EQ(rs.latest_committed, g2.generation);
 
+  os::Pid real = c.pods(0).ToRealPid(id, 1);
+  ASSERT_NE(real, os::kNoPid);
+  os::Process* proc = c.node(0).os().FindProcess(real);
+  ASSERT_NE(proc, nullptr);
+  std::uint64_t before = apps::ReadCounter(*proc);
+  c.sim().RunFor(20 * kMillisecond);
+  EXPECT_GT(apps::ReadCounter(*proc), before);
+}
+
+// A store can accumulate generations written by different codec
+// versions (an upgrade enables compression mid-history). Fallback must
+// walk across the codec boundary: with both version-2 generations
+// corrupted, restart lands on the oldest generation — a version-1 image
+// written before the upgrade.
+TEST(CodecCompat, FallbackWalksAcrossMixedCodecGenerations) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = c.CreatePod(0, "job");
+  c.pods(0).SpawnInPod(id, "cruz.counter", apps::CounterArgs(1u << 30));
+  c.sim().RunFor(20 * kMillisecond);
+
+  // Generation 1: pre-upgrade, uncompressed (version-1 codec).
+  coord::Coordinator::Options v1;
+  v1.compress = false;
+  auto g1 = c.RunGenerationCheckpoint({c.MemberFor(0, id)}, v1);
+  ASSERT_TRUE(g1.stats.success);
+
+  // Generations 2 and 3: post-upgrade, compressed (version-2 codec).
+  coord::Coordinator::Options v2;
+  v2.compress = true;
+  c.sim().RunFor(20 * kMillisecond);
+  auto g2 = c.RunGenerationCheckpoint({c.MemberFor(0, id)}, v2);
+  ASSERT_TRUE(g2.stats.success);
+  c.sim().RunFor(20 * kMillisecond);
+  auto g3 = c.RunGenerationCheckpoint({c.MemberFor(0, id)}, v2);
+  ASSERT_TRUE(g3.stats.success);
+  ASSERT_EQ(g3.latest_committed, g3.generation);
+
+  // The history really is mixed-codec: byte 11 is the codec version.
+  auto codec_version = [&](const std::string& path) {
+    Bytes raw;
+    EXPECT_TRUE(SysOk(c.fs().ReadFile(path, raw)));
+    return raw.size() > 11 ? raw[11] : 0;
+  };
+  EXPECT_EQ(codec_version(g1.stats.image_paths.at(0)), 1);
+  EXPECT_EQ(codec_version(g2.stats.image_paths.at(0)), 2);
+  EXPECT_EQ(codec_version(g3.stats.image_paths.at(0)), 2);
+
+  // Corrupt BOTH version-2 generations after commit.
+  for (const auto* gen : {&g3, &g2}) {
+    Bytes raw;
+    ASSERT_TRUE(SysOk(c.fs().ReadFile(gen->stats.image_paths.at(0), raw)));
+    raw[raw.size() / 2] ^= 0x10;
+    c.fs().WriteFile(gen->stats.image_paths.at(0), std::move(raw));
+  }
+
+  c.pods(0).DestroyPod(id);
+  c.sim().RunFor(10 * kMillisecond);
+  auto rs = c.RunGenerationRestart({c.MemberFor(0, id)});
+  EXPECT_TRUE(rs.stats.success);
+  EXPECT_TRUE(rs.fell_back);
+  EXPECT_EQ(rs.generation, g1.generation);  // crossed 2 codec-v2 gens
+  EXPECT_EQ(rs.latest_committed, g3.generation);
+
+  // The restored (version-1) image runs: the counter makes progress.
   os::Pid real = c.pods(0).ToRealPid(id, 1);
   ASSERT_NE(real, os::kNoPid);
   os::Process* proc = c.node(0).os().FindProcess(real);
