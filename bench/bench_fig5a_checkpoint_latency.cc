@@ -67,6 +67,23 @@ int main() {
               second_scale ? "on the ~1 s scale" : "OFF SCALE",
               spans_agree ? "match" : "DO NOT MATCH");
 
+  // --- critical-path attribution (per-op mean, from the causal graph) -----
+  std::printf("\n== critical-path attribution (per-op mean) ==\n\n");
+  std::printf("%6s %12s %18s %18s %16s %6s\n", "nodes", "save (ms)",
+              "freeze-wait (us)", "commit-wait (us)", "unattributed",
+              "ok");
+  bool attribution_ok = true;
+  for (const SweepResult& r : sweep) {
+    std::printf("%6u %12.1f %18.1f %18.1f %15.3f%% %6s\n", r.nodes,
+                r.cp_mean_save_ms, r.cp_mean_freeze_wait_us,
+                r.cp_mean_commit_wait_us, r.cp_mean_unattributed_pct,
+                r.cp_attribution_ok ? "yes" : "NO");
+    attribution_ok = attribution_ok && r.cp_attribution_ok;
+  }
+  std::printf("shape check: phase attribution %s the coordinator wall "
+              "time (1%% tolerance, exact tiling)\n",
+              attribution_ok ? "matches" : "DOES NOT MATCH");
+
   // --- downtime vs total across capture modes -----------------------------
   std::printf("\n== downtime vs total per capture mode (slm, 4 nodes)%s "
               "==\n\n",
@@ -163,10 +180,20 @@ int main() {
     metric("stw_downtime_ms", stw_downtime_largest, "ms", "lower");
     metric("cow_downtime_ms", cow_downtime_largest, "ms", "lower");
     metric("cow_total_ms", cow_total_largest, "ms", "lower");
+    // Critical-path breakdown of the largest sweep, cross-checked above
+    // against the coordinator's full_latency per op.
+    metric("critical_path_save_ms", sweep.back().cp_mean_save_ms, "ms",
+           "lower");
+    metric("critical_path_commit_wait_us",
+           sweep.back().cp_mean_commit_wait_us, "us", "lower");
+    metric("critical_path_unattributed_pct",
+           sweep.back().cp_mean_unattributed_pct, "pct", "lower");
     std::fprintf(gate, "\n]}\n");
     std::fclose(gate);
     std::printf("wrote BENCH_fig5a.json\n");
   }
-  return (flat && second_scale && cow_cuts_downtime && spans_agree) ? 0
-                                                                    : 1;
+  return (flat && second_scale && cow_cuts_downtime && spans_agree &&
+          attribution_ok)
+             ? 0
+             : 1;
 }

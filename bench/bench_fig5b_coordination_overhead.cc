@@ -70,9 +70,22 @@ int main() {
              r.mean_overhead_us, "us", "lower");
     }
     metric("overhead_slope_us_per_node", slope, "us", "lower");
+    // The causally-attributed commit-wait is the piece of the overhead
+    // the coordinator itself contributes; gate it alongside.
+    for (const SweepResult& r : sweep) {
+      metric("critical_path_commit_wait_us_n" + std::to_string(r.nodes),
+             r.cp_mean_commit_wait_us, "us", "lower");
+    }
     std::fprintf(gate, "\n]}\n");
     std::fclose(gate);
     std::printf("wrote BENCH_fig5b.json\n");
   }
-  return (microsecond_scale && grows_slowly) ? 0 : 1;
+  bool attribution_ok = true;
+  for (const SweepResult& r : sweep) {
+    attribution_ok = attribution_ok && r.cp_attribution_ok;
+  }
+  std::printf("attribution check: critical-path phase totals %s the "
+              "coordinator wall time\n",
+              attribution_ok ? "match" : "DO NOT MATCH");
+  return (microsecond_scale && grows_slowly && attribution_ok) ? 0 : 1;
 }

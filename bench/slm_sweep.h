@@ -19,6 +19,7 @@
 
 #include "apps/slm.h"
 #include "cruz/cluster.h"
+#include "obs/causal/critical_path.h"
 #include "obs/trace_query.h"
 
 namespace cruz::bench {
@@ -47,6 +48,16 @@ struct SweepResult {
   // which come from CaptureStats-driven <done> replies.
   double span_mean_local_ms = 0;
   double span_mean_downtime_ms = 0;
+  // Causal critical-path attribution (src/obs/causal) over the same ops,
+  // rebuilt from the exported trace: a third, independent accounting of
+  // where the wall time went. cp_attribution_ok demands that each op's
+  // phase totals tile its coord.op span exactly and that the span's wall
+  // time agrees with the coordinator's full_latency within 1%.
+  double cp_mean_save_ms = 0;         // save-downtime + save-background
+  double cp_mean_commit_wait_us = 0;  // done/continue hops + commit gap
+  double cp_mean_freeze_wait_us = 0;  // dispatch + request/done hops
+  double cp_mean_unattributed_pct = 0;  // % of wall, ~0 when healthy
+  bool cp_attribution_ok = true;
   std::uint32_t samples = 0;
   std::uint32_t messages_per_op = 0;
   std::vector<std::string> last_images;  // for restart benches
@@ -126,6 +137,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
 
   std::vector<double> latencies_ms, overheads_us, locals_ms, downtimes_ms;
   std::vector<std::uint64_t> op_ids;
+  std::vector<DurationNs> full_latencies;
   SweepResult result;
   result.nodes = nodes;
   TimeNs end = cluster.sim().Now() + opt.app_duration;
@@ -146,6 +158,7 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
     locals_ms.push_back(ToMillis(stats.max_local));
     downtimes_ms.push_back(ToMillis(stats.max_downtime));
     op_ids.push_back(stats.op_id);
+    full_latencies.push_back(stats.full_latency);
     result.messages_per_op = stats.total_messages;
     result.last_images = stats.image_paths;
   }
@@ -166,6 +179,52 @@ inline SweepResult RunSlmSweep(std::uint32_t nodes,
           save_sum_ms / static_cast<double>(op_ids.size());
       result.span_mean_downtime_ms =
           downtime_sum_ms / static_cast<double>(op_ids.size());
+    }
+  }
+
+  // Third accounting: the causal critical-path breakdown, cross-checked
+  // against the coordinator's own wall-time measurement per op.
+  {
+    const auto& ring = cluster.sim().tracer().events();
+    obs::causal::CausalGraph graph = obs::causal::CausalGraph::Build(
+        std::vector<obs::TraceEvent>(ring.begin(), ring.end()));
+    if (graph.stats().mis_joins != 0) result.cp_attribution_ok = false;
+    obs::causal::CriticalPathAnalyzer analyzer(graph);
+    double save_ms = 0, commit_us = 0, freeze_us = 0, unattr_pct = 0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < op_ids.size(); ++i) {
+      std::optional<obs::causal::OpBreakdown> b =
+          analyzer.AnalyzeOp(op_ids[i]);
+      if (!b.has_value()) {
+        result.cp_attribution_ok = false;
+        continue;
+      }
+      DurationNs attributed = 0;
+      for (const obs::causal::PhaseTotal& p : b->phases) {
+        attributed += p.total;
+      }
+      DurationNs wall = b->wall();
+      DurationNs full = full_latencies[i];
+      DurationNs drift = wall > full ? wall - full : full - wall;
+      if (attributed != wall || (full > 0 && drift > full / 100)) {
+        result.cp_attribution_ok = false;
+      }
+      save_ms += ToMillis(b->PhaseNs("save-downtime") +
+                          b->PhaseNs("save-background"));
+      commit_us += ToMicros(b->PhaseNs("commit-wait"));
+      freeze_us += ToMicros(b->PhaseNs("freeze-wait"));
+      unattr_pct += wall == 0
+                        ? 0
+                        : 100.0 * static_cast<double>(b->unattributed) /
+                              static_cast<double>(wall);
+      ++counted;
+    }
+    if (counted > 0) {
+      double n = static_cast<double>(counted);
+      result.cp_mean_save_ms = save_ms / n;
+      result.cp_mean_commit_wait_us = commit_us / n;
+      result.cp_mean_freeze_wait_us = freeze_us / n;
+      result.cp_mean_unattributed_pct = unattr_pct / n;
     }
   }
 

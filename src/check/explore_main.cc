@@ -134,6 +134,18 @@ void WriteArtifact(const Args& args, const std::string& tag,
       out << "shrunk_violation: " << v.invariant << ": " << v.detail << "\n";
     }
   }
+  // Companions for offline analysis: the raw trace (cruz_analyze --trace)
+  // and the flight-recorder snapshot of the pre-fault window.
+  if (!run.trace_jsonl.empty()) {
+    std::ofstream trace(args.artifact_dir + "/trace_" + tag + ".jsonl",
+                        std::ios::binary);
+    if (trace) trace << run.trace_jsonl;
+  }
+  if (!run.flight_record.empty()) {
+    std::ofstream flight(args.artifact_dir + "/flight_" + tag + ".json",
+                         std::ios::binary);
+    if (flight) flight << run.flight_record;
+  }
 }
 
 // Runs one scenario; returns true on pass. On failure prints the

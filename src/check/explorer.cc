@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "coord/journal.h"
 #include "fault/fault.h"
+#include "obs/causal/flight_recorder.h"
 
 namespace cruz::check {
 
@@ -496,6 +497,28 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
   result.scenario = scenario;
   result.violations = oracle_.Check(ctx);
   result.passed = result.violations.empty();
+  if (!result.passed) {
+    result.trace_jsonl = c.sim().tracer().ExportJsonl();
+    obs::causal::FlightTrigger trigger;
+    trigger.ts = c.sim().Now();
+    for (const OpRecord& r : ctx.ops) {
+      if (r.result.stats.op_id != 0) trigger.op = r.result.stats.op_id;
+    }
+    trigger.kind = "invariant-violation";
+    trigger.detail = result.violations.front().invariant + ": " +
+                     result.violations.front().detail;
+    trigger.repro = scenario.Encode();
+    obs::causal::FlightRecorderOptions fr;
+    // The oracle fires at end of run, which can be long after the faulty
+    // op: keep the whole (ring-bounded) history in scope and let the
+    // event cap bound the artifact instead.
+    fr.window = trigger.ts;
+    fr.max_events = 16384;
+    std::vector<obs::TraceEvent> window(c.sim().tracer().events().begin(),
+                                        c.sim().tracer().events().end());
+    result.flight_record = obs::causal::FlightRecorder::Capture(
+        std::move(window), trigger, fr);
+  }
   std::ostringstream summary;
   summary << scenario.Summary() << " -> "
           << (result.passed ? "ok"

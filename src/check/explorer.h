@@ -48,6 +48,11 @@ struct RunResult {
   bool passed = false;
   std::vector<Violation> violations;
   std::string summary;  // one line: scenario + outcome
+  // Filled only on failure: the run's trace export (JSONL, feeds
+  // cruz_analyze) and the flight-recorder artifact for the violation
+  // (bounded pre-fault window + causal slice + repro string).
+  std::string trace_jsonl;
+  std::string flight_record;
 };
 
 class Explorer {

@@ -89,6 +89,19 @@ void CheckpointAgent::Reset() {
 }
 
 void CheckpointAgent::Send(net::Endpoint to, CoordMessage m) {
+  // Correlate before the fault layer decides the message's fate: a
+  // dropped transmission must still leave a send instant (that is what
+  // makes the loss visible as an unmatched causal edge), and a wire-level
+  // duplicate shares the corr id (two recvs joining one send).
+  m.corr_seq = ++next_corr_seq_;
+  node_.os().sim().tracer().Instant(
+      "agent", "agent.msg.send",
+      obs::TraceAttrs{}
+          .Op(m.op_id)
+          .Agent(node_.name())
+          .Arg("type", MsgTypeName(m.type))
+          .Arg("corr", CorrId(m, node_.ip().ToString()))
+          .Arg("dst", to.ip.ToString()));
   fault::MessageFate fate;
   if (fault_ != nullptr) {
     fate = fault_->OnControlSend(node_.name(), to.ip.value,
@@ -125,6 +138,18 @@ void CheckpointAgent::OnDatagram(net::Endpoint from,
     m = CoordMessage::Decode(payload);
   } catch (const cruz::CodecError&) {
     return;
+  }
+  // Receive instant first — even a message that crashes the agent below
+  // was delivered, and the flight recorder wants that edge on record.
+  {
+    obs::TraceAttrs attrs;
+    attrs.Op(m.op_id).Agent(node_.name()).Arg("type", MsgTypeName(m.type));
+    if (m.corr_seq != 0) {
+      attrs.Arg("corr", CorrId(m, from.ip.ToString()));
+    }
+    attrs.Arg("src", from.ip.ToString());
+    node_.os().sim().tracer().Instant("agent", "agent.msg.recv",
+                                      std::move(attrs));
   }
   if (fault_ != nullptr &&
       fault_->CrashAgentOnMessage(node_.name(),

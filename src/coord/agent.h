@@ -168,6 +168,10 @@ class CheckpointAgent {
   bool op_active_ = false;
   std::uint64_t checkpoints_served_ = 0;
   std::uint64_t restarts_served_ = 0;
+  // Correlation sequence for send instants (CoordMessage::corr_seq).
+  // Deliberately not cleared by Reset(): trace identity must stay unique
+  // across simulated agent-process restarts within one run.
+  std::uint32_t next_corr_seq_ = 0;
 };
 
 }  // namespace cruz::coord

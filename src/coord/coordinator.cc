@@ -189,12 +189,19 @@ void Coordinator::SendToAgent(std::size_t member_index, CoordMessage m) {
   const Member& member = members_[member_index];
   ++stats_.coordinator_messages;
   ++stats_.total_messages;
-  node_.os().sim().tracer().Instant("coord", "coord.msg.send",
-                                    obs::TraceAttrs{}
-                                        .Op(stats_.op_id)
-                                        .Agent(node_.name())
-                                        .Pod(member.pod)
-                                        .Arg("type", MsgTypeName(m.type)));
+  // Every transmission gets a fresh correlation sequence (a retransmit is
+  // a new transmission; a wire-level duplicate injected below it is not),
+  // so each send instant names exactly one intended delivery.
+  m.corr_seq = ++next_corr_seq_;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.msg.send",
+      obs::TraceAttrs{}
+          .Op(stats_.op_id)
+          .Agent(node_.name())
+          .Pod(member.pod)
+          .Arg("type", MsgTypeName(m.type))
+          .Arg("corr", CorrId(m, node_.ip().ToString()))
+          .Arg("dst", member.agent_ip.ToString()));
   node_.os().sim().metrics().counter("coord.messages_sent").Add();
   TransmitControl(member.agent_ip, m);
 }
@@ -290,12 +297,22 @@ void Coordinator::OnDatagram(net::Endpoint from,
   } catch (const cruz::CodecError&) {
     return;
   }
+  // Record the receive instant before the op-liveness check: a reply for
+  // a finished (or aborted) op is still a real delivery, and the causal
+  // analyzer needs the endpoint to close the send's edge instead of
+  // reporting it unmatched. The corr echo comes straight off the wire.
+  {
+    obs::TraceAttrs attrs;
+    attrs.Op(m.op_id).Agent(node_.name()).Arg("type", MsgTypeName(m.type));
+    if (m.corr_seq != 0) {
+      attrs.Arg("corr", CorrId(m, from.ip.ToString()));
+    }
+    attrs.Arg("src", from.ip.ToString());
+    node_.os().sim().tracer().Instant("coord", "coord.msg.recv",
+                                      std::move(attrs));
+  }
   if (!op_active_ || m.op_id != stats_.op_id) return;
   ++stats_.total_messages;
-  node_.os().sim().tracer().Instant(
-      "coord", "coord.msg.recv",
-      obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
-          "type", MsgTypeName(m.type)));
 
   switch (m.type) {
     case MsgType::kCommDisabled:

@@ -189,6 +189,9 @@ class Coordinator {
   // epoch_ + 1; op ids equal epochs so they are also globally unique.
   std::uint64_t epoch_ = 0;
   RecoveryReport recovery_;
+  // Correlation sequence for send instants: monotonic per incarnation,
+  // never reused within a trace (see CoordMessage::corr_seq).
+  std::uint32_t next_corr_seq_ = 0;
 
   bool op_active_ = false;
   bool is_restart_ = false;

@@ -22,6 +22,11 @@ const char* MsgTypeName(MsgType type) {
   return "unknown";
 }
 
+std::string CorrId(const CoordMessage& m, const std::string& sender) {
+  return std::to_string(m.op_id) + ":" + MsgTypeName(m.type) + ":" +
+         sender + ":" + std::to_string(m.corr_seq);
+}
+
 cruz::Bytes CoordMessage::Encode() const {
   cruz::ByteWriter w;
   w.PutU8(static_cast<std::uint8_t>(type));
@@ -37,6 +42,7 @@ cruz::Bytes CoordMessage::Encode() const {
   w.PutU64(downtime);
   w.PutU32(extra_messages);
   w.PutU32(sender_index);
+  w.PutU32(corr_seq);
   w.PutU32(static_cast<std::uint32_t>(peers.size()));
   for (std::uint32_t p : peers) w.PutU32(p);
   return w.Take();
@@ -66,6 +72,7 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   m.downtime = r.GetU64();
   m.extra_messages = r.GetU32();
   m.sender_index = r.GetU32();
+  m.corr_seq = r.GetU32();
   std::uint32_t n = r.GetU32();
   for (std::uint32_t i = 0; i < n; ++i) m.peers.push_back(r.GetU32());
   return m;

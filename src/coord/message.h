@@ -82,11 +82,22 @@ struct CoordMessage {
   // Extra agent-to-agent messages (flush baseline) for the message count.
   std::uint32_t extra_messages = 0;
   std::uint32_t sender_index = 0;  // member index (flush marker routing)
+  // Correlation sequence: monotonic per sending process, assigned at every
+  // Send (a retransmission is a new send, a wire-level duplicate is not).
+  // Together with the sender address it names one transmission, which is
+  // how the causal analyzer joins send instants to receive instants even
+  // under drop/dup/delay fault plans. 0 = unset (pre-correlation sender).
+  std::uint32_t corr_seq = 0;
   // Peer agent addresses (flush baseline: who to exchange markers with).
   std::vector<std::uint32_t> peers;
 
   cruz::Bytes Encode() const;
   static CoordMessage Decode(cruz::ByteSpan wire);
 };
+
+// Correlation id for trace send/recv instants: "<op>:<type>:<sender>:<seq>".
+// Both ends can compute it — the sender knows its own address, the receiver
+// reads the datagram source — so matching needs no shared state.
+std::string CorrId(const CoordMessage& m, const std::string& sender);
 
 }  // namespace cruz::coord

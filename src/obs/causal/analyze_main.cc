@@ -1,0 +1,165 @@
+// cruz_analyze: offline analysis of Cruz trace and metric exports.
+//
+//   cruz_analyze --trace run.jsonl [--op N] [--json]
+//       Import a Tracer::ExportJsonl file (or flight-recorder "events"
+//       lines), build the causal graph, and print the per-op
+//       critical-path breakdown — phase attribution, stragglers, match
+//       stats. --json swaps the table for machine-readable JSON.
+//
+//   cruz_analyze --metrics metrics.json
+//       Re-expose a MetricsRegistry::ExportJson snapshot in Prometheus
+//       text-exposition format.
+//
+// Both inputs may be given; the trace report prints first.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/causal/causal_graph.h"
+#include "obs/causal/critical_path.h"
+#include "obs/causal/json_lite.h"
+#include "obs/causal/trace_io.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace cruz::obs::causal;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cruz_analyze --trace FILE [--op N] [--json]\n"
+      "       cruz_analyze --metrics FILE\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int AnalyzeTrace(const std::string& path, std::optional<std::uint64_t> op,
+                 bool json) {
+  std::string text;
+  if (!ReadFile(path, text)) {
+    std::fprintf(stderr, "cruz_analyze: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  ImportStats stats;
+  std::vector<cruz::obs::TraceEvent> events = ImportJsonl(text, &stats);
+  if (stats.skipped > 0) {
+    std::fprintf(stderr, "cruz_analyze: skipped %zu unparseable line(s)\n",
+                 stats.skipped);
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "cruz_analyze: no trace events in %s\n",
+                 path.c_str());
+    return 1;
+  }
+  CausalGraph graph = CausalGraph::Build(std::move(events));
+  CriticalPathAnalyzer analyzer(graph);
+  std::vector<OpBreakdown> ops;
+  if (op.has_value()) {
+    std::optional<OpBreakdown> one = analyzer.AnalyzeOp(*op);
+    if (!one.has_value()) {
+      std::fprintf(stderr, "cruz_analyze: no op %llu in trace\n",
+                   static_cast<unsigned long long>(*op));
+      return 1;
+    }
+    ops.push_back(std::move(*one));
+  } else {
+    ops = analyzer.AnalyzeAll();
+  }
+  std::string out = json
+                        ? CriticalPathAnalyzer::RenderJson(ops, graph.stats())
+                        : CriticalPathAnalyzer::RenderReport(ops,
+                                                             graph.stats());
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (!json) std::fputc('\n', stdout);
+  return 0;
+}
+
+int ExposeMetrics(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, text)) {
+    std::fprintf(stderr, "cruz_analyze: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(text, root, error) ||
+      root.type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "cruz_analyze: bad metrics JSON: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  cruz::obs::MetricsRegistry registry;
+  if (const JsonValue* counters = root.Find("counters")) {
+    for (const auto& [name, v] : counters->fields) {
+      registry.counter(name).Add(v.AsU64());
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    for (const auto& [name, v] : gauges->fields) {
+      registry.gauge(name).Set(v.AsDouble());
+    }
+  }
+  if (const JsonValue* histograms = root.Find("histograms")) {
+    for (const auto& [name, v] : histograms->fields) {
+      cruz::obs::Histogram& h = registry.histogram(name);
+      const JsonValue* count = v.Find("count");
+      const JsonValue* sum = v.Find("sum");
+      const JsonValue* min = v.Find("min");
+      const JsonValue* max = v.Find("max");
+      h.Restore(count != nullptr ? count->AsU64() : 0,
+                sum != nullptr ? sum->AsU64() : 0,
+                min != nullptr ? min->AsU64() : 0,
+                max != nullptr ? max->AsU64() : 0);
+      if (const JsonValue* buckets = v.Find("buckets")) {
+        for (const JsonValue& pair : buckets->items) {
+          if (pair.items.size() == 2) {
+            h.RestoreBucket(static_cast<int>(pair.items[0].AsU64()),
+                            pair.items[1].AsU64());
+          }
+        }
+      }
+    }
+  }
+  std::string out = registry.ExportPrometheus();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<std::uint64_t> op;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--op" && i + 1 < argc) {
+      op = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) return Usage();
+  int rc = 0;
+  if (!trace_path.empty()) rc = AnalyzeTrace(trace_path, op, json);
+  if (rc == 0 && !metrics_path.empty()) rc = ExposeMetrics(metrics_path);
+  return rc;
+}

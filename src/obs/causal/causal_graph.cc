@@ -1,0 +1,99 @@
+#include "obs/causal/causal_graph.h"
+
+#include "obs/causal/trace_io.h"
+
+namespace cruz::obs::causal {
+
+namespace {
+
+bool IsSendInstant(const TraceEvent& e) {
+  return e.kind == EventKind::kInstant &&
+         (e.name == "coord.msg.send" || e.name == "agent.msg.send");
+}
+
+bool IsRecvInstant(const TraceEvent& e) {
+  return e.kind == EventKind::kInstant &&
+         (e.name == "coord.msg.recv" || e.name == "agent.msg.recv");
+}
+
+}  // namespace
+
+CausalGraph CausalGraph::Build(std::vector<TraceEvent> events) {
+  CanonicalizeTraceOrder(events);
+  CausalGraph g;
+  g.events_ = std::move(events);
+
+  // First pass: index sends by corr id. In canonical order a send always
+  // precedes its recvs (network latency is positive), so the map is
+  // complete before any recv consults it — but build it fully anyway so
+  // a clock-skewed import still matches.
+  std::unordered_map<std::string, std::size_t> send_by_corr;
+  for (std::size_t i = 0; i < g.events_.size(); ++i) {
+    const TraceEvent& e = g.events_[i];
+    if (!IsSendInstant(e)) continue;
+    ++g.stats_.sends;
+    const std::string& corr = EventArg(e, "corr");
+    if (!corr.empty()) send_by_corr.emplace(corr, i);
+  }
+
+  for (std::size_t i = 0; i < g.events_.size(); ++i) {
+    const TraceEvent& e = g.events_[i];
+    if (!IsRecvInstant(e)) continue;
+    ++g.stats_.recvs;
+    const std::string& corr = EventArg(e, "corr");
+    auto it = corr.empty() ? send_by_corr.end() : send_by_corr.find(corr);
+    if (it == send_by_corr.end()) {
+      ++g.stats_.unmatched_recvs;
+      continue;
+    }
+    std::size_t send_index = it->second;
+    const TraceEvent& s = g.events_[send_index];
+    // A corr id encodes op and type; a join that disagrees on either
+    // means the id scheme broke. Count it and refuse the edge.
+    if (s.attrs.op != e.attrs.op ||
+        EventArg(s, "type") != EventArg(e, "type")) {
+      ++g.stats_.mis_joins;
+      continue;
+    }
+    CausalEdge edge;
+    edge.send = send_index;
+    edge.recv = i;
+    edge.corr = corr;
+    auto& recvs = g.recvs_for_send_[send_index];
+    edge.duplicate = !recvs.empty();
+    if (edge.duplicate) ++g.stats_.duplicate_recvs;
+    recvs.push_back(i);
+    g.send_for_recv_.emplace(i, send_index);
+    g.edges_.push_back(std::move(edge));
+    ++g.stats_.matched;
+  }
+
+  for (std::size_t i = 0; i < g.events_.size(); ++i) {
+    if (IsSendInstant(g.events_[i]) &&
+        g.recvs_for_send_.find(i) == g.recvs_for_send_.end()) {
+      g.unmatched_sends_.push_back(i);
+    }
+  }
+  g.stats_.unmatched_sends = g.unmatched_sends_.size();
+  return g;
+}
+
+std::optional<std::size_t> CausalGraph::SendFor(
+    std::size_t recv_index) const {
+  auto it = send_for_recv_.find(recv_index);
+  if (it == send_for_recv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::size_t> CausalGraph::RecvsFor(
+    std::size_t send_index) const {
+  auto it = recvs_for_send_.find(send_index);
+  if (it == recvs_for_send_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::size_t> CausalGraph::UnmatchedSends() const {
+  return unmatched_sends_;
+}
+
+}  // namespace cruz::obs::causal

@@ -1,0 +1,80 @@
+// Cross-node happens-before graph over a trace.
+//
+// The coordinator and agents stamp every control-message transmission
+// with a correlation id (op id + message kind + sender + per-sender seq;
+// see coord::CorrId) on both the `*.msg.send` and `*.msg.recv` instants.
+// Build() joins them: each (send, recv) pair sharing a corr id becomes a
+// happens-before edge. Fault plans leave visible, honest residue instead
+// of mis-joins:
+//
+//   * dropped message   -> send with no recv (unmatched_sends)
+//   * duplicated wire   -> two recvs on one send (second edge flagged
+//     copy                  duplicate)
+//   * delayed message   -> edge with a long latency, still matched
+//   * pre-correlation   -> recv without a corr arg (unmatched_recvs)
+//     sender
+//
+// Span parentage needs no explicit edges: spans carry (op, agent, phase)
+// attributes, and the critical-path analyzer walks them by lookup.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cruz::obs::causal {
+
+struct CausalEdge {
+  std::size_t send = 0;  // index into events()
+  std::size_t recv = 0;
+  std::string corr;
+  // True for the second and later recvs joining the same send (a wire
+  // duplicate or a replayed datagram).
+  bool duplicate = false;
+};
+
+struct MatchStats {
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::size_t matched = 0;          // edges, including duplicates
+  std::size_t duplicate_recvs = 0;  // edges flagged duplicate
+  std::size_t unmatched_sends = 0;  // transmissions never delivered
+  std::size_t unmatched_recvs = 0;  // deliveries with no visible send
+  // A recv whose corr id resolved to a send with a different op or
+  // message type. Must stay 0 — anything else is an instrumentation bug.
+  std::size_t mis_joins = 0;
+};
+
+class CausalGraph {
+ public:
+  // Takes any event stream (live tracer snapshot or ImportJsonl) and
+  // canonicalizes its order before matching.
+  static CausalGraph Build(std::vector<TraceEvent> events);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<CausalEdge>& edges() const { return edges_; }
+  const MatchStats& stats() const { return stats_; }
+
+  // The matching send for a recv event index (first edge wins).
+  std::optional<std::size_t> SendFor(std::size_t recv_index) const;
+  // All recv event indexes joined to a send event index.
+  std::vector<std::size_t> RecvsFor(std::size_t send_index) const;
+
+  // Event indexes of sends that were never matched (message lost, or the
+  // receiver was dead).
+  std::vector<std::size_t> UnmatchedSends() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<CausalEdge> edges_;
+  MatchStats stats_;
+  std::unordered_map<std::size_t, std::size_t> send_for_recv_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> recvs_for_send_;
+  std::vector<std::size_t> unmatched_sends_;
+};
+
+}  // namespace cruz::obs::causal

@@ -1,0 +1,97 @@
+#include "obs/causal/flight_recorder.h"
+
+#include "obs/causal/causal_graph.h"
+#include "obs/causal/trace_io.h"
+
+namespace cruz::obs::causal {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string FlightRecorder::Capture(std::vector<TraceEvent> events,
+                                    const FlightTrigger& trigger,
+                                    const FlightRecorderOptions& options) {
+  TimeNs lo = trigger.ts > options.window ? trigger.ts - options.window : 0;
+  std::vector<TraceEvent> window;
+  for (TraceEvent& e : events) {
+    // Keep anything overlapping [lo, trigger.ts]: a span that began
+    // before the window but was still open at the fault is evidence.
+    if (e.end_ts() < lo || e.ts > trigger.ts) continue;
+    window.push_back(std::move(e));
+  }
+  CanonicalizeTraceOrder(window);
+  bool truncated = false;
+  if (window.size() > options.max_events) {
+    window.erase(window.begin(),
+                 window.end() - static_cast<std::ptrdiff_t>(
+                                    options.max_events));
+    truncated = true;
+  }
+
+  CausalGraph graph = CausalGraph::Build(std::move(window));
+  const auto& evs = graph.events();
+
+  std::string out = "{\"trigger\":{\"ts_ns\":" + std::to_string(trigger.ts) +
+                    ",\"op\":" + std::to_string(trigger.op) + ",\"kind\":";
+  AppendEscaped(out, trigger.kind);
+  out += ",\"detail\":";
+  AppendEscaped(out, trigger.detail);
+  out += ",\"repro\":";
+  AppendEscaped(out, trigger.repro);
+  out += "},\"window\":{\"begin_ns\":" + std::to_string(lo) +
+         ",\"end_ns\":" + std::to_string(trigger.ts) +
+         ",\"events\":" + std::to_string(evs.size()) + ",\"truncated\":";
+  out += truncated ? "true" : "false";
+  out += "},\"events\":[";
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (i != 0) out += ',';
+    AppendJsonlEvent(out, evs[i]);
+  }
+  out += "],\"causal\":{\"edges\":[";
+  bool first = true;
+  for (const CausalEdge& e : graph.edges()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"send_seq\":" + std::to_string(evs[e.send].seq) +
+           ",\"recv_seq\":" + std::to_string(evs[e.recv].seq) +
+           ",\"corr\":";
+    AppendEscaped(out, e.corr);
+    out += ",\"duplicate\":";
+    out += e.duplicate ? "true" : "false";
+    out += "}";
+  }
+  out += "],\"unmatched_send_seqs\":[";
+  first = true;
+  for (std::size_t idx : graph.UnmatchedSends()) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(evs[idx].seq);
+  }
+  const MatchStats& st = graph.stats();
+  out += "],\"stats\":{\"sends\":" + std::to_string(st.sends) +
+         ",\"recvs\":" + std::to_string(st.recvs) +
+         ",\"matched\":" + std::to_string(st.matched) +
+         ",\"duplicate_recvs\":" + std::to_string(st.duplicate_recvs) +
+         ",\"unmatched_sends\":" + std::to_string(st.unmatched_sends) +
+         ",\"unmatched_recvs\":" + std::to_string(st.unmatched_recvs) +
+         ",\"mis_joins\":" + std::to_string(st.mis_joins) + "}}}";
+  return out;
+}
+
+}  // namespace cruz::obs::causal

@@ -1,0 +1,49 @@
+// Crash-scoped flight recorder.
+//
+// The tracer's ring buffer is already an always-on bounded window of
+// recent history. When something goes wrong — an invariant oracle
+// violation, an injected crash the scenario did not survive — Capture()
+// freezes the pre-fault window ending at the trigger, joins its causal
+// edges, and serializes the whole thing to a single self-contained JSON
+// artifact: trigger metadata (including the repro string that replays
+// the run), the window's events in canonical order, and the causal-graph
+// slice (edges by event seq, unmatched sends, match stats). The events
+// array is line-compatible with Tracer::ExportJsonl, so cruz_analyze and
+// ImportJsonl consume recordings unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace cruz::obs::causal {
+
+struct FlightTrigger {
+  TimeNs ts = 0;          // when the fault fired (sim time)
+  std::uint64_t op = 0;   // failing op id, 0 when not op-scoped
+  std::string kind;       // "invariant-violation", "crash", ...
+  std::string detail;     // human-readable cause (oracle detail, ...)
+  std::string repro;      // replay string (cruzrepro1...), may be empty
+};
+
+struct FlightRecorderOptions {
+  // Pre-fault window: events ending earlier than trigger.ts - window are
+  // dropped, as are events that begin after the trigger.
+  DurationNs window = 5 * kSecond;
+  // Hard cap on recorded events; the oldest are dropped first and the
+  // artifact is marked truncated.
+  std::size_t max_events = 4096;
+};
+
+class FlightRecorder {
+ public:
+  // Serializes the recording as a single JSON document.
+  static std::string Capture(std::vector<TraceEvent> events,
+                             const FlightTrigger& trigger,
+                             const FlightRecorderOptions& options = {});
+};
+
+}  // namespace cruz::obs::causal

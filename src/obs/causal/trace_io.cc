@@ -1,0 +1,89 @@
+#include "obs/causal/trace_io.h"
+
+#include <algorithm>
+
+#include "obs/causal/json_lite.h"
+
+namespace cruz::obs::causal {
+
+namespace {
+
+bool ParseEventLine(const std::string& line, TraceEvent& out) {
+  JsonValue v;
+  std::string error;
+  if (!ParseJson(line, v, error) || v.type != JsonValue::Type::kObject) {
+    return false;
+  }
+  const JsonValue* kind = v.Find("kind");
+  const JsonValue* name = v.Find("name");
+  if (kind == nullptr || name == nullptr) return false;
+  out.kind = kind->text == "span" ? EventKind::kSpan : EventKind::kInstant;
+  out.name = name->text;
+  if (const JsonValue* f = v.Find("ts_ns")) out.ts = f->AsU64();
+  if (const JsonValue* f = v.Find("dur_ns")) out.dur = f->AsU64();
+  if (const JsonValue* f = v.Find("seq")) out.seq = f->AsU64();
+  if (const JsonValue* f = v.Find("cat")) out.category = f->text;
+  if (const JsonValue* args = v.Find("args")) {
+    for (const auto& [key, value] : args->fields) {
+      if (key == "op") {
+        out.attrs.op = value.AsU64();
+      } else if (key == "phase") {
+        out.attrs.phase = value.text;
+      } else if (key == "agent") {
+        out.attrs.agent = value.text;
+      } else if (key == "pod") {
+        out.attrs.pod = value.AsU64();
+      } else if (key == "conn") {
+        out.attrs.conn = value.text;
+      } else {
+        out.attrs.args.emplace_back(key, value.text);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> ImportJsonl(const std::string& text,
+                                    ImportStats* stats) {
+  std::vector<TraceEvent> events;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) {
+      std::string line = text.substr(begin, end - begin);
+      TraceEvent e;
+      if (ParseEventLine(line, e)) {
+        events.push_back(std::move(e));
+        if (stats != nullptr) ++stats->events;
+      } else if (stats != nullptr) {
+        ++stats->skipped;
+      }
+    }
+    begin = end + 1;
+  }
+  return events;
+}
+
+void CanonicalizeTraceOrder(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.attrs.agent != b.attrs.agent) {
+                       return a.attrs.agent < b.attrs.agent;
+                     }
+                     return a.seq < b.seq;
+                   });
+}
+
+const std::string& EventArg(const TraceEvent& e, const std::string& key) {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : e.attrs.args) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+}  // namespace cruz::obs::causal

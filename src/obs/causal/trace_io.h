@@ -1,0 +1,41 @@
+// Trace stream import and canonical ordering for causal analysis.
+//
+// The analyzer operates on the same TraceEvent type the Tracer records,
+// whether the events come straight from a live tracer (benches, the
+// explorer) or from an exported JSONL file (cruz_analyze). ImportJsonl
+// inverts Tracer::ExportJsonl line by line.
+//
+// CanonicalizeTraceOrder establishes the deterministic total order all
+// analysis runs in: (timestamp, node, emission seq). The tracer's ring is
+// completion-ordered, which is already deterministic for one run, but the
+// analyzer must stay byte-stable when per-node streams are merged or a
+// file round-trip reorders lines — the node-id tiebreak pins equal-time
+// events from different nodes, the seq tiebreak pins equal-time events
+// from one node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cruz::obs::causal {
+
+struct ImportStats {
+  std::size_t events = 0;
+  std::size_t skipped = 0;  // malformed or non-event lines
+};
+
+// Parses Tracer::ExportJsonl output (one JSON object per line; blank
+// lines ignored). Unparseable lines are counted, not fatal: a truncated
+// tail must not hide the rest of a flight recording.
+std::vector<TraceEvent> ImportJsonl(const std::string& text,
+                                    ImportStats* stats = nullptr);
+
+// Sorts into the canonical (ts, agent, seq) total order.
+void CanonicalizeTraceOrder(std::vector<TraceEvent>& events);
+
+// Value of a free-form arg on an event; empty string when absent.
+const std::string& EventArg(const TraceEvent& e, const std::string& key);
+
+}  // namespace cruz::obs::causal

@@ -73,9 +73,59 @@ std::string MetricsRegistry::ExportJson() const {
            ",\"sum\":" + std::to_string(h.sum()) +
            ",\"min\":" + std::to_string(h.min()) +
            ",\"max\":" + std::to_string(h.max()) +
-           ",\"mean\":" + FormatDouble(h.mean()) + "}";
+           ",\"mean\":" + FormatDouble(h.mean()) + ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += "[" + std::to_string(i) + "," + std::to_string(h.bucket(i)) +
+             "]";
+    }
+    out += "]}";
   }
   out += "}}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  auto sanitize = [](const std::string& name) {
+    std::string out = "cruz_";
+    for (char c : name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string n = sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + FormatDouble(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string n = sanitize(name);
+    out += "# TYPE " + n + " histogram\n";
+    int highest = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) != 0) highest = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i <= highest; ++i) {
+      cumulative += h.bucket(i);
+      out += n + "_bucket{le=\"" + std::to_string(1ull << i) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+    out += n + "_sum " + std::to_string(h.sum()) + "\n";
+    out += n + "_count " + std::to_string(h.count()) + "\n";
+  }
   return out;
 }
 

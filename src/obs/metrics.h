@@ -53,6 +53,19 @@ class Histogram {
   // Count of samples v with v <= 2^bucket.
   std::uint64_t bucket(int i) const { return buckets_[i]; }
 
+  // Rebuild from an ExportJson snapshot (cruz_analyze re-exposition):
+  // Restore the scalars, then RestoreBucket each sparse bucket entry.
+  void Restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min_v,
+               std::uint64_t max_v) {
+    count_ = count;
+    sum_ = sum;
+    min_ = count == 0 ? ~0ull : min_v;
+    max_ = max_v;
+  }
+  void RestoreBucket(int i, std::uint64_t c) {
+    if (i >= 0 && i < kBuckets) buckets_[i] = c;
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -83,7 +96,15 @@ class MetricsRegistry {
   // sorted by name.
   std::string TextDump() const;
   // {"counters":{...},"gauges":{...},"histograms":{...}} with sorted keys.
+  // Histograms include a sparse "buckets" array of [exponent, count]
+  // pairs (count of samples v with 2^(e-1) < v <= 2^e), so a snapshot can
+  // be re-exposed in Prometheus form by cruz_analyze.
   std::string ExportJson() const;
+  // Prometheus text exposition (version 0.0.4): counters and gauges as-is,
+  // histograms as cumulative `_bucket{le="2^i"}` series plus `_sum` and
+  // `_count`. Names are prefixed "cruz_" with dots mapped to underscores.
+  // Bucket series stop at the highest non-empty bucket, then `+Inf`.
+  std::string ExportPrometheus() const;
 
  private:
   std::map<std::string, Counter> counters_;

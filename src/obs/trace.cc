@@ -198,22 +198,31 @@ std::string Tracer::ExportChromeJson() const {
   return out;
 }
 
+void AppendJsonlEvent(std::string& out, const TraceEvent& e) {
+  out += "{\"kind\":\"";
+  out += e.kind == EventKind::kSpan ? "span" : "instant";
+  out += "\",\"ts_ns\":" + std::to_string(e.ts);
+  if (e.kind == EventKind::kSpan) {
+    out += ",\"dur_ns\":" + std::to_string(e.dur);
+  }
+  // The emission sequence rides along so re-imported streams keep the
+  // deterministic same-timestamp tiebreak (causal analysis needs a total
+  // order that is stable across runs of the same seed).
+  out += ",\"seq\":" + std::to_string(e.seq);
+  out += ",\"cat\":";
+  AppendString(out, e.category);
+  out += ",\"name\":";
+  AppendString(out, e.name);
+  out += ",\"args\":";
+  AppendArgs(out, e.attrs);
+  out += '}';
+}
+
 std::string Tracer::ExportJsonl() const {
   std::string out;
   for (const TraceEvent& e : events_) {
-    out += "{\"kind\":\"";
-    out += e.kind == EventKind::kSpan ? "span" : "instant";
-    out += "\",\"ts_ns\":" + std::to_string(e.ts);
-    if (e.kind == EventKind::kSpan) {
-      out += ",\"dur_ns\":" + std::to_string(e.dur);
-    }
-    out += ",\"cat\":";
-    AppendString(out, e.category);
-    out += ",\"name\":";
-    AppendString(out, e.name);
-    out += ",\"args\":";
-    AppendArgs(out, e.attrs);
-    out += "}\n";
+    AppendJsonlEvent(out, e);
+    out += '\n';
   }
   return out;
 }

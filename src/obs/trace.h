@@ -75,6 +75,10 @@ struct TraceEvent {
 using SpanId = std::uint64_t;
 constexpr SpanId kInvalidSpanId = 0;
 
+// Appends one event as a single flat JSON object (no newline) — the same
+// rendering ExportJsonl() uses per line, shared with the flight recorder.
+void AppendJsonlEvent(std::string& out, const TraceEvent& e);
+
 class Tracer {
  public:
   using Clock = std::function<TimeNs()>;

@@ -242,6 +242,48 @@ TEST(Metrics, EmptyHistogramSummaryIsAllZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+// Golden test for the Prometheus text exposition (format v0.0.4): names
+// sanitized under a cruz_ prefix, one # TYPE line per metric, histogram
+// buckets cumulative over the power-of-two boundaries up to the highest
+// non-empty bucket, then +Inf / _sum / _count. Byte-exact so scrapers
+// can rely on the rendering.
+TEST(Metrics, PrometheusExpositionGolden) {
+  MetricsRegistry m;
+  m.counter("agent.save-errors").Add(1);  // '-' must sanitize to '_'
+  m.counter("coord.ops_total").Add(5);
+  m.gauge("ckpt.codec_ratio").Set(0.5);
+  Histogram& h = m.histogram("coord.downtime_us");
+  h.Record(3);    // 2^2 bucket
+  h.Record(5);    // 2^3 bucket
+  h.Record(100);  // 2^7 bucket
+  m.histogram("zz.empty");  // no samples: summary lines only
+
+  const char* golden =
+      "# TYPE cruz_agent_save_errors counter\n"
+      "cruz_agent_save_errors 1\n"
+      "# TYPE cruz_coord_ops_total counter\n"
+      "cruz_coord_ops_total 5\n"
+      "# TYPE cruz_ckpt_codec_ratio gauge\n"
+      "cruz_ckpt_codec_ratio 0.5\n"
+      "# TYPE cruz_coord_downtime_us histogram\n"
+      "cruz_coord_downtime_us_bucket{le=\"1\"} 0\n"
+      "cruz_coord_downtime_us_bucket{le=\"2\"} 0\n"
+      "cruz_coord_downtime_us_bucket{le=\"4\"} 1\n"
+      "cruz_coord_downtime_us_bucket{le=\"8\"} 2\n"
+      "cruz_coord_downtime_us_bucket{le=\"16\"} 2\n"
+      "cruz_coord_downtime_us_bucket{le=\"32\"} 2\n"
+      "cruz_coord_downtime_us_bucket{le=\"64\"} 2\n"
+      "cruz_coord_downtime_us_bucket{le=\"128\"} 3\n"
+      "cruz_coord_downtime_us_bucket{le=\"+Inf\"} 3\n"
+      "cruz_coord_downtime_us_sum 108\n"
+      "cruz_coord_downtime_us_count 3\n"
+      "# TYPE cruz_zz_empty histogram\n"
+      "cruz_zz_empty_bucket{le=\"+Inf\"} 0\n"
+      "cruz_zz_empty_sum 0\n"
+      "cruz_zz_empty_count 0\n";
+  EXPECT_EQ(m.ExportPrometheus(), golden);
+}
+
 TEST(Metrics, DumpsAreSortedAndReset) {
   MetricsRegistry m;
   m.counter("z.last").Add(2);
