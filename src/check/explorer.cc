@@ -179,7 +179,8 @@ void SpawnWorkload(Cluster& c, const Scenario& s, WorkloadDriver& w) {
   }
 }
 
-void ArmScenarioFaults(const Scenario& s, fault::FaultPlan& plan) {
+void ArmScenarioFaults(const Scenario& s, Cluster& c,
+                       fault::FaultPlan& plan) {
   for (const FaultSpec& f : s.faults) {
     std::size_t node_index = f.node % s.num_nodes;
     std::string node_name = "node" + std::to_string(node_index + 1);
@@ -201,6 +202,20 @@ void ArmScenarioFaults(const Scenario& s, fault::FaultPlan& plan) {
         break;
       case FaultSpecKind::kAgentCrashOnMsg:
         plan.ArmAgentCrash(node_name, static_cast<std::uint8_t>(f.extra));
+        break;
+      case FaultSpecKind::kLocalDiskLoss:
+        plan.ArmLocalDiskLoss(node_index, f.extra * kMillisecond);
+        break;
+      case FaultSpecKind::kPartnerUnreachable:
+        plan.ArmPartnerUnreachable(node_name);
+        break;
+      case FaultSpecKind::kNetfsOutage:
+        plan.ArmNetfsOutage(f.permille * kMillisecond, f.extra * kMillisecond);
+        break;
+      case FaultSpecKind::kNoSpace:
+        // Capacity is a property of the node's disk, not of the injector.
+        c.node(node_index).disk().set_capacity_bytes(
+            static_cast<std::uint64_t>(f.extra) * 1024);
         break;
     }
   }
@@ -232,8 +247,9 @@ void DestroyEverywhere(Cluster& c, os::PodId pod) {
   }
 }
 
-coord::Coordinator::Options OpOptions(const OpSpec& spec) {
+coord::Coordinator::Options OpOptions(const OpSpec& spec, bool tiered) {
   coord::Coordinator::Options options;
+  options.tiered = tiered;
   options.variant = spec.variant;
   options.incremental = spec.incremental;
   options.copy_on_write = spec.copy_on_write;
@@ -257,6 +273,7 @@ const char* MutationName(Mutation mutation) {
     case Mutation::kWipeCoordinatorJournal: return "wipe-coordinator-journal";
     case Mutation::kDuplicateContinue: return "duplicate-continue";
     case Mutation::kLeakPartialImage: return "leak-partial-image";
+    case Mutation::kDropLastReplica: return "drop-last-replica";
   }
   return "none";
 }
@@ -271,6 +288,7 @@ bool MutationFromName(const std::string& name, Mutation& out) {
       Mutation::kWipeCoordinatorJournal,
       Mutation::kDuplicateContinue,
       Mutation::kLeakPartialImage,
+      Mutation::kDropLastReplica,
   };
   for (Mutation m : kAll) {
     if (name == MutationName(m)) {
@@ -306,7 +324,7 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
 
   fault::FaultPlan plan(scenario.seed * 9176 + 0x5eed);
   if (!scenario.faults.empty()) {
-    ArmScenarioFaults(scenario, plan);
+    ArmScenarioFaults(scenario, c, plan);
     c.ArmFaults(plan);
   }
 
@@ -322,7 +340,7 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
     rec.members = 2;
     rec.variant = spec.variant;
     rec.copy_on_write = spec.copy_on_write;
-    coord::Coordinator::Options options = OpOptions(spec);
+    coord::Coordinator::Options options = OpOptions(spec, scenario.tiered);
     std::vector<coord::Coordinator::Member> members = {
         c.MemberFor(w.node_a, w.pod_a), c.MemberFor(w.node_b, w.pod_b)};
 
@@ -340,6 +358,7 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
           // anyway (pointing at the images the op meant to write).
           ckpt::GenerationStore store(c.fs(), kGenRoot);
           store.set_tracer(&c.sim().tracer());
+          if (scenario.tiered) store.set_tiered(&c.tiered());
           std::vector<ckpt::ManifestEntry> entries;
           for (const auto& m : members) {
             ckpt::ManifestEntry e;
@@ -379,7 +398,18 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
         options.variant = coord::ProtocolVariant::kBlocking;
         options.copy_on_write = false;
         ckpt::GenerationStore store(c.fs(), kGenRoot);
+        if (scenario.tiered) store.set_tiered(&c.tiered());
         rec.newest_intact_before = store.NewestIntact().value_or(0);
+        if (mutation == Mutation::kDropLastReplica && scenario.tiered &&
+            rec.newest_intact_before != 0) {
+          // Sabotage: after the intact check, silently lose every copy of
+          // one image on every tier — the storage equivalent of bit rot
+          // between verification and restore.
+          auto manifest = store.ReadManifest(rec.newest_intact_before);
+          if (manifest.has_value() && !manifest->empty()) {
+            c.tiered().RemoveEverywhere(manifest->back().image_path);
+          }
+        }
         const bool blind = mutation == Mutation::kRestartBlindLatest;
         std::uint64_t blind_gen = store.LatestCommitted().value_or(0);
         if ((blind ? blind_gen : rec.newest_intact_before) == 0) {

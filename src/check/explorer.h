@@ -32,6 +32,9 @@ enum class Mutation : std::uint8_t {
                              // (continue-exactly-once)
   kLeakPartialImage,         // stray file under the generation root
                              // (no-partial-state)
+  kDropLastReplica,          // silently lose every copy of one image after
+                             // the pre-restart intact check
+                             // (replica-availability; tiered scenarios)
 };
 
 const char* MutationName(Mutation mutation);

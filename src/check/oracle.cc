@@ -266,14 +266,44 @@ void CheckContinueExactlyOnce(const RunContext& ctx,
   }
 }
 
+// Tiered storage (DESIGN.md §11): a restart must succeed whenever every
+// image of some committed generation still has at least one intact
+// replica on any tier. NewestIntact() resolves across tiers in tiered
+// runs, so a nonzero pre-restart sample is exactly that witness — a
+// subsequent failure means a replica silently vanished between the
+// check and the restore, or the resolver missed a surviving copy.
+void CheckReplicaAvailability(const RunContext& ctx,
+                              std::vector<Violation>& out) {
+  const char* name = "replica-availability";
+  if (ctx.scenario == nullptr || !ctx.scenario->tiered) return;
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kRestart || !rec.attempted) continue;
+    if (rec.result.stats.success || rec.any_agent_crashed ||
+        rec.newest_intact_before == 0) {
+      continue;
+    }
+    std::ostringstream d;
+    d << "restart failed (" << rec.result.stats.abort_reason
+      << ") although every image of generation " << rec.newest_intact_before
+      << " had an intact replica on some tier";
+    Violate(out, name, d.str());
+  }
+}
+
 // Abort/discard paths never leak: every file under the generation root
-// belongs to a committed generation.
+// belongs to a committed generation. In tiered runs the scan covers
+// every tier (node disks, partner copies, netfs), not just the netfs.
 void CheckNoPartialState(const RunContext& ctx, std::vector<Violation>& out) {
   const char* name = "no-partial-state";
+  const bool tiered = ctx.scenario != nullptr && ctx.scenario->tiered;
   ckpt::GenerationStore store(ctx.cluster->fs(), ctx.gen_root);
+  if (tiered) store.set_tiered(&ctx.cluster->tiered());
   std::vector<std::uint64_t> committed = store.Committed();
   const std::string prefix = ctx.gen_root + "/gen_";
-  for (const std::string& path : ctx.cluster->fs().List(prefix)) {
+  std::vector<std::string> files = tiered
+                                       ? ctx.cluster->tiered().ListAll(prefix)
+                                       : ctx.cluster->fs().List(prefix);
+  for (const std::string& path : files) {
     std::uint64_t gen = 0;
     for (std::size_t i = prefix.size();
          i < path.size() && path[i] >= '0' && path[i] <= '9'; ++i) {
@@ -302,6 +332,7 @@ InvariantOracle InvariantOracle::Defaults() {
   oracle.Register("protocol-order", CheckProtocolOrder);
   oracle.Register("continue-exactly-once", CheckContinueExactlyOnce);
   oracle.Register("no-partial-state", CheckNoPartialState);
+  oracle.Register("replica-availability", CheckReplicaAvailability);
   return oracle;
 }
 

@@ -73,7 +73,7 @@ class InvariantOracle {
 
   // The full catalog (see DESIGN.md §9): workload-intact, comm-silence,
   // gen-commit, restart-newest-intact, protocol-order,
-  // continue-exactly-once, no-partial-state.
+  // continue-exactly-once, no-partial-state, replica-availability.
   static InvariantOracle Defaults();
 
   // Runs every registered invariant; empty result = run passed.

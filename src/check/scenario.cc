@@ -53,8 +53,9 @@ bool SplitU64(const std::string& s, std::vector<std::uint64_t>& out) {
 std::string Scenario::Summary() const {
   std::ostringstream out;
   out << "seed=" << seed << " nodes=" << num_nodes << " wl="
-      << WorkloadName(workload) << " units=" << workload_units << " ops="
-      << ops.size() << " faults=" << faults.size();
+      << WorkloadName(workload) << " units=" << workload_units
+      << (tiered ? " tiered" : "") << " ops=" << ops.size() << " faults="
+      << faults.size();
   return out.str();
 }
 
@@ -62,6 +63,7 @@ std::string Scenario::Encode() const {
   std::ostringstream out;
   out << "cruzrepro1 seed=" << seed << " nodes=" << num_nodes << " wl="
       << static_cast<unsigned>(workload) << " units=" << workload_units;
+  if (tiered) out << " tiered=1";
   for (const OpSpec& op : ops) {
     out << " op=" << static_cast<unsigned>(op.kind) << ','
         << op.pre_delay / kMillisecond << ','
@@ -98,6 +100,8 @@ std::optional<Scenario> Scenario::Decode(const std::string& repro) {
       s.workload = static_cast<WorkloadKind>(fields[0]);
     } else if (key == "units" && fields.size() == 1) {
       s.workload_units = fields[0];
+    } else if (key == "tiered" && fields.size() == 1) {
+      s.tiered = fields[0] != 0;
     } else if (key == "op" && fields.size() == 7 && fields[0] <= 3 &&
                fields[2] <= 2) {
       OpSpec op;
@@ -109,7 +113,7 @@ std::optional<Scenario> Scenario::Decode(const std::string& repro) {
       op.compress = fields[5] != 0;
       op.placement_salt = static_cast<std::uint32_t>(fields[6]);
       s.ops.push_back(op);
-    } else if (key == "fault" && fields.size() == 4 && fields[0] <= 5) {
+    } else if (key == "fault" && fields.size() == 4 && fields[0] <= 9) {
       FaultSpec f;
       f.kind = static_cast<FaultSpecKind>(fields[0]);
       f.node = static_cast<std::uint32_t>(fields[1]);
@@ -196,8 +200,42 @@ Scenario ScenarioGenerator::FromSeed(std::uint64_t seed) {
         f.extra = kTriggers[rng.NextBelow(3)];
         break;
       }
+      default:  // tier-scoped kinds are drawn separately below
+        break;
     }
     s.faults.push_back(f);
+  }
+
+  // Tiered storage mode, drawn after everything else so pre-tier seeds
+  // keep their exact op/fault schedules (pinned repro strings and the
+  // shrinker's golden cases replay unchanged). kNetfsOutage is decode-only
+  // here: an outage window also blanks the coordinator's intent journal
+  // (appends fail silently), which perturbs epoch bookkeeping in ways the
+  // protocol oracles would mis-attribute; tests exercise it directly.
+  s.tiered = rng.NextBernoulli(0.5);
+  if (s.tiered) {
+    std::size_t extra = rng.NextBelow(3);  // 0..2 tier-scoped faults
+    for (std::size_t i = 0; i < extra; ++i) {
+      FaultSpec f;
+      std::uint64_t k = rng.NextBelow(3);
+      f.kind = k == 0   ? FaultSpecKind::kLocalDiskLoss
+               : k == 1 ? FaultSpecKind::kPartnerUnreachable
+                        : FaultSpecKind::kNoSpace;
+      f.node = static_cast<std::uint32_t>(rng.NextBelow(s.num_nodes));
+      switch (f.kind) {
+        case FaultSpecKind::kLocalDiskLoss:
+          f.extra = 10 + static_cast<std::uint32_t>(rng.NextBelow(120));
+          break;
+        case FaultSpecKind::kNoSpace:
+          // Local-disk byte budget in KiB: tight enough to trigger
+          // eviction, loose enough to hold one image.
+          f.extra = 96 + static_cast<std::uint32_t>(rng.NextBelow(161));
+          break;
+        default:
+          break;
+      }
+      s.faults.push_back(f);
+    }
   }
   return s;
 }

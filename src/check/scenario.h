@@ -53,6 +53,11 @@ enum class FaultSpecKind : std::uint8_t {
   kDiskFail = 3,        // node-scoped, extra = count
   kImageCorrupt = 4,    // node-scoped, extra = count
   kAgentCrashOnMsg = 5, // node-scoped, extra = raw coord::MsgType byte
+  // Tier-scoped faults (meaningful when Scenario::tiered is set).
+  kLocalDiskLoss = 6,   // node-scoped, extra = wipe time (ms)
+  kPartnerUnreachable = 7,  // node-scoped: partner writes to/from it skip
+  kNetfsOutage = 8,     // permille = start (ms), extra = duration (ms)
+  kNoSpace = 9,         // node-scoped, extra = local disk capacity (KiB)
 };
 
 struct FaultSpec {
@@ -68,6 +73,11 @@ struct Scenario {
   WorkloadKind workload = WorkloadKind::kStream;
   // Workload size: stream bytes / kv operations / counter iterations.
   std::uint64_t workload_units = 256 * 1024;
+  // Multi-tier checkpoint storage: ops commit to local + partner disks
+  // with a background netfs flush, restarts resolve across tiers.
+  // Encoded as "tiered=1"; absent = legacy netfs-only (so pre-tier repro
+  // strings replay exactly as before).
+  bool tiered = false;
   std::vector<OpSpec> ops;
   std::vector<FaultSpec> faults;
 

@@ -294,7 +294,7 @@ PodSnapshot CheckpointEngine::SnapshotPod(pod::PodManager& pods,
   return snap;
 }
 
-PodCheckpoint CheckpointEngine::LoadImageChain(os::NetworkFileSystem& fs,
+PodCheckpoint CheckpointEngine::LoadImageChain(os::FileStore& fs,
                                                const std::string& path) {
   // Walk parent links to the full base image, then overlay forward.
   std::vector<PodCheckpoint> chain;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ckpt/image.h"
+#include "os/file_store.h"
 #include "pod/pod.h"
 
 namespace cruz::ckpt {
@@ -117,10 +118,12 @@ class CheckpointEngine {
                                  const CaptureOptions& options,
                                  CaptureStats* stats = nullptr);
 
-  // Loads a checkpoint image from the shared filesystem, resolving the
-  // incremental parent chain (oldest-to-newest page overlay). Throws
-  // CodecError on corruption, UsageError on a missing link.
-  static PodCheckpoint LoadImageChain(os::NetworkFileSystem& fs,
+  // Loads a checkpoint image from a file store — the shared netfs, or a
+  // tier-resolving view over the local/partner/netfs hierarchy —
+  // resolving the incremental parent chain (oldest-to-newest page
+  // overlay). Throws CodecError on corruption, UsageError on a missing
+  // link.
+  static PodCheckpoint LoadImageChain(os::FileStore& fs,
                                       const std::string& path);
 
   // Rebuilds a pod from a checkpoint. Processes are installed SIGSTOPped;

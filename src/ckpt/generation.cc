@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ckpt/engine.h"
+#include "ckpt/store/tiered_store.h"
 #include "common/bytes.h"
 #include "common/crc32.h"
 #include "common/error.h"
@@ -13,13 +14,19 @@ namespace cruz::ckpt {
 std::uint64_t GenerationStore::Allocate() {
   std::uint64_t next = 1;
   cruz::Bytes raw;
-  if (SysOk(fs_.ReadFile(SeqPath(), raw)) && raw.size() == 8) {
-    cruz::ByteReader r(raw);
-    next = r.GetU64() + 1;
+  SysResult r = tiered_ != nullptr ? tiered_->ReadMeta(SeqPath(), raw)
+                                   : fs_.ReadFile(SeqPath(), raw);
+  if (SysOk(r) && raw.size() == 8) {
+    cruz::ByteReader reader(raw);
+    next = reader.GetU64() + 1;
   }
   cruz::ByteWriter w;
   w.PutU64(next);
-  fs_.WriteFile(SeqPath(), w.Take());
+  if (tiered_ != nullptr) {
+    tiered_->PutMeta(SeqPath(), w.Take());
+  } else {
+    fs_.WriteFile(SeqPath(), w.Take());
+  }
   return next;
 }
 
@@ -39,6 +46,13 @@ void GenerationStore::Commit(std::uint64_t gen,
     payload.PutString(e.image_path);
     payload.PutU64(e.size);
     payload.PutU32(e.crc32);
+    payload.PutU32(static_cast<std::uint32_t>(e.replicas.size()));
+    for (const Replica& rep : e.replicas) {
+      payload.PutU8(static_cast<std::uint8_t>(rep.tier));
+      payload.PutU32(rep.node_index);
+      payload.PutU64(rep.size);
+      payload.PutU32(rep.crc32);
+    }
   }
   cruz::Bytes body = payload.Take();
   cruz::ByteWriter framed;
@@ -46,8 +60,25 @@ void GenerationStore::Commit(std::uint64_t gen,
   framed.PutU32(cruz::Crc32(body));
   framed.PutBytes(body);
   // WriteFile is create-or-truncate in one step: the manifest appears
-  // whole or not at all, making it the commit point.
-  fs_.WriteFile(ManifestPath(gen), framed.Take());
+  // whole or not at all, making it the commit point. In tiered mode the
+  // manifest replicates to every node disk immediately and reaches the
+  // netfs via the background flush, so the commit survives an outage.
+  if (tiered_ != nullptr) {
+    tiered_->PutMeta(ManifestPath(gen), framed.Take());
+  } else {
+    cruz::Bytes manifest = framed.Take();
+    SysResult w = fs_.WriteFile(ManifestPath(gen), manifest);
+    while (SysErrno(w) == CRUZ_ENOSPC && EvictOldestCommitted(gen) > 0) {
+      w = fs_.WriteFile(ManifestPath(gen), manifest);
+    }
+    if (!SysOk(w)) {
+      CRUZ_WARN("ckpt") << "generation " << gen
+                        << ": manifest write failed ("
+                        << ErrnoName(SysErrno(w))
+                        << "); generation stays uncommitted";
+      return;
+    }
+  }
   if (tracer_ != nullptr) {
     tracer_->Instant("ckpt", "ckpt.generation.commit",
                      obs::TraceAttrs{}.Arg("gen", gen));
@@ -59,6 +90,10 @@ std::size_t GenerationStore::Discard(std::uint64_t gen) {
   for (const std::string& path : fs_.List(Prefix(gen) + "/")) {
     if (SysOk(fs_.Remove(path))) ++removed;
   }
+  // Tiered mode: also reap local and partner replicas and cancel any
+  // in-flight netfs flush, so an aborted generation leaves zero orphan
+  // bytes on any tier.
+  if (tiered_ != nullptr) removed += tiered_->DiscardPrefix(Prefix(gen));
   if (removed > 0) {
     CRUZ_INFO("ckpt") << "generation " << gen << ": discarded " << removed
                       << " file(s)";
@@ -73,7 +108,10 @@ std::size_t GenerationStore::Discard(std::uint64_t gen) {
 std::vector<std::uint64_t> GenerationStore::Committed() const {
   std::vector<std::uint64_t> gens;
   const std::string prefix = root_ + "/gen_";
-  for (const std::string& path : fs_.List(prefix)) {
+  std::vector<std::string> paths = tiered_ != nullptr
+                                       ? tiered_->ListAll(prefix)
+                                       : fs_.List(prefix);
+  for (const std::string& path : paths) {
     if (path.size() <= prefix.size()) continue;
     std::size_t slash = path.find('/', prefix.size());
     if (slash == std::string::npos ||
@@ -104,7 +142,10 @@ std::optional<std::uint64_t> GenerationStore::LatestCommitted() const {
 std::optional<std::vector<ManifestEntry>> GenerationStore::ReadManifest(
     std::uint64_t gen) const {
   cruz::Bytes raw;
-  if (!SysOk(fs_.ReadFile(ManifestPath(gen), raw))) return std::nullopt;
+  SysResult read = tiered_ != nullptr
+                       ? tiered_->ReadMeta(ManifestPath(gen), raw)
+                       : fs_.ReadFile(ManifestPath(gen), raw);
+  if (!SysOk(read)) return std::nullopt;
   try {
     cruz::ByteReader r(raw);
     std::uint32_t len = r.GetU32();
@@ -121,6 +162,15 @@ std::optional<std::vector<ManifestEntry>> GenerationStore::ReadManifest(
       e.image_path = br.GetString();
       e.size = br.GetU64();
       e.crc32 = br.GetU32();
+      std::uint32_t replicas = br.GetU32();
+      for (std::uint32_t j = 0; j < replicas; ++j) {
+        Replica rep;
+        rep.tier = static_cast<Tier>(br.GetU8());
+        rep.node_index = br.GetU32();
+        rep.size = br.GetU64();
+        rep.crc32 = br.GetU32();
+        e.replicas.push_back(rep);
+      }
       entries.push_back(std::move(e));
     }
     return entries;
@@ -132,16 +182,25 @@ std::optional<std::vector<ManifestEntry>> GenerationStore::ReadManifest(
 bool GenerationStore::Verify(std::uint64_t gen) const {
   std::optional<std::vector<ManifestEntry>> manifest = ReadManifest(gen);
   if (!manifest.has_value()) return false;
+  // Tiered mode: the generation is restartable iff every image has at
+  // least one intact replica on some tier; the verification probe reads
+  // through the tier-resolving view (untraced — it is not a restore).
+  std::optional<TieredReadView> view;
+  if (tiered_ != nullptr) {
+    view.emplace(*tiered_, /*reader=*/nullptr, /*trace=*/false);
+  }
+  os::FileStore& fs =
+      view.has_value() ? static_cast<os::FileStore&>(*view) : fs_;
   for (const ManifestEntry& e : *manifest) {
     cruz::Bytes image;
-    if (!SysOk(fs_.ReadFile(e.image_path, image))) return false;
+    if (!SysOk(fs.ReadFile(e.image_path, image))) return false;
     if (image.size() != e.size || cruz::Crc32(image) != e.crc32) {
       CRUZ_WARN("ckpt") << "generation " << gen << ": " << e.image_path
                         << " fails the manifest size/CRC check";
       return false;
     }
     try {
-      CheckpointEngine::LoadImageChain(fs_, e.image_path);
+      CheckpointEngine::LoadImageChain(fs, e.image_path);
     } catch (const cruz::CruzError&) {
       CRUZ_WARN("ckpt") << "generation " << gen << ": " << e.image_path
                         << " does not deserialize";
@@ -157,6 +216,41 @@ std::optional<std::uint64_t> GenerationStore::NewestIntact() const {
     if (Verify(*it)) return *it;
   }
   return std::nullopt;
+}
+
+std::size_t GenerationStore::EvictOldestCommitted(std::uint64_t keep_gen) {
+  std::vector<std::uint64_t> gens = Committed();
+  if (gens.size() < 2) return 0;  // never evict the only restorable gen
+  for (std::uint64_t gen : gens) {
+    if (gen == keep_gen || gen == gens.back()) continue;
+    std::size_t removed = Discard(gen);
+    if (removed > 0) {
+      CRUZ_WARN("ckpt") << "generation " << gen
+                        << ": evicted to reclaim space";
+      if (tracer_ != nullptr) {
+        tracer_->Instant("ckpt", "ckpt.generation.evict",
+                         obs::TraceAttrs{}.Arg("gen", gen).Arg(
+                             "reason", "enospc"));
+      }
+      return removed;
+    }
+  }
+  return 0;
+}
+
+bool GenerationStore::EvictForSpace(os::NetworkFileSystem& fs,
+                                    const std::string& image_path) {
+  std::size_t at = image_path.find("/gen_");
+  if (at == std::string::npos) return false;
+  std::uint64_t current = 0;
+  for (std::size_t i = at + 5; i < image_path.size(); ++i) {
+    char c = image_path[i];
+    if (c == '/') break;
+    if (c < '0' || c > '9') return false;
+    current = current * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  GenerationStore store(fs, image_path.substr(0, at));
+  return store.EvictOldestCommitted(current) > 0;
 }
 
 }  // namespace cruz::ckpt

@@ -16,17 +16,25 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/store/replica.h"
 #include "obs/trace.h"
 #include "os/netfs.h"
 #include "os/types.h"
 
 namespace cruz::ckpt {
 
+class TieredStore;
+
 struct ManifestEntry {
   os::PodId pod = os::kNoPod;
   std::string image_path;
   std::uint64_t size = 0;     // image bytes at commit time
   std::uint32_t crc32 = 0;    // CRC-32 of the whole image file
+  // Where the image lived at commit time (tiered mode: local + partner;
+  // the netfs replica appears later via the background flush and is
+  // always consulted as the last resort). Empty for legacy netfs-only
+  // generations.
+  std::vector<Replica> replicas;
 };
 
 class GenerationStore {
@@ -74,6 +82,26 @@ class GenerationStore {
   // protocol spans around it.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Tiered mode: manifests and the SEQ counter replicate across the node
+  // disks (surviving a netfs outage), Verify accepts any intact replica
+  // of each image, and Discard reaps every tier. nullptr = legacy
+  // netfs-only behavior.
+  void set_tiered(TieredStore* tiered) { tiered_ = tiered; }
+  TieredStore* tiered() const { return tiered_; }
+
+  // -ENOSPC handling: discards the oldest committed generation other
+  // than `keep_gen` and the latest one, freeing space for the checkpoint
+  // in progress instead of aborting it. Returns the number of files
+  // removed (0 = nothing evictable).
+  std::size_t EvictOldestCommitted(std::uint64_t keep_gen);
+
+  // Agent-side -ENOSPC helper: given a full image path
+  // ("<root>/gen_XXXXXX/pod_N.img"), evicts the oldest non-latest
+  // committed generation under that root. Returns true if space was
+  // reclaimed and the write is worth retrying.
+  static bool EvictForSpace(os::NetworkFileSystem& fs,
+                            const std::string& image_path);
+
  private:
   std::string SeqPath() const { return root_ + "/SEQ"; }
   std::string ManifestPath(std::uint64_t gen) const {
@@ -83,6 +111,7 @@ class GenerationStore {
   os::NetworkFileSystem& fs_;
   std::string root_;
   obs::Tracer* tracer_ = nullptr;
+  TieredStore* tiered_ = nullptr;
 };
 
 }  // namespace cruz::ckpt

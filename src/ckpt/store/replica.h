@@ -1,0 +1,46 @@
+// Replica schema for tiered checkpoint storage.
+//
+// Every committed image has a set of replicas spread across the storage
+// hierarchy: the writer's local disk (tier 1), its ring partner's disk
+// (tier 2), and — once the background flush lands — the shared netfs
+// (tier 3). The generation manifest records the replica set captured at
+// commit time (local + partner, with per-tier CRCs); the netfs replica
+// is implicit and always consulted as the last resort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cruz::ckpt {
+
+enum class Tier : std::uint8_t {
+  kLocal = 0,    // the reader/writer node's own disk
+  kPartner = 1,  // another node's disk (own copy or partner copy)
+  kNetfs = 2,    // the shared network filesystem
+  kNone = 255,   // not resolved / not applicable
+};
+
+inline const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kLocal:
+      return "local";
+    case Tier::kPartner:
+      return "partner";
+    case Tier::kNetfs:
+      return "netfs";
+    case Tier::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+// One physical copy of one image.
+struct Replica {
+  Tier tier = Tier::kNone;
+  std::uint32_t node_index = 0;  // holder (0 for the netfs tier)
+  std::uint64_t size = 0;
+  std::uint32_t crc32 = 0;
+};
+
+}  // namespace cruz::ckpt

@@ -1,0 +1,214 @@
+// Multi-tier checkpoint storage with partner redundancy.
+//
+// Cruz (§2) assumes a single always-available shared filesystem; real
+// deployments (LLNL SCR) instead spread each checkpoint image across a
+// storage hierarchy so a restartable generation survives node loss,
+// netfs outage and disk-full:
+//
+//   tier 1  the writer's node-local disk cache (os::LocalDiskStore) —
+//           fast, but shares the node's failure domain;
+//   tier 2  the writer's ring partner's disk, written in parallel with
+//           tier 1 (partner(i) = next live slot after i, deterministic);
+//   tier 3  the shared netfs, filled by a background flush with
+//           retry/backoff so a temporary outage only delays durability.
+//
+// Write path: CommitImage lands the image on tier 1 + tier 2 and
+// returns the replica set the agent reports in <done>; the netfs flush
+// runs in the background. Restore path: Resolve reads local → partner →
+// netfs, falling back across tiers on -ENOENT or CRC mismatch, rebuilds
+// missing local copies ("rebuild-on-restart"), and traces the chosen
+// source + fallback chain as ckpt.store.* events so cruz_analyze can
+// attribute restore traffic per tier. Eviction keeps the last K
+// generations on the node disks once they are durable on the netfs, and
+// -ENOSPC on any tier evicts the oldest non-latest generation's files
+// rather than failing the checkpoint.
+//
+// The store is pure state + scheduling; I/O *cost* is still charged by
+// the agents through Node::DiskWriteDuration / PartnerWriteDuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt/store/replica.h"
+#include "common/bytes.h"
+#include "common/sysresult.h"
+#include "common/units.h"
+#include "fault/fault.h"
+#include "os/file_store.h"
+#include "os/netfs.h"
+#include "os/node.h"
+#include "sim/simulator.h"
+
+namespace cruz::ckpt {
+
+class TieredStore {
+ public:
+  // Partner replicas live on the partner's disk under this prefix, so a
+  // node's own images and the copies it guards for its partner never
+  // collide.
+  static constexpr const char* kPartnerPrefix = "/partner";
+
+  // Outcome of one cross-tier read.
+  struct ResolveResult {
+    Tier source = Tier::kNone;
+    std::uint32_t node_index = 0;  // holder (0 for netfs)
+    std::size_t fallbacks = 0;     // tiers/copies tried before success
+    std::string chain;             // e.g. "local:miss,partner(node2):ok"
+    bool rebuilt_local = false;
+  };
+
+  TieredStore(sim::Simulator& sim, os::NetworkFileSystem& netfs);
+
+  // Ring membership, in registration order. Register every worker node
+  // once at cluster construction; failed nodes stay in the ring (their
+  // slot is skipped while down).
+  void RegisterNode(os::Node* node);
+  os::Node* PartnerOf(std::uint32_t node_index) const;
+  os::Node* NodeByIndex(std::uint32_t node_index) const;
+
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
+  // Keep the newest K generations on the node disks; older generations
+  // are dropped from tiers 1-2 once every file is durable on the netfs.
+  void set_keep_local_generations(std::size_t k) { keep_local_ = k; }
+  void set_flush_retry_interval(DurationNs d) { flush_retry_ = d; }
+  void set_max_flush_attempts(std::size_t n) { max_flush_attempts_ = n; }
+
+  // --- write path ---------------------------------------------------------
+  // Commits `image` to the writer's local disk and its partner's disk
+  // (parallel writes; `duration` is the max of the two tier costs), then
+  // schedules the background netfs flush. -ENOSPC on a disk evicts the
+  // oldest non-current generation's files from that disk and retries.
+  // Returns the image size, or an error if no tier accepted the image.
+  SysResult CommitImage(os::Node& writer, const std::string& path,
+                        cruz::Bytes image, std::vector<Replica>* replicas,
+                        DurationNs* duration);
+
+  // Metadata (generation manifests, SEQ): replicated synchronously to
+  // every live node's disk and flushed to the netfs in the background,
+  // so commits survive a netfs outage ("manifest commits late but
+  // intact").
+  void PutMeta(const std::string& path, cruz::Bytes bytes);
+  SysResult ReadMeta(const std::string& path, cruz::Bytes& out) const;
+
+  // Union of paths under `prefix` across every tier, with partner-copy
+  // prefixes stripped; sorted, deduplicated.
+  std::vector<std::string> ListAll(const std::string& prefix) const;
+
+  // --- restore path -------------------------------------------------------
+  // Cross-tier read: reader-local → partner tier (any other live node,
+  // own copy or guarded copy) → netfs. Copies whose size/CRC disagree
+  // with the commit-time record are skipped (fallback). When `reader` is
+  // set and the winning copy was remote, the local tier is repopulated.
+  // `trace` controls ckpt.store.resolve events + restore-source counters
+  // (restores trace; verification probes do not).
+  SysResult Resolve(os::Node* reader, const std::string& path,
+                    cruz::Bytes& out, ResolveResult* rr = nullptr,
+                    bool trace = true);
+  bool HasAnyReplica(const std::string& path) const;
+
+  // --- GC -----------------------------------------------------------------
+  // Removes every copy of `path` (all disks, both prefixes, netfs) and
+  // cancels any pending flush. Returns the number of copies removed.
+  std::size_t RemoveEverywhere(const std::string& path);
+  // Cross-tier discard of a generation directory (images + manifest).
+  // Netfs copies that cannot be removed now (outage) are tombstoned and
+  // reaped when the netfs returns.
+  std::size_t DiscardPrefix(const std::string& prefix);
+
+  // --- introspection (tests, benches) -------------------------------------
+  bool FlushedToNetfs(const std::string& path) const;
+  std::size_t PendingFlushCount() const { return pending_flush_.size(); }
+  std::uint64_t flush_attempts_total() const { return flush_attempts_total_; }
+  // Total bytes stored under `prefix` across node disks (both prefixes)
+  // and the netfs; the zero-orphan assertions use this.
+  std::uint64_t BytesUnderPrefix(const std::string& prefix) const;
+
+ private:
+  struct ImageMeta {
+    std::uint64_t size = 0;
+    std::uint32_t crc32 = 0;
+    std::uint32_t writer = 0;
+    bool flushed = false;
+  };
+  struct FlushState {
+    std::uint32_t writer = 0;
+    DurationNs backoff = 0;
+    std::size_t attempts = 0;
+  };
+
+  void ScheduleFlush(const std::string& path, std::uint32_t writer,
+                     DurationNs after);
+  void AttemptFlush(const std::string& path);
+  // Finds any live copy of `path` on the node disks (own or guarded).
+  bool FindAnyCopy(const std::string& path, cruz::Bytes& out) const;
+  // Frees space on `node`'s disk by dropping the oldest generation's
+  // files (preferring netfs-durable ones), excluding `keep_prefix`.
+  bool EvictLocalForSpace(os::Node& node, const std::string& keep_prefix);
+  // Frees netfs space by dropping the oldest generation's netfs copies
+  // that still have a disk replica, excluding `keep_prefix`.
+  bool EvictNetfsForSpace(const std::string& keep_prefix);
+  // Drops tier-1/2 copies of generations older than the newest K once
+  // they are fully netfs-durable.
+  void EnforceRetention();
+  void ScheduleReaper();
+  void ReapTombstones();
+  bool Unreachable(const os::Node* node) const;
+  void NotifyNoSpace(const std::string& store, const std::string& path);
+  // ".../gen_000007/pod_1.img" -> ".../gen_000007" ("" if not gen-shaped).
+  static std::string GenPrefixOf(const std::string& path);
+
+  sim::Simulator& sim_;
+  os::NetworkFileSystem& netfs_;
+  fault::Injector* injector_ = nullptr;
+  std::vector<os::Node*> ring_;
+  std::size_t keep_local_ = 2;
+  DurationNs flush_retry_ = 100 * kMillisecond;
+  DurationNs flush_retry_max_ = 2 * kSecond;
+  std::size_t max_flush_attempts_ = 64;
+  // Commit-time truth per image path: expected size/CRC and durability.
+  std::map<std::string, ImageMeta> index_;
+  std::map<std::string, FlushState> pending_flush_;
+  // Generation prefix -> files committed under it (images + manifests).
+  std::map<std::string, std::set<std::string>> gen_files_;
+  // Netfs paths whose removal failed during an outage; reaped later.
+  std::set<std::string> tombstones_;
+  bool reaper_scheduled_ = false;
+  std::uint64_t flush_attempts_total_ = 0;
+};
+
+// FileStore view over the hierarchy for one reader: LoadImageChain and
+// the generation verifier read through this, so every link of an
+// incremental chain resolves across tiers independently. Reads are
+// memoized per view (one resolve — and one trace event — per path).
+class TieredReadView : public os::FileStore {
+ public:
+  TieredReadView(TieredStore& store, os::Node* reader, bool trace = true)
+      : store_(store), reader_(reader), trace_(trace) {}
+
+  bool Exists(const std::string& path) const override {
+    return store_.HasAnyReplica(path);
+  }
+  SysResult ReadFile(const std::string& path,
+                     cruz::Bytes& out) const override;
+  SysResult FileSize(const std::string& path) const override;
+
+  // Resolution of the first (head) path read through this view, for
+  // restore-source attribution.
+  const TieredStore::ResolveResult& head_result() const {
+    return head_result_;
+  }
+
+ private:
+  TieredStore& store_;
+  os::Node* reader_;
+  bool trace_;
+  mutable bool have_head_ = false;
+  mutable TieredStore::ResolveResult head_result_;
+  mutable std::map<std::string, cruz::Bytes> cache_;
+};
+
+}  // namespace cruz::ckpt

@@ -1,5 +1,7 @@
 #include "coord/agent.h"
 
+#include "ckpt/generation.h"
+#include "ckpt/store/tiered_store.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "sim/simulator.h"
@@ -239,6 +241,10 @@ void CheckpointAgent::DiscardCheckpointImage(os::PodId pod,
                                              const std::string& path) {
   if (!path.empty()) {
     node_.os().fs().Remove(path);
+    // Tiered mode: the image may also live on the local and partner
+    // disks, with a netfs flush still pending — reap every tier so an
+    // aborted op leaves zero orphan bytes anywhere.
+    if (tiered_ != nullptr) tiered_->RemoveEverywhere(path);
   }
   // The deleted image may be the head of this pod's incremental chain;
   // force the next capture to be full rather than referencing it.
@@ -376,7 +382,45 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     // differ. Only the CRC check on restore/verify can catch this.
     fault_->MaybeCorruptImage(node_.name(), m.image_path, image);
   }
-  node_.os().fs().WriteFile(m.image_path, std::move(image));
+  DurationNs write_duration = node_.DiskWriteDuration(image_bytes);
+  if (m.tiered && tiered_ != nullptr) {
+    // Tiered commit: local + partner disks now (write_duration becomes
+    // the max of the two tier costs), netfs flush in the background.
+    SysResult w = tiered_->CommitImage(node_, m.image_path,
+                                       std::move(image), &op_.replicas,
+                                       &write_duration);
+    if (!SysOk(w)) {
+      EndOpSpans("save-failed");
+      ckpt::CheckpointEngine::ResumePod(pods_, m.pod_id);
+      RemoveDropFilter();
+      last_image_.erase(m.pod_id);
+      net::Endpoint coordinator = op_.coordinator;
+      op_active_ = false;
+      FailLocalOp(coordinator, m, "no storage tier accepted image");
+      return;
+    }
+  } else {
+    SysResult w = node_.os().fs().WriteFile(m.image_path, image);
+    // Shared-FS full: evict the oldest non-latest committed generation
+    // and retry instead of failing the checkpoint.
+    while (SysErrno(w) == CRUZ_ENOSPC &&
+           ckpt::GenerationStore::EvictForSpace(node_.os().fs(),
+                                               m.image_path)) {
+      w = node_.os().fs().WriteFile(m.image_path, image);
+    }
+    if (!SysOk(w)) {
+      EndOpSpans("save-failed");
+      ckpt::CheckpointEngine::ResumePod(pods_, m.pod_id);
+      RemoveDropFilter();
+      last_image_.erase(m.pod_id);
+      net::Endpoint coordinator = op_.coordinator;
+      op_active_ = false;
+      FailLocalOp(coordinator, m,
+                  SysErrno(w) == CRUZ_ENOSPC ? "disk full"
+                                             : "image write refused");
+      return;
+    }
+  }
   op_.image_path = m.image_path;
   op_.image_written = true;
   last_image_[m.pod_id] = {m.image_path, capture.generation};
@@ -393,9 +437,9 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
   DurationNs capture_cost = kFilterConfigCost +
                             stats.processes * kPerProcessStopCost +
                             stats.network_lock_hold;
-  DurationNs local =
-      capture_cost + image_bytes * kSecond / kSerializeBytesPerSec +
-      node_.DiskWriteDuration(image_bytes);
+  DurationNs local = capture_cost +
+                     image_bytes * kSecond / kSerializeBytesPerSec +
+                     write_duration;
   op_.local_duration = local;
   // Stop-the-world: the pod stays stopped for the entire local save.
   op_.downtime = local;
@@ -441,6 +485,7 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     done.local_duration = op_.local_duration;
     done.downtime = op_.downtime;
     done.extra_messages = op_.flush_messages;
+    done.replicas = op_.replicas;
     last_done_reply_ = done;
     Send(op_.coordinator, done);
     MaybeResume();
@@ -516,12 +561,13 @@ void CheckpointAgent::StartForkedCheckpoint(
   // writing) for a while, which is exactly what the COW snapshot defends
   // against: the image bytes are still the snapshot-point state.
   bool compress = m.compress;
+  bool tiered = m.tiered;
   std::string image_path = m.image_path;
   std::uint32_t generation = capture.generation;
   std::uint64_t state_bytes = stats.state_bytes;
   node_.os().sim().Schedule(
       capture_cost + serialize_cost,
-      [this, op_id, snap = std::move(snap), compress, image_path,
+      [this, op_id, snap = std::move(snap), compress, tiered, image_path,
        generation, state_bytes] {
         if (crashed_ || !op_active_ || op_.op_id != op_id) return;
         cruz::Bytes image = snap.Materialize().Serialize(compress);
@@ -529,9 +575,57 @@ void CheckpointAgent::StartForkedCheckpoint(
         if (fault_ != nullptr) {
           fault_->MaybeCorruptImage(node_.name(), image_path, image);
         }
-        // The file appears on the shared FS now but counts as partial
-        // until <done> commits it; an abort or crash before then GCs it.
-        node_.os().fs().WriteFile(image_path, std::move(image));
+        // The file appears in storage now but counts as partial until
+        // <done> commits it; an abort or crash before then GCs it.
+        DurationNs disk = node_.DiskWriteDuration(image_bytes);
+        if (tiered && tiered_ != nullptr) {
+          SysResult w = tiered_->CommitImage(node_, image_path,
+                                             std::move(image),
+                                             &op_.replicas, &disk);
+          if (!SysOk(w)) {
+            EndOpSpans("save-failed");
+            DiscardCheckpointImage(op_.pod, image_path);
+            if (!op_.resumed) {
+              ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+              RemoveDropFilter();
+            }
+            CoordMessage request;
+            request.op_id = op_.op_id;
+            request.epoch = op_.epoch;
+            request.pod_id = op_.pod;
+            net::Endpoint coordinator = op_.coordinator;
+            op_active_ = false;
+            FailLocalOp(coordinator, request,
+                        "no storage tier accepted image");
+            return;
+          }
+        } else {
+          SysResult w = node_.os().fs().WriteFile(image_path, image);
+          while (SysErrno(w) == CRUZ_ENOSPC &&
+                 ckpt::GenerationStore::EvictForSpace(node_.os().fs(),
+                                                     image_path)) {
+            w = node_.os().fs().WriteFile(image_path, image);
+          }
+          if (!SysOk(w)) {
+            EndOpSpans("save-failed");
+            DiscardCheckpointImage(op_.pod, image_path);
+            if (!op_.resumed) {
+              ckpt::CheckpointEngine::ResumePod(pods_, op_.pod);
+              RemoveDropFilter();
+            }
+            CoordMessage request;
+            request.op_id = op_.op_id;
+            request.epoch = op_.epoch;
+            request.pod_id = op_.pod;
+            net::Endpoint coordinator = op_.coordinator;
+            op_active_ = false;
+            FailLocalOp(coordinator, request,
+                        SysErrno(w) == CRUZ_ENOSPC
+                            ? "disk full"
+                            : "image write refused");
+            return;
+          }
+        }
         op_.image_path = image_path;
         op_.image_written = true;
         obs::MetricsRegistry& metrics = node_.os().sim().metrics();
@@ -542,7 +636,6 @@ void CheckpointAgent::StartForkedCheckpoint(
               .Set(static_cast<double>(image_bytes) /
                    static_cast<double>(state_bytes));
         }
-        DurationNs disk = node_.DiskWriteDuration(image_bytes);
         op_.local_duration += disk;
         node_.os().sim().Schedule(disk, [this, op_id, image_path,
                                          generation] {
@@ -585,6 +678,7 @@ void CheckpointAgent::StartForkedCheckpoint(
           done.local_duration = op_.local_duration;
           done.downtime = op_.downtime;
           done.extra_messages = op_.flush_messages;
+          done.replicas = op_.replicas;
           last_done_reply_ = done;
           Send(op_.coordinator, done);
           MaybeResume();
@@ -613,17 +707,28 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
   if (m.op_id == last_aborted_op_) {
     return;  // this op's <abort> already arrived; see HandleCheckpoint
   }
-  // Total bytes read from the shared FS: the image plus any incremental
+  // Tiered mode: read through the tier-resolving view (local → partner →
+  // netfs, with rebuild-on-restart), so every link of an incremental
+  // chain finds the best intact copy independently. The view memoizes,
+  // so the chain walk below and LoadImageChain resolve each path once.
+  std::optional<ckpt::TieredReadView> view;
+  if (m.tiered && tiered_ != nullptr) {
+    view.emplace(*tiered_, &node_);
+  }
+  os::FileStore& fs =
+      view.has_value() ? static_cast<os::FileStore&>(*view)
+                       : static_cast<os::FileStore&>(node_.os().fs());
+  // Total bytes read from storage: the image plus any incremental
   // parents the chain resolves through (restore cost model).
   std::uint64_t chain_bytes = 0;
   {
     std::string link = m.image_path;
     for (;;) {
-      SysResult size = node_.os().fs().FileSize(link);
+      SysResult size = fs.FileSize(link);
       if (!SysOk(size)) break;
       chain_bytes += static_cast<std::uint64_t>(size);
       cruz::Bytes raw;
-      node_.os().fs().ReadFile(link, raw);
+      fs.ReadFile(link, raw);
       ckpt::PodCheckpoint peek;
       try {
         peek = ckpt::PodCheckpoint::Deserialize(raw);
@@ -636,11 +741,10 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
   }
   ckpt::PodCheckpoint ck;
   try {
-    ck = ckpt::CheckpointEngine::LoadImageChain(node_.os().fs(),
-                                                m.image_path);
+    ck = ckpt::CheckpointEngine::LoadImageChain(fs, m.image_path);
   } catch (const cruz::CruzError& e) {
-    // Missing or corrupt (CRC-failing) image: report instead of going
-    // silent so the coordinator can abort and fall back.
+    // Missing or corrupt (CRC-failing) image on every tier: report
+    // instead of going silent so the coordinator can abort and fall back.
     CRUZ_WARN("agent") << node_.name() << ": restart failed: " << e.what();
     FailLocalOp(from, m, "image unreadable");
     return;
@@ -667,14 +771,22 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
   op_.local_duration = local;
   ++restarts_served_;
 
+  obs::TraceAttrs restore_attrs;
+  restore_attrs.Op(op_.op_id)
+      .Phase("restore")
+      .Agent(node_.name())
+      .Pod(op_.pod)
+      .Arg("chain_bytes", chain_bytes);
+  if (view.has_value()) {
+    // Which tier actually served the head image — this is what
+    // cruz_analyze aggregates into the restore-source attribution.
+    op_.restore_source =
+        static_cast<std::uint8_t>(view->head_result().source);
+    restore_attrs.Arg("source",
+                      ckpt::TierName(view->head_result().source));
+  }
   op_.save_span = node_.os().sim().tracer().BeginSpan(
-      "agent", "agent.restore",
-      obs::TraceAttrs{}
-          .Op(op_.op_id)
-          .Phase("restore")
-          .Agent(node_.name())
-          .Pod(op_.pod)
-          .Arg("chain_bytes", chain_bytes));
+      "agent", "agent.restore", std::move(restore_attrs));
 
   std::uint64_t op_id = m.op_id;
   node_.os().sim().Schedule(local, [this, op_id, ck = std::move(ck)] {
@@ -695,6 +807,7 @@ void CheckpointAgent::HandleRestart(const CoordMessage& m,
     done.epoch = op_.epoch;
     done.pod_id = op_.pod;
     done.local_duration = op_.local_duration;
+    done.restore_source = op_.restore_source;
     last_done_reply_ = done;
     Send(op_.coordinator, done);
     MaybeResume();

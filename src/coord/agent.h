@@ -35,11 +35,16 @@
 #include <set>
 
 #include "ckpt/engine.h"
+#include "ckpt/store/replica.h"
 #include "coord/message.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
 #include "os/node.h"
 #include "pod/pod.h"
+
+namespace cruz::ckpt {
+class TieredStore;
+}  // namespace cruz::ckpt
 
 namespace cruz::coord {
 
@@ -58,6 +63,12 @@ class CheckpointAgent {
 
   // Deterministic fault injection (tests/benches); nullptr disables.
   void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
+
+  // Multi-tier checkpoint storage. When set AND the request carries
+  // tiered=true, saves commit through TieredStore::CommitImage (local +
+  // partner, background netfs flush) and restores resolve across the
+  // tier hierarchy. nullptr = legacy netfs-only I/O.
+  void set_tiered_store(ckpt::TieredStore* store) { tiered_ = store; }
 
   // Sabotage hook for oracle self-tests: report the drop filter as
   // installed (the trace instant still fires) without actually adding it
@@ -102,6 +113,10 @@ class CheckpointAgent {
     bool continue_done_sent = false;
     std::string image_path;      // written by this checkpoint op
     bool image_written = false;  // true once the image is on the FS
+    // Tiered mode: where this op's image landed (reported in <done>) and,
+    // for restarts, which tier actually served it (ckpt::Tier as u8).
+    std::vector<ckpt::Replica> replicas;
+    std::uint8_t restore_source = 255;
     std::uint32_t flush_messages = 0;
     std::set<std::uint32_t> flush_acks_pending;
     std::optional<CoordMessage> pending_request;  // original request
@@ -144,6 +159,7 @@ class CheckpointAgent {
   os::Node& node_;
   pod::PodManager& pods_;
   fault::Injector* fault_ = nullptr;
+  ckpt::TieredStore* tiered_ = nullptr;
   bool test_skip_filter_ = false;
   bool crashed_ = false;
   ActiveOp op_;

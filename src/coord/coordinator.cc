@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/store/tiered_store.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/trace.h"
@@ -9,8 +10,11 @@
 
 namespace cruz::coord {
 
-Coordinator::Coordinator(os::Node& node, std::string journal_path)
-    : node_(node), journal_(node.os().fs(), std::move(journal_path)) {
+Coordinator::Coordinator(os::Node& node, std::string journal_path,
+                         ckpt::TieredStore* tiered)
+    : node_(node),
+      journal_(node.os().fs(), std::move(journal_path)),
+      tiered_(tiered) {
   node_.stack().RegisterUdpService(
       kCoordinatorPort,
       [this](net::Endpoint from, const cruz::Bytes& payload) {
@@ -61,9 +65,15 @@ void Coordinator::RecoverFromJournal() {
     abort.epoch = intent.epoch;
     abort.pod_id = m.pod;
     TransmitControl(net::Ipv4Address{m.agent_ip}, abort);
-    if (!intent.is_restart && !m.image_path.empty() &&
-        SysOk(node_.os().fs().Remove(m.image_path))) {
-      ++recovery_.images_removed;
+    if (!intent.is_restart && !m.image_path.empty()) {
+      bool removed = SysOk(node_.os().fs().Remove(m.image_path));
+      // Tiered mode: the dead op's images may live on local/partner
+      // disks with a netfs flush still pending — reap every tier.
+      if (tiered_ != nullptr &&
+          tiered_->RemoveEverywhere(m.image_path) > 0) {
+        removed = true;
+      }
+      if (removed) ++recovery_.images_removed;
     }
   }
   JournalRecord outcome;
@@ -105,6 +115,8 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   stats_ = OpStats{};
   stats_.op_id = stats_.epoch = ++epoch_;
   stats_.image_paths = image_paths;
+  stats_.replica_sets.assign(members_.size(), {});
+  stats_.restore_sources.assign(members_.size(), 255);
   image_paths_ = image_paths;
   continue_sent_ = false;
   pending_done_.clear();
@@ -159,6 +171,7 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
     m.pod_id = members_[i].pod;
     m.variant = options_.variant;
     m.image_path = image_paths[i];
+    m.tiered = options_.tiered && tiered_ != nullptr;
     if (!is_restart) {
       m.incremental = options_.incremental;
       m.copy_on_write = options_.copy_on_write;
@@ -284,6 +297,9 @@ void Coordinator::AbortOp(const std::string& reason) {
   if (!is_restart_) {
     for (const std::string& path : image_paths_) {
       node_.os().fs().Remove(path);
+      // Tiered mode: also reap local/partner replicas and cancel any
+      // pending netfs flush for the aborted op's images.
+      if (tiered_ != nullptr) tiered_->RemoveEverywhere(path);
     }
   }
   Finish(false);
@@ -330,6 +346,15 @@ void Coordinator::OnDatagram(net::Endpoint from,
         stats_.max_local = std::max(stats_.max_local, m.local_duration);
         stats_.max_downtime = std::max(stats_.max_downtime, m.downtime);
         stats_.total_messages += m.extra_messages;
+        // Tiered mode: remember where each member's image landed (feeds
+        // the manifest) / which tier served its restore.
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (members_[i].agent_ip == from.ip) {
+            stats_.replica_sets[i] = m.replicas;
+            stats_.restore_sources[i] = m.restore_source;
+            break;
+          }
+        }
         if (pending_done_.empty()) {
           stats_.checkpoint_latency = node_.os().sim().Now() - op_start_;
           node_.os().sim().tracer().EndSpan(freeze_span_);
@@ -407,6 +432,7 @@ void Coordinator::RetransmitPending() {
       m.pod_id = members_[i].pod;
       m.variant = options_.variant;
       m.image_path = image_paths_[i];
+      m.tiered = options_.tiered && tiered_ != nullptr;
       if (!is_restart_) {
         m.incremental = options_.incremental;
         m.copy_on_write = options_.copy_on_write;

@@ -43,12 +43,17 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/store/replica.h"
 #include "coord/journal.h"
 #include "coord/message.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
 #include "os/node.h"
 #include "sim/event_queue.h"
+
+namespace cruz::ckpt {
+class TieredStore;
+}  // namespace cruz::ckpt
 
 namespace cruz::coord {
 
@@ -92,6 +97,10 @@ class Coordinator {
     // Write version-2 images with RLE-compressed pages (shrinks the
     // dominant disk-write time; restore reads either version).
     bool compress = false;
+    // Multi-tier storage: agents commit images to local + partner disks
+    // (netfs flush in the background) and restarts resolve across the
+    // tier hierarchy. Requires a TieredStore passed at construction.
+    bool tiered = false;
   };
 
   struct OpStats {
@@ -118,6 +127,12 @@ class Coordinator {
     std::uint32_t aborts = 0;       // <abort> messages sent
     std::string abort_reason;       // empty on success
     std::vector<std::string> image_paths;
+    // Tiered mode, per member (same order as the member list): where each
+    // image landed at commit time (checkpoints — feeds the generation
+    // manifest) and which tier served each restore (ckpt::Tier as u8,
+    // 255 = unset).
+    std::vector<std::vector<ckpt::Replica>> replica_sets;
+    std::vector<std::uint8_t> restore_sources;
   };
 
   // What a restarted coordinator found in its intent journal.
@@ -130,8 +145,13 @@ class Coordinator {
 
   using DoneFn = std::function<void(const OpStats&)>;
 
+  // `tiered` (optional) enables cross-tier garbage collection: journal
+  // recovery and op aborts reap local/partner replicas and pending netfs
+  // flushes, not just the netfs copy. It must be passed at construction
+  // because recovery runs in the constructor.
   explicit Coordinator(os::Node& node,
-                       std::string journal_path = IntentJournal::kDefaultPath);
+                       std::string journal_path = IntentJournal::kDefaultPath,
+                       ckpt::TieredStore* tiered = nullptr);
   ~Coordinator();
 
   Coordinator(const Coordinator&) = delete;
@@ -183,6 +203,7 @@ class Coordinator {
 
   os::Node& node_;
   IntentJournal journal_;
+  ckpt::TieredStore* tiered_ = nullptr;
   fault::Injector* fault_ = nullptr;
   bool test_duplicate_continue_ = false;
   // Monotonic fencing epoch, persisted through the journal. Each op gets

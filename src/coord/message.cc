@@ -45,6 +45,15 @@ cruz::Bytes CoordMessage::Encode() const {
   w.PutU32(corr_seq);
   w.PutU32(static_cast<std::uint32_t>(peers.size()));
   for (std::uint32_t p : peers) w.PutU32(p);
+  w.PutBool(tiered);
+  w.PutU8(restore_source);
+  w.PutU32(static_cast<std::uint32_t>(replicas.size()));
+  for (const ckpt::Replica& rep : replicas) {
+    w.PutU8(static_cast<std::uint8_t>(rep.tier));
+    w.PutU32(rep.node_index);
+    w.PutU64(rep.size);
+    w.PutU32(rep.crc32);
+  }
   return w.Take();
 }
 
@@ -75,6 +84,17 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   m.corr_seq = r.GetU32();
   std::uint32_t n = r.GetU32();
   for (std::uint32_t i = 0; i < n; ++i) m.peers.push_back(r.GetU32());
+  m.tiered = r.GetBool();
+  m.restore_source = r.GetU8();
+  std::uint32_t replicas = r.GetU32();
+  for (std::uint32_t i = 0; i < replicas; ++i) {
+    ckpt::Replica rep;
+    rep.tier = static_cast<ckpt::Tier>(r.GetU8());
+    rep.node_index = r.GetU32();
+    rep.size = r.GetU64();
+    rep.crc32 = r.GetU32();
+    m.replicas.push_back(rep);
+  }
   return m;
 }
 

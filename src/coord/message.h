@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/store/replica.h"
 #include "common/bytes.h"
 #include "common/units.h"
 #include "os/types.h"
@@ -70,6 +71,10 @@ struct CoordMessage {
   // Write version-2 images with RLE-compressed pages (self-describing
   // header; agents restoring read either version).
   bool compress = false;
+  // Tiered storage: checkpoints commit to the local + partner disk tiers
+  // (netfs flush in the background) and restarts resolve images across
+  // the tier hierarchy instead of reading the netfs directly.
+  bool tiered = false;
 
   // Agent-reported local durations (kDone / kContinueDone), used by the
   // coordinator to compute the coordination overhead exactly as §6 does:
@@ -90,6 +95,12 @@ struct CoordMessage {
   std::uint32_t corr_seq = 0;
   // Peer agent addresses (flush baseline: who to exchange markers with).
   std::vector<std::uint32_t> peers;
+  // Tiered mode, kDone after a checkpoint: where the agent's image landed
+  // (local + partner replicas), recorded in the generation manifest.
+  std::vector<ckpt::Replica> replicas;
+  // Tiered mode, kDone after a restart: which tier actually served the
+  // image (ckpt::Tier; 255 = unset/legacy netfs read).
+  std::uint8_t restore_source = 255;
 
   cruz::Bytes Encode() const;
   static CoordMessage Decode(cruz::ByteSpan wire);

@@ -25,11 +25,22 @@ Cluster::Cluster(const ClusterConfig& config) : sim_(config.seed) {
     agents_.push_back(std::move(agent));
   }
 
+  // Multi-tier storage over the worker-node disks: deterministic partner
+  // ring in node order. Built unconditionally (it is pure state until an
+  // op with Options::tiered uses it).
+  tiered_ = std::make_unique<ckpt::TieredStore>(sim_, fs_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    tiered_->RegisterNode(nodes_[i].get());
+    agents_[i]->set_tiered_store(tiered_.get());
+  }
+
   os::NodeConfig coord_config = config.node_template;
   coord_config.ip = net::Ipv4Address::FromOctets(10, 0, 0, 99);
   coordinator_node_ = std::make_unique<os::Node>(
       sim_, *ethernet_, fs_, "coordinator", 99, coord_config);
-  coordinator_ = std::make_unique<coord::Coordinator>(*coordinator_node_);
+  coordinator_ = std::make_unique<coord::Coordinator>(
+      *coordinator_node_, coord::IntentJournal::kDefaultPath,
+      tiered_.get());
 
   if (config.with_dhcp_server && !nodes_.empty()) {
     dhcp_ = std::make_unique<os::DhcpServer>(
@@ -92,6 +103,35 @@ void Cluster::ArmFaults(fault::FaultPlan& plan) {
   plan.set_tracer(&sim_.tracer());
   coordinator_->set_fault_injector(&plan);
   for (auto& agent : agents_) agent->set_fault_injector(&plan);
+  tiered_->set_injector(&plan);
+
+  // Tier-scoped faults: local-disk loss wipes one node's tier-1 cache
+  // (the node itself stays up), a netfs outage window makes the shared
+  // FS return -EIO for its duration.
+  for (const fault::DiskLossSpec& spec : plan.disk_losses()) {
+    CRUZ_CHECK(spec.node_index < nodes_.size(),
+               "disk loss spec out of range");
+    os::Node* node = nodes_[spec.node_index].get();
+    fault::FaultPlan* p = &plan;
+    TimeNs delay = spec.at > sim_.Now() ? spec.at - sim_.Now() : 0;
+    sim_.Schedule(delay, [node, p] {
+      node->disk().Clear();
+      p->RecordEvent(fault::FaultKind::kLocalDiskLoss, node->name());
+    });
+  }
+  for (const fault::NetfsOutageSpec& spec : plan.netfs_outages()) {
+    fault::FaultPlan* p = &plan;
+    os::NetworkFileSystem* fs = &fs_;
+    TimeNs delay = spec.start > sim_.Now() ? spec.start - sim_.Now() : 0;
+    sim_.Schedule(delay, [fs, p] {
+      fs->set_available(false);
+      p->RecordEvent(fault::FaultKind::kNetfsOutage, "start");
+    });
+    sim_.Schedule(delay + spec.duration, [fs, p] {
+      fs->set_available(true);
+      p->RecordEvent(fault::FaultKind::kNetfsOutage, "end");
+    });
+  }
 
   for (const fault::NodeCrashSpec& spec : plan.node_crashes()) {
     CRUZ_CHECK(spec.node_index < nodes_.size(),
@@ -142,7 +182,9 @@ void Cluster::RestartCoordinator() {
   // Destroy first so the new incarnation can bind the coordinator port;
   // its constructor then replays the intent journal.
   coordinator_.reset();
-  coordinator_ = std::make_unique<coord::Coordinator>(*coordinator_node_);
+  coordinator_ = std::make_unique<coord::Coordinator>(
+      *coordinator_node_, coord::IntentJournal::kDefaultPath,
+      tiered_.get());
   if (armed_plan_ != nullptr) {
     coordinator_->set_fault_injector(armed_plan_);
   }
@@ -153,8 +195,10 @@ Cluster::StartGenerationCheckpoint(
     std::vector<coord::Coordinator::Member> members,
     coord::Coordinator::Options options, const std::string& root) {
   ckpt::GenerationStore store(fs_, root);
+  if (options.tiered) store.set_tiered(tiered_.get());
   auto op = std::make_shared<PendingGenerationOp>();
   op->generation = store.Allocate();
+  op->tiered = options.tiered;
   op->members = members;
   op->root = root;
   options.image_prefix = store.Prefix(op->generation);
@@ -171,6 +215,7 @@ Cluster::GenerationOpResult Cluster::SettleGenerationCheckpoint(
     const std::shared_ptr<PendingGenerationOp>& op) {
   ckpt::GenerationStore store(fs_, op->root);
   store.set_tracer(&sim_.tracer());
+  if (op->tiered) store.set_tiered(tiered_.get());
   GenerationOpResult result;
   result.allocated = op->generation;
   result.stats = op->stats;
@@ -181,11 +226,22 @@ Cluster::GenerationOpResult Cluster::SettleGenerationCheckpoint(
       ckpt::ManifestEntry e;
       e.pod = op->members[i].pod;
       e.image_path = op->stats.image_paths.at(i);
-      cruz::Bytes image;
-      CRUZ_CHECK(SysOk(fs_.ReadFile(e.image_path, image)),
-                 "committed image missing from the shared FS");
-      e.size = image.size();
-      e.crc32 = Crc32(image);
+      if (op->tiered && i < op->stats.replica_sets.size() &&
+          !op->stats.replica_sets[i].empty()) {
+        // Agents reported where their images landed in <done>; the
+        // manifest records the replica locations and commit-time CRC
+        // without touching the (possibly unavailable) netfs.
+        const std::vector<ckpt::Replica>& reps = op->stats.replica_sets[i];
+        e.size = reps.front().size;
+        e.crc32 = reps.front().crc32;
+        e.replicas = reps;
+      } else {
+        cruz::Bytes image;
+        CRUZ_CHECK(SysOk(fs_.ReadFile(e.image_path, image)),
+                   "committed image missing from the shared FS");
+        e.size = image.size();
+        e.crc32 = Crc32(image);
+      }
       entries.push_back(std::move(e));
     }
     store.Commit(result.generation, entries);
@@ -216,6 +272,7 @@ Cluster::GenerationOpResult Cluster::RunGenerationRestart(
     std::vector<coord::Coordinator::Member> members,
     coord::Coordinator::Options options, const std::string& root) {
   ckpt::GenerationStore store(fs_, root);
+  if (options.tiered) store.set_tiered(tiered_.get());
   GenerationOpResult result;
   result.latest_committed = store.LatestCommitted().value_or(0);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ckpt/generation.h"
+#include "ckpt/store/tiered_store.h"
 #include "coord/agent.h"
 #include "coord/coordinator.h"
 #include "fault/fault.h"
@@ -44,6 +45,9 @@ class Cluster {
   sim::Simulator& sim() { return sim_; }
   net::EthernetSwitch& ethernet() { return *ethernet_; }
   os::NetworkFileSystem& fs() { return fs_; }
+  // Multi-tier checkpoint storage over the worker-node disks + the netfs.
+  // Always constructed; ops use it only when Options::tiered is set.
+  ckpt::TieredStore& tiered() { return *tiered_; }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   os::Node& node(std::size_t i) { return *nodes_.at(i); }
@@ -116,6 +120,7 @@ class Cluster {
   // otherwise — including when the op never finished at all.
   struct PendingGenerationOp {
     std::uint64_t generation = 0;
+    bool tiered = false;
     bool finished = false;
     coord::Coordinator::OpStats stats;
     std::vector<coord::Coordinator::Member> members;
@@ -143,6 +148,7 @@ class Cluster {
   std::vector<std::unique_ptr<os::Node>> nodes_;
   std::vector<std::unique_ptr<pod::PodManager>> pod_managers_;
   std::vector<std::unique_ptr<coord::CheckpointAgent>> agents_;
+  std::unique_ptr<ckpt::TieredStore> tiered_;
   std::unique_ptr<os::Node> coordinator_node_;
   std::unique_ptr<coord::Coordinator> coordinator_;
   std::unique_ptr<os::DhcpServer> dhcp_;

@@ -22,6 +22,14 @@ const char* FaultKindName(FaultKind kind) {
       return "node-crash";
     case FaultKind::kNodeReboot:
       return "node-reboot";
+    case FaultKind::kLocalDiskLoss:
+      return "local-disk-loss";
+    case FaultKind::kPartnerUnreachable:
+      return "partner-unreachable";
+    case FaultKind::kNetfsOutage:
+      return "netfs-outage";
+    case FaultKind::kNoSpace:
+      return "no-space";
   }
   return "?";
 }
@@ -48,6 +56,18 @@ void FaultPlan::ArmNodeCrash(std::size_t index, TimeNs crash_at,
 
 void FaultPlan::ArmAgentCrashAt(std::size_t index, TimeNs crash_at) {
   agent_crash_times_.push_back(AgentCrashSpec{index, crash_at});
+}
+
+void FaultPlan::ArmLocalDiskLoss(std::size_t index, TimeNs at) {
+  disk_losses_.push_back(DiskLossSpec{index, at});
+}
+
+void FaultPlan::ArmPartnerUnreachable(const std::string& node) {
+  partner_unreachable_.insert(node);
+}
+
+void FaultPlan::ArmNetfsOutage(TimeNs start, DurationNs duration) {
+  netfs_outages_.push_back(NetfsOutageSpec{start, duration});
 }
 
 std::size_t FaultPlan::CountEvents(FaultKind kind) const {
@@ -131,6 +151,16 @@ bool FaultPlan::CrashAgentOnMessage(const std::string& node,
   agent_crashes_.erase(it);  // one-shot
   RecordEvent(FaultKind::kAgentCrash, node);
   return true;
+}
+
+bool FaultPlan::PartnerUnreachable(const std::string& node) {
+  if (partner_unreachable_.count(node) == 0) return false;
+  RecordEvent(FaultKind::kPartnerUnreachable, node);
+  return true;
+}
+
+void FaultPlan::OnNoSpace(const std::string& store, const std::string& path) {
+  RecordEvent(FaultKind::kNoSpace, store + " " + path);
 }
 
 }  // namespace cruz::fault

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ enum class FaultKind : std::uint8_t {
   kAgentCrash,
   kNodeCrash,
   kNodeReboot,
+  // Tier-scoped storage faults (the tiered checkpoint store consults
+  // these; see src/ckpt/store/).
+  kLocalDiskLoss,       // a node's tier-1 cache is wiped
+  kPartnerUnreachable,  // replication to / reads from a partner blocked
+  kNetfsOutage,         // the shared FS rejects all I/O for a window
+  kNoSpace,             // a write hit -ENOSPC on some tier
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -100,6 +107,22 @@ class Injector {
     (void)msg_type;
     return false;
   }
+
+  // True if storage traffic between `node` and another node's disk must
+  // be blocked (partner replication on commit, partner reads on
+  // restore). Models a partition that leaves the control plane intact.
+  virtual bool PartnerUnreachable(const std::string& node) {
+    (void)node;
+    return false;
+  }
+
+  // Notification: a write on `store` (a tier name, e.g. "node2:disk" or
+  // "netfs") returned -ENOSPC. Lets the plan log the fault even though
+  // capacity itself is configuration, not an injected event.
+  virtual void OnNoSpace(const std::string& store, const std::string& path) {
+    (void)store;
+    (void)path;
+  }
 };
 
 // A whole-node crash with an optional scheduled reboot, executed by
@@ -118,6 +141,20 @@ struct NodeCrashSpec {
 struct AgentCrashSpec {
   std::size_t node_index = 0;
   TimeNs crash_at = 0;
+};
+
+// A scheduled loss of one node's tier-1 checkpoint cache (the node
+// itself keeps running), executed by Cluster::ArmFaults.
+struct DiskLossSpec {
+  std::size_t node_index = 0;
+  TimeNs at = 0;
+};
+
+// A window during which the shared netfs fails every operation with
+// -EIO, executed by Cluster::ArmFaults (availability toggles).
+struct NetfsOutageSpec {
+  TimeNs start = 0;
+  DurationNs duration = 0;
 };
 
 class FaultPlan : public Injector {
@@ -154,11 +191,29 @@ class FaultPlan : public Injector {
   // Cluster::ArmFaults.
   void ArmAgentCrashAt(std::size_t index, TimeNs crash_at);
 
+  // Wipes the tier-1 checkpoint cache of node `index` at `at` (absolute
+  // sim time); the node keeps running. Executed by Cluster::ArmFaults.
+  void ArmLocalDiskLoss(std::size_t index, TimeNs at);
+
+  // Blocks storage traffic between `node` and other nodes' disks for the
+  // rest of the run (partner replication and partner-tier reads fail).
+  void ArmPartnerUnreachable(const std::string& node);
+
+  // Makes the shared netfs unavailable for [start, start + duration).
+  // Executed by Cluster::ArmFaults.
+  void ArmNetfsOutage(TimeNs start, DurationNs duration);
+
   const std::vector<NodeCrashSpec>& node_crashes() const {
     return node_crashes_;
   }
   const std::vector<AgentCrashSpec>& agent_crash_times() const {
     return agent_crash_times_;
+  }
+  const std::vector<DiskLossSpec>& disk_losses() const {
+    return disk_losses_;
+  }
+  const std::vector<NetfsOutageSpec>& netfs_outages() const {
+    return netfs_outages_;
   }
 
   // Mirror every injected fault onto a tracer timeline (nullptr
@@ -184,6 +239,8 @@ class FaultPlan : public Injector {
                          cruz::Bytes& image) override;
   bool CrashAgentOnMessage(const std::string& node,
                            std::uint8_t msg_type) override;
+  bool PartnerUnreachable(const std::string& node) override;
+  void OnNoSpace(const std::string& store, const std::string& path) override;
 
  private:
   Rng rng_;
@@ -197,6 +254,9 @@ class FaultPlan : public Injector {
   std::map<std::string, std::uint8_t> agent_crashes_;    // node -> msg type
   std::vector<NodeCrashSpec> node_crashes_;
   std::vector<AgentCrashSpec> agent_crash_times_;
+  std::vector<DiskLossSpec> disk_losses_;
+  std::vector<NetfsOutageSpec> netfs_outages_;
+  std::set<std::string> partner_unreachable_;
   std::vector<FaultEvent> events_;
 };
 

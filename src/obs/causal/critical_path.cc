@@ -318,6 +318,23 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
       b.tcp_recovery = std::max(b.tcp_recovery, e.ts - b.end);
     }
   }
+
+  // Restore-source attribution: tiered runs stamp every agent.restore
+  // span with the tier the image was actually read from.
+  for (const TraceEvent& e : events) {
+    if (e.name != "agent.restore" || e.attrs.op != b.op_id) continue;
+    std::string source;
+    for (const auto& [k, v] : e.attrs.args) {
+      if (k == "source") source = v;
+    }
+    if (source.empty()) continue;
+    b.restore_sources.push_back(
+        RestoreSource{e.attrs.agent, source, e.dur});
+  }
+  std::stable_sort(b.restore_sources.begin(), b.restore_sources.end(),
+                   [](const RestoreSource& x, const RestoreSource& y) {
+                     return x.node < y.node;
+                   });
   return b;
 }
 
@@ -379,6 +396,15 @@ std::string CriticalPathAnalyzer::RenderReport(
       out += "  tcp-recovery (post-op): " + FormatMs(op.tcp_recovery) +
              "ms\n";
     }
+    if (!op.restore_sources.empty()) {
+      out += "  restore-sources:";
+      for (std::size_t j = 0; j < op.restore_sources.size(); ++j) {
+        const RestoreSource& r = op.restore_sources[j];
+        out += (j == 0 ? " " : ", ") + r.node + "=" + r.source + " (" +
+               FormatMs(r.ns) + "ms)";
+      }
+      out += "\n";
+    }
   }
   return out;
 }
@@ -400,7 +426,17 @@ std::string CriticalPathAnalyzer::RenderJson(
            ",\"wall_ns\":" + std::to_string(op.wall()) +
            ",\"unattributed_ns\":" + std::to_string(op.unattributed) +
            ",\"tcp_recovery_ns\":" + std::to_string(op.tcp_recovery) +
-           ",\"phases\":[";
+           ",\"restore_sources\":[";
+    for (std::size_t j = 0; j < op.restore_sources.size(); ++j) {
+      const RestoreSource& r = op.restore_sources[j];
+      if (j != 0) out += ',';
+      out += "{\"node\":";
+      AppendEscaped(out, r.node);
+      out += ",\"source\":";
+      AppendEscaped(out, r.source);
+      out += ",\"ns\":" + std::to_string(r.ns) + "}";
+    }
+    out += "],\"phases\":[";
     for (std::size_t j = 0; j < op.phases.size(); ++j) {
       const PhaseTotal& p = op.phases[j];
       if (j != 0) out += ',';

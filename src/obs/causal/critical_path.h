@@ -47,6 +47,14 @@ struct PhaseTotal {
   DurationNs straggler_ns = 0;  // that node's share
 };
 
+// Which storage tier one agent's restore actually read from (tiered
+// runs stamp the agent.restore span with a `source` arg).
+struct RestoreSource {
+  std::string node;    // the restoring agent's node
+  std::string source;  // "local" | "partner" | "netfs"
+  DurationNs ns = 0;   // that agent's restore span duration
+};
+
 struct OpBreakdown {
   std::uint64_t op_id = 0;
   std::string kind;  // "checkpoint" | "restart"
@@ -65,6 +73,9 @@ struct OpBreakdown {
   // `tcp.recovered` fired (0 when none before the next op). Reported
   // separately — it is outside the op's wall time.
   DurationNs tcp_recovery = 0;
+  // Per-agent restore-source attribution (restart ops in tiered runs;
+  // empty otherwise), sorted by node name.
+  std::vector<RestoreSource> restore_sources;
 
   DurationNs wall() const { return end - begin; }
   DurationNs PhaseNs(const std::string& phase) const;

@@ -1,0 +1,101 @@
+// Storage substrate shared by the netfs and per-node local disks.
+//
+// FileStore is the minimal read interface a checkpoint consumer needs
+// (restore walks an image chain by path); MemFileStore is the full
+// in-memory filesystem model behind both os::NetworkFileSystem and
+// os::LocalDiskStore. It adds two failure-domain knobs the tiered
+// checkpoint store exercises:
+//
+//  - a capacity budget: writes that would exceed it fail with -ENOSPC
+//    instead of silently growing (0 = unlimited), and
+//  - an availability flag: an unavailable store fails every operation
+//    with -EIO, modelling a netfs outage window or an unmounted disk.
+//
+// I/O cost is still charged by the caller through the per-node disk
+// model (Node::DiskWriteDuration); the store is pure state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sysresult.h"
+
+namespace cruz::os {
+
+// Read-side interface: enough to locate and load checkpoint images.
+// CheckpointEngine::LoadImageChain takes this, so a restore can read
+// from a plain filesystem or from a tier-resolving view alike.
+class FileStore {
+ public:
+  virtual ~FileStore() = default;
+
+  virtual bool Exists(const std::string& path) const = 0;
+  // Returns the byte count read, or -ENOENT / -EIO.
+  virtual SysResult ReadFile(const std::string& path,
+                             cruz::Bytes& out) const = 0;
+  virtual SysResult FileSize(const std::string& path) const = 0;
+};
+
+// In-memory filesystem with a capacity budget and an availability flag.
+class MemFileStore : public FileStore {
+ public:
+  MemFileStore() = default;
+  explicit MemFileStore(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  bool Exists(const std::string& path) const override {
+    return available_ && files_.count(path) != 0;
+  }
+
+  // Creates or truncates. Returns the byte count written, -ENOSPC when
+  // the capacity budget would be exceeded, or -EIO when unavailable.
+  SysResult WriteFile(const std::string& path, cruz::Bytes content);
+  // Appends, creating if missing.
+  SysResult AppendFile(const std::string& path, cruz::ByteSpan content);
+  // Returns -ENOENT if missing.
+  SysResult ReadFile(const std::string& path, cruz::Bytes& out) const override;
+  // Reads [offset, offset+n) into out; short reads at EOF. -ENOENT if
+  // missing.
+  SysResult ReadAt(const std::string& path, std::uint64_t offset,
+                   std::size_t n, cruz::Bytes& out) const;
+  // Writes at offset, extending with zeros if needed. -ENOENT if missing
+  // and `create` is false.
+  SysResult WriteAt(const std::string& path, std::uint64_t offset,
+                    cruz::ByteSpan data, bool create);
+  SysResult Remove(const std::string& path);
+  SysResult FileSize(const std::string& path) const override;
+
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  std::uint64_t TotalBytes() const;
+
+  // Capacity budget in bytes; 0 means unlimited. Applies to writes only
+  // (existing content is never dropped by shrinking the budget).
+  void set_capacity_bytes(std::uint64_t capacity) { capacity_ = capacity; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+
+  // An unavailable store fails every operation with -EIO (netfs outage
+  // window, dead disk). Contents are preserved across the outage.
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  // Drops every file: local-disk loss, or a failed node taking its
+  // checkpoint cache with it.
+  void Clear() { files_.clear(); }
+
+ private:
+  // Would the store exceed its budget after writing `incoming` bytes to
+  // `path` (replacing whatever is there)?
+  bool WouldOverflow(const std::string& path, std::uint64_t incoming) const;
+
+  std::string name_;
+  std::map<std::string, cruz::Bytes> files_;
+  std::uint64_t capacity_ = 0;
+  bool available_ = true;
+};
+
+}  // namespace cruz::os

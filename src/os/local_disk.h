@@ -1,0 +1,21 @@
+// Per-node local disk: tier 1 of the checkpoint storage hierarchy.
+//
+// Each Node owns one LocalDiskStore. It is a failure domain: when the
+// node fails, its local disk contents are lost with it (Node::Fail
+// clears it), which is exactly why the tiered store also replicates
+// every image to a partner node and eventually to the shared netfs.
+// Capacity defaults to unlimited; NodeConfig::local_disk_capacity_bytes
+// arms the -ENOSPC path.
+#pragma once
+
+#include "os/file_store.h"
+
+namespace cruz::os {
+
+class LocalDiskStore : public MemFileStore {
+ public:
+  explicit LocalDiskStore(std::string node_name)
+      : MemFileStore(std::move(node_name) + ":disk") {}
+};
+
+}  // namespace cruz::os

@@ -8,47 +8,20 @@
 // another. I/O cost is charged by the caller through the per-node disk
 // model (Node::DiskWriteDuration), keeping storage and timing concerns
 // separate.
+//
+// The storage model itself lives in os::MemFileStore; NetworkFileSystem
+// keeps the name (and the single-shared-instance role) while gaining the
+// capacity budget and outage-window behavior the tiered checkpoint store
+// builds on.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "common/bytes.h"
-#include "common/sysresult.h"
+#include "os/file_store.h"
 
 namespace cruz::os {
 
-class NetworkFileSystem {
+class NetworkFileSystem : public MemFileStore {
  public:
-  bool Exists(const std::string& path) const {
-    return files_.count(path) != 0;
-  }
-
-  // Creates or truncates.
-  void WriteFile(const std::string& path, cruz::Bytes content);
-  // Appends, creating if missing.
-  void AppendFile(const std::string& path, cruz::ByteSpan content);
-  // Returns -ENOENT if missing.
-  SysResult ReadFile(const std::string& path, cruz::Bytes& out) const;
-  // Reads [offset, offset+n) into out; short reads at EOF. -ENOENT if
-  // missing.
-  SysResult ReadAt(const std::string& path, std::uint64_t offset,
-                   std::size_t n, cruz::Bytes& out) const;
-  // Writes at offset, extending with zeros if needed. -ENOENT if missing
-  // and `create` is false.
-  SysResult WriteAt(const std::string& path, std::uint64_t offset,
-                    cruz::ByteSpan data, bool create);
-  SysResult Remove(const std::string& path);
-  SysResult FileSize(const std::string& path) const;
-
-  std::vector<std::string> List(const std::string& prefix) const;
-
-  std::uint64_t TotalBytes() const;
-
- private:
-  std::map<std::string, cruz::Bytes> files_;
+  NetworkFileSystem() : MemFileStore("netfs") {}
 };
 
 }  // namespace cruz::os

@@ -22,6 +22,8 @@ Node::Node(sim::Simulator& sim, net::EthernetSwitch& ethernet,
   stack_->AddInterface("eth0", nic_->primary_mac(), config_.ip,
                        config_.netmask, /*is_virtual=*/false);
   os_ = std::make_unique<Os>(sim, name_, stack_.get(), &fs);
+  disk_ = std::make_unique<LocalDiskStore>(name_);
+  disk_->set_capacity_bytes(config_.local_disk_capacity_bytes);
 }
 
 void Node::Fail() {
@@ -32,6 +34,10 @@ void Node::Fail() {
   std::vector<Pid> pids;
   for (const auto& [pid, proc] : os_->processes()) pids.push_back(pid);
   for (Pid pid : pids) os_->DestroyProcess(pid, 128 + kSigKill);
+  // The tier-1 checkpoint cache shares the node's failure domain: losing
+  // the machine loses its local images (the tiered store falls back to
+  // the partner replica or the netfs).
+  disk_->Clear();
 }
 
 void Node::Reboot() {

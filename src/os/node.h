@@ -13,6 +13,7 @@
 #include "net/address.h"
 #include "net/ethernet_switch.h"
 #include "net/nic.h"
+#include "os/local_disk.h"
 #include "os/netfs.h"
 #include "os/netstack.h"
 #include "os/os.h"
@@ -29,6 +30,12 @@ struct NodeConfig {
   std::uint64_t disk_write_bytes_per_sec = 80 * kMiB;
   DurationNs disk_latency = 5 * kMillisecond;
   bool nic_supports_multiple_macs = true;
+  // Tiered checkpoint storage knobs. 0 means "same rate as the local
+  // disk", which keeps tiered and non-tiered runs time-identical unless
+  // a benchmark deliberately models slower replication / netfs links.
+  std::uint64_t local_disk_capacity_bytes = 0;  // 0 = unlimited
+  std::uint64_t partner_write_bytes_per_sec = 0;
+  std::uint64_t netfs_write_bytes_per_sec = 0;
 };
 
 class Node {
@@ -50,6 +57,10 @@ class Node {
   net::Nic& nic() { return *nic_; }
   NetworkStack& stack() { return *stack_; }
   Os& os() { return *os_; }
+  // Tier-1 checkpoint cache. Shares the node's failure domain: Fail()
+  // clears it (the images die with the machine).
+  LocalDiskStore& disk() { return *disk_; }
+  const LocalDiskStore& disk() const { return *disk_; }
 
   // Duration to write `bytes` to the local disk (checkpoint path).
   DurationNs DiskWriteDuration(std::uint64_t bytes) const {
@@ -64,6 +75,22 @@ class Node {
            (config_.disk_write_bytes_per_sec == 0
                 ? 0
                 : bytes * kSecond / (2 * config_.disk_write_bytes_per_sec));
+  }
+  // Duration to replicate `bytes` to the partner node's disk. Defaults
+  // to the local disk write rate so partner replication is overlapped
+  // (and time-equivalent) with the local write unless configured slower.
+  DurationNs PartnerWriteDuration(std::uint64_t bytes) const {
+    std::uint64_t bps = config_.partner_write_bytes_per_sec != 0
+                            ? config_.partner_write_bytes_per_sec
+                            : config_.disk_write_bytes_per_sec;
+    return config_.disk_latency + (bps == 0 ? 0 : bytes * kSecond / bps);
+  }
+  // Duration to flush `bytes` to the shared netfs (background tier).
+  DurationNs NetfsWriteDuration(std::uint64_t bytes) const {
+    std::uint64_t bps = config_.netfs_write_bytes_per_sec != 0
+                            ? config_.netfs_write_bytes_per_sec
+                            : config_.disk_write_bytes_per_sec;
+    return config_.disk_latency + (bps == 0 ? 0 : bytes * kSecond / bps);
   }
 
   // Fail-stop: detaches the NIC and destroys every process. Used for the
@@ -87,6 +114,7 @@ class Node {
   std::unique_ptr<net::Nic> nic_;
   std::unique_ptr<NetworkStack> stack_;
   std::unique_ptr<Os> os_;
+  std::unique_ptr<LocalDiskStore> disk_;
   bool failed_ = false;
 };
 

@@ -291,6 +291,52 @@ TEST(CriticalPath, EarlyContinueRemovesCommitWaitFromCriticalPath) {
   EXPECT_GT(early.PhaseNs("save-background"), 0u);
 }
 
+// Tiered restarts: the analyzer attributes every restored image to the
+// tier it was actually read from, and the attribution survives the JSONL
+// export round trip cruz_analyze consumes.
+TEST(CriticalPath, TieredRestartAttributesRestoreSources) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster c(config);
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.tiered = true;
+  c.fs().set_available(false);  // only the disk tiers can serve restores
+  auto ckpt = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  ASSERT_TRUE(ckpt.stats.success);
+  c.node(0).Fail();
+  c.pods(1).DestroyPod(b);
+  c.sim().RunFor(5 * kMillisecond);
+  // Pod a lands on node3 (partner copy), pod b back on node2 (local).
+  auto restart = c.RunGenerationRestart(
+      {c.MemberFor(2, a), c.MemberFor(1, b)}, options);
+  ASSERT_TRUE(restart.stats.success);
+
+  obs::causal::ImportStats import_stats;
+  CausalGraph g = CausalGraph::Build(obs::causal::ImportJsonl(
+      c.sim().tracer().ExportJsonl(), &import_stats));
+  CriticalPathAnalyzer analyzer(g);
+  auto bd = analyzer.AnalyzeOp(restart.stats.op_id);
+  ASSERT_TRUE(bd.has_value());
+  EXPECT_EQ(bd->kind, "restart");
+  ASSERT_EQ(bd->restore_sources.size(), 2u);
+  EXPECT_EQ(bd->restore_sources[0].node, "node2");
+  EXPECT_EQ(bd->restore_sources[0].source, "local");
+  EXPECT_EQ(bd->restore_sources[1].node, "node3");
+  EXPECT_EQ(bd->restore_sources[1].source, "partner");
+
+  std::string report = CriticalPathAnalyzer::RenderReport({*bd}, g.stats());
+  EXPECT_NE(report.find("restore-sources:"), std::string::npos);
+  EXPECT_NE(report.find("node3=partner"), std::string::npos);
+  std::string json = CriticalPathAnalyzer::RenderJson({*bd}, g.stats());
+  EXPECT_NE(json.find("\"restore_sources\":[{\"node\":\"node2\""),
+            std::string::npos);
+}
+
 // The determinism contract of the analyzer: the same seeded scenario
 // yields a byte-identical report, and importing the exported JSONL back
 // through ImportJsonl yields the same report as analyzing the live ring

@@ -66,6 +66,12 @@ const std::vector<MutationCase>& MutationCases() {
        "cruzrepro1 seed=4 nodes=2 wl=2 units=4000 op=0,10,0,0,0,0,0"},
       {Mutation::kLeakPartialImage, "no-partial-state",
        "cruzrepro1 seed=6 nodes=2 wl=2 units=4000 op=0,10,0,0,0,0,0"},
+      // One checkpoint then a restart: the sabotage drops every surviving
+      // copy of the generation's last image after the intact check, so
+      // the restart finds no restorable generation.
+      {Mutation::kDropLastReplica, "replica-availability",
+       "cruzrepro1 seed=9 nodes=3 wl=2 units=4000 tiered=1 "
+       "op=0,10,0,0,0,0,0 op=1,10,0,0,0,0,2"},
   };
   return kCases;
 }
@@ -167,6 +173,31 @@ TEST(ShrinkerTest, ReducesInjectedBugToSmallRepro) {
   Scenario replay = MustDecode(shrunk.repro);
   RunResult rerun = broken.RunScenario(replay);
   EXPECT_FALSE(rerun.passed);
+}
+
+// The tiered sabotage also shrinks: tier-scoped faults and the trailing
+// checkpoint are irrelevant to the dropped replica, so the minimal plan
+// is just checkpoint + restart (the mutation alone reproduces it).
+TEST(ShrinkerTest, DropLastReplicaShrinksToCheckpointRestart) {
+  Scenario failing = MustDecode(
+      "cruzrepro1 seed=9 nodes=3 wl=2 units=4000 tiered=1 "
+      "op=0,10,0,0,0,0,0 op=1,10,0,0,0,0,2 op=0,15,0,0,0,0,0 "
+      "fault=6,1,0,40 fault=9,2,0,200");
+
+  RunOptions options;
+  options.mutation = Mutation::kDropLastReplica;
+  Explorer broken(options);
+  ASSERT_FALSE(broken.RunScenario(failing).passed);
+
+  Shrinker shrinker(options);
+  ShrinkResult shrunk = shrinker.Shrink(failing, 100);
+  EXPECT_TRUE(shrunk.minimal.tiered);
+  EXPECT_TRUE(shrunk.minimal.faults.empty());
+  EXPECT_LE(shrunk.minimal.ops.size(), 2u);
+  EXPECT_TRUE(HasViolation(shrunk.violations, "replica-availability"));
+
+  Scenario replay = MustDecode(shrunk.repro);
+  EXPECT_FALSE(broken.RunScenario(replay).passed);
 }
 
 TEST(ShrinkerTest, PassingScenarioIsReturnedUnshrunk) {

@@ -163,6 +163,49 @@ TEST(Fault, CoordinatorRestartRecoversFromIntentJournal) {
   EXPECT_EQ(stats.op_id, 2u);
 }
 
+// Abort-path GC across tiers: when a tiered generation aborts, the
+// orphan partner replicas and any half-flushed netfs images are reaped
+// along with the writer's local copies — zero bytes survive on any tier,
+// and no background flush keeps resurrecting them.
+TEST(Fault, AbortedTieredGenerationLeavesZeroOrphanBytesOnAllTiers) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster c(config);
+  fault::FaultPlan plan(21);
+  // The second agent's image write fails after the first agent already
+  // committed its image to local + partner and queued the netfs flush.
+  plan.ArmDiskWriteFailure("node2");
+  c.ArmFaults(plan);
+
+  os::PodId a = SpawnCounterPod(c, 0, "a");
+  os::PodId b = SpawnCounterPod(c, 1, "b");
+  c.sim().RunFor(10 * kMillisecond);
+
+  coord::Coordinator::Options options;
+  options.tiered = true;
+  auto result = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  EXPECT_FALSE(result.stats.success);
+  EXPECT_EQ(result.generation, 0u);
+  c.sim().RunFor(2 * kSecond);  // any surviving flush would land by now
+
+  const std::string prefix =
+      std::string(ckpt::GenerationStore::kDefaultRoot) + "/gen_";
+  EXPECT_EQ(c.tiered().BytesUnderPrefix(prefix), 0u);
+  EXPECT_TRUE(c.fs().List(prefix).empty());
+  EXPECT_EQ(c.tiered().PendingFlushCount(), 0u);
+
+  // The cluster is whole: pods resumed, and the next tiered attempt
+  // commits cleanly.
+  c.sim().RunFor(10 * kMillisecond);
+  EXPECT_TRUE(PodProcessLive(c, 0, a));
+  EXPECT_TRUE(PodProcessLive(c, 1, b));
+  auto retry = c.RunGenerationCheckpoint(
+      {c.MemberFor(0, a), c.MemberFor(1, b)}, options);
+  EXPECT_TRUE(retry.stats.success);
+  EXPECT_EQ(retry.latest_committed, retry.generation);
+}
+
 // A replayed request from a dead (lower-epoch) coordinator incarnation
 // must be silently dropped by the fencing check, even when its op id is
 // novel.
