@@ -15,7 +15,9 @@ Metric file schema (emitted by the bench binaries):
 
 `direction` is which way is better: "lower" fails when the current value
 exceeds baseline * (1 + threshold); "higher" fails when it falls below
-baseline * (1 - threshold).
+baseline * (1 - threshold). A metric may carry its own "threshold" field
+in the baseline entry (e.g. wall-clock rates, which vary with machine
+speed); it overrides the global --threshold for that metric.
 
 Usage:
     python3 bench/check_regression.py --current-dir build/bench \
@@ -69,16 +71,18 @@ def main():
                 continue
             bv, cv = bm["value"], cur[name]["value"]
             direction = bm.get("direction", "lower")
+            threshold = bm.get("threshold", args.threshold)
             if direction == "lower":
-                bad = cv > bv * (1 + args.threshold)
+                bad = cv > bv * (1 + threshold)
                 delta = (cv - bv) / bv if bv else 0.0
             else:
-                bad = cv < bv * (1 - args.threshold)
+                bad = cv < bv * (1 - threshold)
                 delta = (bv - cv) / bv if bv else 0.0
             status = "REGRESS" if bad else "ok"
             unit = bm.get("unit", "")
             print(f"  {status:8} {name}: {cv:.3f} {unit} "
-                  f"(baseline {bv:.3f}, {delta:+.1%} worse-direction)")
+                  f"(baseline {bv:.3f}, {delta:+.1%} worse-direction, "
+                  f"threshold {threshold:.0%})")
             failed = failed or bad
         extra = set(cur) - set(base)
         for name in sorted(extra):

@@ -1,5 +1,9 @@
 #include "ckpt/page_codec.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "common/crc32.h"
 #include "common/error.h"
 #include "os/memory.h"
@@ -8,17 +12,39 @@ namespace cruz::ckpt {
 
 namespace {
 
+// Length of the run of `value` starting at `start`, capped at 0xFFFF to
+// fit the token's u16. Scans eight bytes per step: XOR against a
+// splatted word leaves the first mismatching byte nonzero, and the
+// endian-appropriate zero count locates it in memory order.
+std::size_t RunLength(cruz::ByteSpan page, std::size_t start,
+                      std::uint8_t value) {
+  const std::uint64_t splat = 0x0101010101010101ull * value;
+  std::size_t i = start;
+  const std::size_t limit =
+      std::min(page.size(), start + static_cast<std::size_t>(0xFFFF));
+  while (i + 8 <= limit) {
+    std::uint64_t word;
+    std::memcpy(&word, page.data() + i, 8);
+    std::uint64_t diff = word ^ splat;
+    if (diff != 0) {
+      int first = std::endian::native == std::endian::little
+                      ? std::countr_zero(diff) / 8
+                      : std::countl_zero(diff) / 8;
+      return i + static_cast<std::size_t>(first) - start;
+    }
+    i += 8;
+  }
+  while (i < limit && page[i] == value) ++i;
+  return i - start;
+}
+
 // RLE payload: (u16 run length, u8 value) tokens summing to kPageSize.
 cruz::Bytes RleBody(cruz::ByteSpan page) {
   cruz::ByteWriter w;
   std::size_t i = 0;
   while (i < page.size()) {
     std::uint8_t value = page[i];
-    std::size_t run = 1;
-    while (i + run < page.size() && page[i + run] == value &&
-           run < 0xFFFF) {
-      ++run;
-    }
+    std::size_t run = RunLength(page, i, value);
     w.PutU16(static_cast<std::uint16_t>(run));
     w.PutU8(value);
     i += run;

@@ -23,6 +23,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  // Adopts a recycled buffer (cleared, capacity kept) so pooled hot
+  // paths can encode without touching the allocator.
+  ByteWriter(Bytes reuse, std::size_t reserve) : buf_(std::move(reuse)) {
+    buf_.clear();
+    buf_.reserve(reserve);
+  }
 
   void PutU8(std::uint8_t v) { buf_.push_back(v); }
   void PutU16(std::uint16_t v) {

@@ -285,6 +285,10 @@ void CheckpointAgent::HandleCheckpoint(const CoordMessage& m,
   op_.coordinator = from;
   op_.started = node_.os().sim().Now();
   op_.pending_request = m;
+  if (early_flush_op_ == m.op_id && early_flush_messages_ > 0) {
+    op_.flush_messages += early_flush_messages_;
+    early_flush_messages_ = 0;
+  }
 
   if (m.variant == ProtocolVariant::kFlushBaseline && !m.peers.empty()) {
     // Baseline: flush every channel with markers before checkpointing —
@@ -947,7 +951,17 @@ void CheckpointAgent::HandleFlushMarker(const CoordMessage& m,
     if (crashed_) return;
     Send(from, ack);
   });
-  if (op_active_) ++op_.flush_messages;
+  if (op_active_ && m.op_id == op_.op_id) {
+    ++op_.flush_messages;
+  } else {
+    // Our own <checkpoint> request hasn't arrived yet; remember the
+    // marker so the op can claim it once it activates.
+    if (early_flush_op_ != m.op_id) {
+      early_flush_op_ = m.op_id;
+      early_flush_messages_ = 0;
+    }
+    ++early_flush_messages_;
+  }
 }
 
 void CheckpointAgent::HandleFlushAck(const CoordMessage& m) {

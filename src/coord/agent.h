@@ -182,6 +182,12 @@ class CheckpointAgent {
   CoordMessage last_continue_done_reply_;
   net::Endpoint last_coordinator_;
   bool op_active_ = false;
+  // Flush-baseline markers that arrive before this agent's own
+  // <checkpoint> request (the coordinator serializes requests, so at
+  // large N a peer's marker can outrace ours). Held here and credited
+  // to the op when it activates, keeping the message count exact.
+  std::uint64_t early_flush_op_ = 0;
+  std::uint32_t early_flush_messages_ = 0;
   std::uint64_t checkpoints_served_ = 0;
   std::uint64_t restarts_served_ = 0;
   // Correlation sequence for send instants (CoordMessage::corr_seq).

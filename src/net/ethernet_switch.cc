@@ -65,12 +65,14 @@ void EthernetSwitch::Ingress(std::size_t port, Bytes wire) {
   CRUZ_CHECK(port < ports_.size(), "Ingress: bad port");
   if (wire.size() < kEthernetHeaderSize) {
     ++dropped_frames_;
+    RecycleFrameBuffer(std::move(wire));
     return;
   }
   // Random loss on the ingress link (models cable/NIC drops).
   if (links_[port].loss_probability > 0.0 &&
       rng_.NextBernoulli(links_[port].loss_probability)) {
     ++dropped_frames_;
+    RecycleFrameBuffer(std::move(wire));
     return;
   }
   if (observer_) observer_(port, wire);
@@ -87,10 +89,14 @@ void EthernetSwitch::Ingress(std::size_t port, Bytes wire) {
     if (it != mac_table_.end() && ports_[it->second] != nullptr) {
       if (it->second != port) {
         ++forwarded_frames_;
-        DeliverTo(it->second, wire);
+        // Known unicast — the common case — moves the ingress buffer
+        // straight to the egress event, no copy.
+        DeliverTo(it->second, std::move(wire));
+      } else {
+        // Frame destined to the ingress port itself: hairpin suppressed,
+        // as on a real switch.
+        RecycleFrameBuffer(std::move(wire));
       }
-      // Frame destined to the ingress port itself: hairpin suppressed, as
-      // on a real switch.
       return;
     }
   }
@@ -98,28 +104,53 @@ void EthernetSwitch::Ingress(std::size_t port, Bytes wire) {
   ++flooded_frames_;
   for (std::size_t p = 0; p < ports_.size(); ++p) {
     if (p != port && ports_[p] != nullptr) {
-      DeliverTo(p, wire);
+      Bytes copy = AcquireFrameBuffer();
+      copy.assign(wire.begin(), wire.end());
+      DeliverTo(p, std::move(copy));
     }
   }
+  RecycleFrameBuffer(std::move(wire));
 }
 
-void EthernetSwitch::DeliverTo(std::size_t port, const Bytes& wire) {
+void EthernetSwitch::DeliverTo(std::size_t port, Bytes frame) {
   // Egress link loss.
   if (links_[port].loss_probability > 0.0 &&
       rng_.NextBernoulli(links_[port].loss_probability)) {
     ++dropped_frames_;
+    RecycleFrameBuffer(std::move(frame));
     return;
   }
   DurationNs delay = forwarding_latency_ + links_[port].propagation_delay +
-                     TransmitTimeNs(wire.size(), links_[port].bits_per_second);
+                     TransmitTimeNs(frame.size(), links_[port].bits_per_second);
   Nic* nic = ports_[port];
-  sim_.Schedule(delay, [this, port, nic, frame = wire]() {
+  sim_.Schedule(delay, [this, port, nic, frame = std::move(frame)]() mutable {
     // The port may have been reassigned while the frame was in flight
     // (pod migration detaches/attaches NICs); deliver only if unchanged.
     if (port < ports_.size() && ports_[port] == nic && nic != nullptr) {
       nic->DeliverFromWire(frame);
     }
+    RecycleFrameBuffer(std::move(frame));
   });
+}
+
+Bytes EthernetSwitch::AcquireFrameBuffer() {
+  if (frame_pool_.empty()) return Bytes{};
+  Bytes buf = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void EthernetSwitch::RecycleFrameBuffer(Bytes frame) {
+  // Cap both the pool depth and the retained capacity; Ethernet frames
+  // are bounded, so anything larger came from an unrelated path.
+  constexpr std::size_t kPoolCap = 128;
+  constexpr std::size_t kMaxRetainedCapacity = 4096;
+  if (frame_pool_.size() >= kPoolCap ||
+      frame.capacity() == 0 || frame.capacity() > kMaxRetainedCapacity) {
+    return;
+  }
+  frame_pool_.push_back(std::move(frame));
 }
 
 }  // namespace cruz::net

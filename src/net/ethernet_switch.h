@@ -54,12 +54,22 @@ class EthernetSwitch {
 
   void set_observer(FrameObserver obs) { observer_ = std::move(obs); }
 
+  // Frame-buffer pool: per-packet byte buffers cycle switch -> stack
+  // encode -> transmit -> delivery -> back to the pool, so a steady
+  // packet workload reuses warm capacity instead of churning the
+  // allocator. Purely an allocation optimization — frame contents and
+  // delivery order are unaffected.
+  Bytes AcquireFrameBuffer();
+  void RecycleFrameBuffer(Bytes frame);
+
   std::uint64_t forwarded_frames() const { return forwarded_frames_; }
   std::uint64_t flooded_frames() const { return flooded_frames_; }
   std::uint64_t dropped_frames() const { return dropped_frames_; }
 
  private:
-  void DeliverTo(std::size_t port, const Bytes& wire);
+  // Takes ownership of the frame; unicast forwards move the ingress
+  // buffer straight through without a copy.
+  void DeliverTo(std::size_t port, Bytes frame);
 
   sim::Simulator& sim_;
   LinkParams default_link_;
@@ -71,6 +81,8 @@ class EthernetSwitch {
   std::unordered_map<MacAddress, std::size_t> mac_table_;
 
   FrameObserver observer_;
+
+  std::vector<Bytes> frame_pool_;
 
   std::uint64_t forwarded_frames_ = 0;
   std::uint64_t flooded_frames_ = 0;

@@ -37,6 +37,10 @@ void Nic::Transmit(Bytes wire) {
                   });
 }
 
+Bytes Nic::AcquireFrameBuffer() {
+  return attached() ? switch_->AcquireFrameBuffer() : Bytes{};
+}
+
 void Nic::DeliverFromWire(ByteSpan wire) {
   // The destination MAC is the first 6 octets; filter without a full parse.
   if (wire.size() < kEthernetHeaderSize) return;

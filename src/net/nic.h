@@ -56,6 +56,11 @@ class Nic {
   // Ethernet header) are dropped, as real hardware would.
   void Transmit(Bytes wire);
 
+  // Hands out a recycled frame buffer from the attached switch's pool
+  // (empty when detached). The stack encodes into it and passes it back
+  // through Transmit; after delivery the buffer returns to the pool.
+  Bytes AcquireFrameBuffer();
+
   // Called by the switch when a frame arrives at this port. Applies MAC
   // filtering, then hands the frame to the receive handler.
   void DeliverFromWire(ByteSpan wire);

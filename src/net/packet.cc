@@ -19,11 +19,16 @@ std::uint16_t InternetChecksum(ByteSpan data) {
 
 Bytes EthernetFrame::Encode() const {
   ByteWriter w(WireSize());
+  EncodeHeader(w, dst, src, ether_type);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+void EthernetFrame::EncodeHeader(ByteWriter& w, MacAddress dst,
+                                 MacAddress src, EtherType ether_type) {
   w.PutBytes(dst.octets.data(), 6);
   w.PutBytes(src.octets.data(), 6);
   w.PutU16(static_cast<std::uint16_t>(ether_type));
-  w.PutBytes(payload);
-  return w.Take();
 }
 
 EthernetFrame Decode_(ByteReader& r) {
@@ -84,6 +89,12 @@ ArpPacket ArpPacket::Decode(ByteSpan wire) {
 
 Bytes Ipv4Packet::Encode() const {
   ByteWriter w(WireSize());
+  EncodeInto(w);
+  return w.Take();
+}
+
+void Ipv4Packet::EncodeInto(ByteWriter& w) const {
+  const std::size_t header_start = w.size();
   w.PutU8(0x45);  // version 4, IHL 5
   w.PutU8(0);     // DSCP/ECN
   w.PutU16(static_cast<std::uint16_t>(kIpv4HeaderSize + payload.size()));
@@ -95,11 +106,10 @@ Bytes Ipv4Packet::Encode() const {
   w.PutU16(0);  // checksum placeholder
   w.PutU32(src.value);
   w.PutU32(dst.value);
-  std::uint16_t csum =
-      InternetChecksum(ByteSpan(w.data().data(), kIpv4HeaderSize));
+  std::uint16_t csum = InternetChecksum(
+      ByteSpan(w.data().data() + header_start, kIpv4HeaderSize));
   w.PatchU16(checksum_offset, csum);
   w.PutBytes(payload);
-  return w.Take();
 }
 
 Ipv4Packet Ipv4Packet::Decode(ByteSpan wire) {

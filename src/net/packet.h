@@ -42,6 +42,12 @@ struct EthernetFrame {
   Bytes Encode() const;
   static EthernetFrame Decode(ByteSpan wire);
 
+  // Appends just the 14-byte header to `w`. The transmit hot path streams
+  // the L3 packet directly after it into one buffer, skipping the
+  // intermediate per-layer payload copy that Encode() implies.
+  static void EncodeHeader(ByteWriter& w, MacAddress dst, MacAddress src,
+                           EtherType ether_type);
+
   std::size_t WireSize() const { return kEthernetHeaderSize + payload.size(); }
 };
 
@@ -72,6 +78,9 @@ struct Ipv4Packet {
   Bytes payload;
 
   Bytes Encode() const;
+  // Appends the encoded packet (header + payload) to `w`; Encode() is
+  // this on a fresh buffer.
+  void EncodeInto(ByteWriter& w) const;
   static Ipv4Packet Decode(ByteSpan wire);
 
   std::size_t WireSize() const { return kIpv4HeaderSize + payload.size(); }

@@ -92,6 +92,26 @@ class Tracer {
   void set_verbose(bool verbose) { verbose_ = verbose; }
   bool verbose() const { return verbose_; }
 
+  // Sampling for the verbose event class: keep one of every
+  // `keep_one_in` verbose-gated events (1 = keep all, the default). At
+  // thousand-node scale per-segment instants would otherwise drown the
+  // ring; decimating them keeps the ring representative without
+  // touching any non-verbose event. With sampling at 1 the gate is a
+  // plain bool check, so unsampled runs export byte-identical traces.
+  void SetSampling(std::uint32_t keep_one_in) {
+    sampling_ = keep_one_in == 0 ? 1 : keep_one_in;
+  }
+  std::uint32_t sampling() const { return sampling_; }
+
+  // Call-site gate for verbose-class events: false when verbose capture
+  // is off; under sampling, true for exactly one in sampling() calls
+  // (deterministic — a modulo counter, no RNG).
+  bool VerboseSample() {
+    if (!verbose_) return false;
+    if (sampling_ <= 1) return true;
+    return (verbose_calls_++ % sampling_) == 0;
+  }
+
   void set_capacity(std::size_t capacity) { capacity_ = capacity; }
   std::size_t capacity() const { return capacity_; }
 
@@ -139,6 +159,8 @@ class Tracer {
   Clock clock_;
   bool enabled_ = true;
   bool verbose_ = false;
+  std::uint32_t sampling_ = 1;
+  std::uint64_t verbose_calls_ = 0;
   std::size_t capacity_ = 1 << 16;
   std::uint64_t next_span_id_ = 1;
   std::uint64_t next_seq_ = 0;

@@ -237,12 +237,15 @@ void NetworkStack::SendArpRequest(net::Ipv4Address target,
 void NetworkStack::TransmitIpv4(const net::Ipv4Packet& pkt,
                                 const Interface& out_if,
                                 net::MacAddress dst_mac) {
-  net::EthernetFrame frame;
-  frame.dst = dst_mac;
-  frame.src = out_if.mac;
-  frame.ether_type = net::EtherType::kIpv4;
-  frame.payload = pkt.Encode();
-  if (nic_ != nullptr) nic_->Transmit(frame.Encode());
+  if (nic_ == nullptr) return;
+  // Single pass into one pooled buffer: Ethernet header, IPv4 header,
+  // payload — no intermediate per-layer Bytes on the per-packet path.
+  ByteWriter w(nic_->AcquireFrameBuffer(),
+               net::kEthernetHeaderSize + pkt.WireSize());
+  net::EthernetFrame::EncodeHeader(w, dst_mac, out_if.mac,
+                                   net::EtherType::kIpv4);
+  pkt.EncodeInto(w);
+  nic_->Transmit(w.Take());
 }
 
 // ---------------------------------------------------------------------------

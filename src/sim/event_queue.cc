@@ -1,46 +1,58 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "common/error.h"
 
 namespace cruz::sim {
 
+namespace {
+constexpr std::uint32_t kArity = 4;
+}  // namespace
+
 EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(cb)});
-  pending_.insert(id);
-  return id;
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.when = when;
+  slot.seq = next_seq_++;
+  slot.cb = std::move(cb);
+  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(index);
+  SiftUp(slot.heap_pos);
+  return IdFor(index, slot.generation);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId) return false;
-  return pending_.erase(id) != 0;
-}
-
-void EventQueue::SkipCancelled() const {
-  // Entries whose id is no longer in pending_ were cancelled; drop them.
-  while (!heap_.empty() &&
-         pending_.find(heap_.top().id) == pending_.end()) {
-    heap_.pop();
-  }
+  std::uint32_t index = SlotFor(id);
+  if (index == kNoSlot) return false;
+  RemoveAt(slots_[index].heap_pos);
+  FreeSlot(index);
+  return true;
 }
 
 TimeNs EventQueue::NextTime() const {
-  SkipCancelled();
   CRUZ_CHECK(!heap_.empty(), "NextTime on empty queue");
-  return heap_.top().when;
+  return slots_[heap_[0]].when;
 }
 
 EventQueue::Callback EventQueue::PopNext(TimeNs* when) {
-  SkipCancelled();
   CRUZ_CHECK(!heap_.empty(), "PopNext on empty queue");
+  std::uint32_t index = heap_[0];
+  Slot& slot = slots_[index];
+  *when = slot.when;
   // Move the callback out before running it: the callback may schedule or
-  // cancel other events, mutating the heap.
-  Entry entry{heap_.top().when, heap_.top().id,
-              std::move(const_cast<Entry&>(heap_.top()).cb)};
-  heap_.pop();
-  pending_.erase(entry.id);
-  *when = entry.when;
-  return std::move(entry.cb);
+  // cancel other events, mutating the heap and the slab.
+  Callback cb = std::move(slot.cb);
+  RemoveAt(0);
+  FreeSlot(index);
+  return cb;
 }
 
 TimeNs EventQueue::RunNext() {
@@ -48,6 +60,61 @@ TimeNs EventQueue::RunNext() {
   Callback cb = PopNext(&when);
   cb();
   return when;
+}
+
+void EventQueue::SiftUp(std::uint32_t pos) {
+  std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    std::uint32_t parent = (pos - 1) / kArity;
+    if (!Before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void EventQueue::SiftDown(std::uint32_t pos) {
+  std::uint32_t moving = heap_[pos];
+  const std::uint32_t count = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t first_child = pos * kArity + 1;
+    if (first_child >= count) break;
+    std::uint32_t last_child = first_child + kArity - 1;
+    if (last_child >= count) last_child = count - 1;
+    std::uint32_t best = first_child;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void EventQueue::RemoveAt(std::uint32_t pos) {
+  std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  heap_[pos] = last;
+  slots_[last].heap_pos = pos;
+  // The displaced entry may need to move either direction relative to
+  // its new neighbourhood.
+  SiftUp(pos);
+  SiftDown(slots_[last].heap_pos);
+}
+
+void EventQueue::FreeSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.cb = Callback();  // release any heap-spilled capture now
+  slot.heap_pos = kNoSlot;
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
 }  // namespace cruz::sim

@@ -1,17 +1,34 @@
 // Deterministic discrete-event queue.
 //
 // Events fire in (time, insertion-sequence) order so that ties are broken
-// deterministically. Cancellation is O(1) via tombstones: a cancelled event
-// stays in the heap but is skipped when it reaches the top.
+// deterministically — that contract is what makes same-seed runs
+// bit-identical, and it is unchanged from the original priority_queue
+// design (proven by the differential tests in tests/sim_test.cc and the
+// trace goldens in tests/goldens/).
+//
+// Internally this is an indexed 4-ary heap over a slot slab:
+//
+//   * slots_ owns the event records (time, tie-break sequence, callback)
+//     and recycles them through a free list, so a steady schedule/cancel
+//     workload reaches a fixed footprint and stops allocating;
+//   * heap_ holds slot indices ordered by (when, seq); each slot tracks
+//     its heap position, so Cancel() removes the entry *eagerly* in
+//     O(log n). The previous design left cancelled entries in the heap
+//     as tombstones until popped, which made long-lived periodic timers
+//     (heartbeats, RTO reschedules, flush retries) grow the heap without
+//     bound over million-event runs;
+//   * EventId packs {slot index, per-slot generation}, so Cancel() and
+//     IsPending() are O(1) array probes — no hash table on the hot path.
+//
+// Callbacks are SimCallback (see callback.h): small captures live inline
+// in the slot, so scheduling a timer does not touch the allocator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/callback.h"
 
 namespace cruz::sim {
 
@@ -20,20 +37,21 @@ constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SimCallback;
 
   // Schedules `cb` at absolute simulated time `when`. Returns an id usable
   // with Cancel().
   EventId ScheduleAt(TimeNs when, Callback cb);
 
   // Cancels a pending event. Returns true iff the event was still pending
-  // (not yet fired and not already cancelled).
+  // (not yet fired and not already cancelled). The entry is removed
+  // immediately; its slot and callback storage are recycled.
   bool Cancel(EventId id);
 
-  bool IsPending(EventId id) const { return pending_.count(id) != 0; }
+  bool IsPending(EventId id) const { return SlotFor(id) != kNoSlot; }
 
-  bool Empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool Empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   // Time of the earliest pending event. Queue must not be empty.
   TimeNs NextTime() const;
@@ -47,24 +65,54 @@ class EventQueue {
   // for callers without a clock (unit tests).
   TimeNs RunNext();
 
+  // Introspection for leak regression tests and benches: the number of
+  // slab slots ever allocated. Bounded by the peak number of
+  // *simultaneously pending* events — cancelled/fired slots are reused.
+  std::size_t storage_slots() const { return slots_.size(); }
+
  private:
-  struct Entry {
-    TimeNs when;
-    EventId id;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    TimeNs when = 0;
+    std::uint64_t seq = 0;      // insertion order; the deterministic tie-break
+    std::uint32_t generation = 0;
+    std::uint32_t heap_pos = kNoSlot;  // kNoSlot when the slot is free
+    std::uint32_t next_free = kNoSlot;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
+
+  // Decodes an id; kNoSlot unless it names a currently pending event.
+  std::uint32_t SlotFor(EventId id) const {
+    std::uint32_t index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+    if (index >= slots_.size()) return kNoSlot;
+    const Slot& slot = slots_[index];
+    if (slot.heap_pos == kNoSlot ||
+        slot.generation != static_cast<std::uint32_t>(id >> 32)) {
+      return kNoSlot;
     }
-  };
+    return index;
+  }
+  static EventId IdFor(std::uint32_t index, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(index) + 1);
+  }
 
-  void SkipCancelled() const;
+  bool Before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
+  void SiftUp(std::uint32_t pos);
+  void SiftDown(std::uint32_t pos);
+  void RemoveAt(std::uint32_t pos);
+  void FreeSlot(std::uint32_t index);
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices, 4-ary min-heap
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace cruz::sim

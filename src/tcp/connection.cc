@@ -298,7 +298,7 @@ void TcpConnection::EmitDataSegment(const SendSegment& seg, bool retransmit) {
     ++retransmissions_;
     sim_.metrics().counter("tcp.retransmits_total").Add();
   }
-  if (sim_.tracer().verbose()) {
+  if (sim_.tracer().VerboseSample()) {
     sim_.tracer().Instant("tcp", "tcp.tx",
                           obs::TraceAttrs{}
                               .Conn(tuple_.ToString())
@@ -364,7 +364,7 @@ std::uint16_t TcpConnection::AdvertisedWindow() const {
 
 void TcpConnection::OnSegment(const TcpSegment& seg) {
   ++segments_received_;
-  if (sim_.tracer().verbose()) {
+  if (sim_.tracer().VerboseSample()) {
     sim_.tracer().Instant("tcp", "tcp.rx",
                           obs::TraceAttrs{}
                               .Conn(tuple_.ToString())

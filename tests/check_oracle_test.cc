@@ -13,6 +13,7 @@
 #include "check/explorer.h"
 #include "check/scenario.h"
 #include "check/shrink.h"
+#include "golden_util.h"
 
 namespace cruz::check {
 namespace {
@@ -207,6 +208,26 @@ TEST(ShrinkerTest, PassingScenarioIsReturnedUnshrunk) {
   EXPECT_EQ(r.runs, 1u);  // one run to discover it does not reproduce
   EXPECT_EQ(r.minimal.Encode(), passing.Encode());
   EXPECT_TRUE(r.violations.empty());
+}
+
+// Cross-kernel golden sweep: seeds 0..63 expand, run, and judge exactly
+// as before any simulator-hot-path rewrite — per-seed oracle verdicts,
+// violation lists, and cruzrepro1 strings are pinned byte-for-byte. A
+// queue/pooling refactor that perturbs event order would flip a verdict
+// or reshuffle a violation here before it ever reached production.
+TEST(ExplorerTest, GoldenSweepVerdictsAndReprosSeeds0To63) {
+  Explorer explorer;
+  std::string out;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    RunResult r = explorer.RunSeed(seed);
+    out += "seed=" + std::to_string(seed);
+    out += r.passed ? " ok" : " FAIL";
+    for (const Violation& v : r.violations) {
+      out += " violation=" + v.invariant;
+    }
+    out += " " + r.scenario.Encode() + "\n";
+  }
+  cruz::testing::ExpectMatchesGolden("explorer_sweep_seeds_0_63.txt", out);
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+// Byte-exact golden-file comparison for determinism-equivalence tests.
+//
+// A golden pins the exact output of a fixed-seed run so that refactors of
+// the simulator hot path (event queue, allocation pooling, codec inner
+// loops) can be proven behavior-preserving: the test fails on the first
+// differing byte. Regenerate deliberately with CRUZ_REGEN_GOLDENS=1 after
+// an *intentional* behavior change — never to make a perf refactor pass.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cruz::testing {
+
+#ifndef CRUZ_GOLDEN_DIR
+#define CRUZ_GOLDEN_DIR "tests/goldens"
+#endif
+
+inline std::string GoldenPath(const std::string& name) {
+  return std::string(CRUZ_GOLDEN_DIR) + "/" + name;
+}
+
+inline bool RegenGoldens() {
+  const char* v = std::getenv("CRUZ_REGEN_GOLDENS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Compares `actual` byte-for-byte against the committed golden `name`.
+// With CRUZ_REGEN_GOLDENS=1 the golden is (re)written instead and the
+// test records a warning so a regeneration can never pass silently in CI.
+inline void ExpectMatchesGolden(const std::string& name,
+                                const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (RegenGoldens()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated golden " << path << " (" << actual.size()
+                 << " bytes)";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run once with CRUZ_REGEN_GOLDENS=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+  // Report the first divergence precisely; dumping megabytes of trace
+  // into the gtest log helps nobody.
+  std::size_t i = 0;
+  std::size_t n = std::min(expected.size(), actual.size());
+  while (i < n && expected[i] == actual[i]) ++i;
+  std::size_t line = 1;
+  for (std::size_t j = 0; j < i; ++j) {
+    if (expected[j] == '\n') ++line;
+  }
+  FAIL() << "golden mismatch vs " << path << ": expected " << expected.size()
+         << " bytes, got " << actual.size() << " bytes; first diff at byte "
+         << i << " (line " << line << ")\n  expected ..."
+         << expected.substr(i > 40 ? i - 40 : 0, 80) << "...\n  actual   ..."
+         << actual.substr(i > 40 ? i - 40 : 0, 80) << "...";
+}
+
+}  // namespace cruz::testing

@@ -90,6 +90,77 @@ TEST(Tracer, RingDropsOldestBeyondCapacity) {
   EXPECT_EQ(t.tracer.events().back().name, "e9");
 }
 
+TEST(Tracer, VerboseSampleGatesOnVerboseFlag) {
+  ClockedTracer t;
+  EXPECT_FALSE(t.tracer.VerboseSample());  // verbose off: never sampled
+  t.tracer.set_verbose(true);
+  EXPECT_EQ(t.tracer.sampling(), 1u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(t.tracer.VerboseSample());
+}
+
+TEST(Tracer, VerboseSampleKeepsOneInN) {
+  ClockedTracer t;
+  t.tracer.set_verbose(true);
+  t.tracer.SetSampling(4);
+  int kept = 0;
+  for (int i = 0; i < 16; ++i) {
+    bool keep = t.tracer.VerboseSample();
+    EXPECT_EQ(keep, i % 4 == 0) << "call " << i;
+    if (keep) ++kept;
+  }
+  EXPECT_EQ(kept, 4);
+  // Sampling 0 is clamped to 1 (keep everything).
+  t.tracer.SetSampling(0);
+  EXPECT_EQ(t.tracer.sampling(), 1u);
+  EXPECT_TRUE(t.tracer.VerboseSample());
+}
+
+TEST(Tracer, DefaultSamplingExportsAreByteIdentical) {
+  // The same event sequence through two tracers — one never touched by
+  // the sampling API, one explicitly set to 1 — must export identically.
+  auto drive = [](Tracer& tracer, TimeNs* now) {
+    for (int i = 0; i < 8; ++i) {
+      *now = static_cast<TimeNs>(i * 10);
+      if (tracer.VerboseSample()) {
+        tracer.Instant("tcp", "tcp.tx", TraceAttrs{}.Arg("seq", i));
+      }
+      tracer.Instant("coord", "beat");
+    }
+  };
+  ClockedTracer plain;
+  plain.tracer.set_verbose(true);
+  drive(plain.tracer, &plain.now);
+  ClockedTracer sampled;
+  sampled.tracer.set_verbose(true);
+  sampled.tracer.SetSampling(1);
+  drive(sampled.tracer, &sampled.now);
+  EXPECT_EQ(plain.tracer.ExportJsonl(), sampled.tracer.ExportJsonl());
+  EXPECT_EQ(plain.tracer.ExportChromeJson(),
+            sampled.tracer.ExportChromeJson());
+}
+
+TEST(Tracer, SamplingDecimatesOnlyVerboseEvents) {
+  ClockedTracer t;
+  t.tracer.set_verbose(true);
+  t.tracer.SetSampling(3);
+  int verbose_kept = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (t.tracer.VerboseSample()) {
+      t.tracer.Instant("tcp", "tcp.rx");
+      ++verbose_kept;
+    }
+    t.tracer.Instant("ckpt", "page");  // non-verbose, never decimated
+  }
+  EXPECT_EQ(verbose_kept, 3);
+  int tcp = 0, ckpt = 0;
+  for (const TraceEvent& e : t.tracer.events()) {
+    if (e.category == "tcp") ++tcp;
+    if (e.category == "ckpt") ++ckpt;
+  }
+  EXPECT_EQ(tcp, 3);
+  EXPECT_EQ(ckpt, 9);
+}
+
 TEST(Tracer, ClearResetsEventsAndDropCount) {
   ClockedTracer t;
   t.tracer.set_capacity(1);

@@ -1,9 +1,12 @@
 // Unit tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -182,6 +185,198 @@ TEST(Simulator, DeterministicEventCount) {
   auto [a2, n2] = run(42);
   EXPECT_EQ(a1, a2);
   EXPECT_EQ(n1, n2);
+}
+
+// --- differential oracle -----------------------------------------------------
+//
+// A naive reference queue with the same (time, insertion-seq) contract:
+// a flat vector, linear-scan min extraction. Obviously correct, O(n) per
+// op — the indexed heap must agree with it on every observable behavior.
+class ReferenceQueue {
+ public:
+  std::uint64_t Schedule(TimeNs when) {
+    std::uint64_t tag = next_tag_++;
+    pending_.push_back(Entry{when, next_seq_++, tag});
+    return tag;
+  }
+  bool Cancel(std::uint64_t tag) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].tag == tag) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+  bool IsPending(std::uint64_t tag) const {
+    for (const Entry& e : pending_) {
+      if (e.tag == tag) return true;
+    }
+    return false;
+  }
+  bool Empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+  TimeNs NextTime() const { return pending_[Min()].when; }
+  // Pops the earliest entry, returns its tag; stores its time in *when.
+  std::uint64_t PopNext(TimeNs* when) {
+    std::size_t at = Min();
+    Entry e = pending_[at];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(at));
+    *when = e.when;
+    return e.tag;
+  }
+  std::uint64_t MinTag() const { return pending_[Min()].tag; }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    std::uint64_t seq;
+    std::uint64_t tag;
+  };
+  std::size_t Min() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i].when < pending_[best].when ||
+          (pending_[i].when == pending_[best].when &&
+           pending_[i].seq < pending_[best].seq)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::vector<Entry> pending_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_tag_ = 1;
+};
+
+TEST(EventQueueDifferential, AgreesWithNaiveReferenceQueue) {
+  // ~50k randomized schedule/cancel/pop/introspect steps across seeds,
+  // biased to hit cancel-at-top, cancel-missing, and same-tick
+  // rescheduling (the RTO pattern: cancel + schedule at the same time).
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull, 20260808ull}) {
+    cruz::Rng rng(seed);
+    EventQueue q;
+    ReferenceQueue ref;
+    std::unordered_map<std::uint64_t, EventId> live;  // tag -> id
+    std::vector<std::pair<std::uint64_t, EventId>> dead;
+    TimeNs now = 0;
+    std::uint64_t fired_tag = 0;
+
+    auto schedule = [&](TimeNs when) {
+      std::uint64_t tag = ref.Schedule(when);
+      EventId id = q.ScheduleAt(when, [&fired_tag, tag] { fired_tag = tag; });
+      EXPECT_NE(id, kInvalidEventId);
+      live.emplace(tag, id);
+    };
+
+    for (int step = 0; step < 10000; ++step) {
+      std::uint32_t r = rng.NextBelow(100);
+      if (r < 40 || ref.Empty()) {
+        schedule(now + rng.NextBelow(50));
+      } else if (r < 55) {
+        // Cancel the event at the top of the queue — exercises root
+        // removal and re-heapification.
+        std::uint64_t tag = ref.MinTag();
+        EventId id = live.at(tag);
+        EXPECT_TRUE(q.Cancel(id));
+        EXPECT_TRUE(ref.Cancel(tag));
+        dead.emplace_back(tag, id);
+        live.erase(tag);
+      } else if (r < 70) {
+        // Cancel a uniformly random pending event.
+        auto it = live.begin();
+        std::advance(it, rng.NextBelow(live.size()));
+        EXPECT_TRUE(q.Cancel(it->second));
+        EXPECT_TRUE(ref.Cancel(it->first));
+        dead.emplace_back(it->first, it->second);
+        live.erase(it);
+      } else if (r < 78 && !dead.empty()) {
+        // Cancel-missing: stale ids must return false on both sides and
+        // then reschedule at the *same tick* as the current head.
+        auto [tag, id] = dead[rng.NextBelow(dead.size())];
+        EXPECT_FALSE(q.Cancel(id));
+        EXPECT_FALSE(ref.Cancel(tag));
+        schedule(ref.Empty() ? now : ref.NextTime());
+      } else if (r < 85) {
+        // IsPending agreement on a live id, a dead id, and garbage.
+        auto it = live.begin();
+        std::advance(it, rng.NextBelow(live.size()));
+        EXPECT_TRUE(q.IsPending(it->second));
+        EXPECT_TRUE(ref.IsPending(it->first));
+        if (!dead.empty()) {
+          auto [tag, id] = dead[rng.NextBelow(dead.size())];
+          EXPECT_EQ(q.IsPending(id), ref.IsPending(tag));
+        }
+        EXPECT_FALSE(q.IsPending(kInvalidEventId));
+        EXPECT_FALSE(q.IsPending(0xDEADBEEFDEADBEEFull));
+      } else {
+        // Pop: same time, same event (the tie-break contract).
+        ASSERT_EQ(q.Empty(), ref.Empty());
+        ASSERT_EQ(q.NextTime(), ref.NextTime());
+        TimeNs q_when = 0, ref_when = 0;
+        EventQueue::Callback cb = q.PopNext(&q_when);
+        std::uint64_t expect_tag = ref.PopNext(&ref_when);
+        ASSERT_EQ(q_when, ref_when);
+        now = q_when;
+        fired_tag = 0;
+        cb();
+        ASSERT_EQ(fired_tag, expect_tag) << "seed " << seed;
+        dead.emplace_back(expect_tag, live.at(expect_tag));
+        live.erase(expect_tag);
+      }
+      ASSERT_EQ(q.size(), ref.size());
+      ASSERT_EQ(q.Empty(), ref.Empty());
+      if (!ref.Empty()) {
+        ASSERT_EQ(q.NextTime(), ref.NextTime());
+      }
+    }
+
+    // Drain: the remaining events must come out in identical order.
+    while (!ref.Empty()) {
+      TimeNs q_when = 0, ref_when = 0;
+      EventQueue::Callback cb = q.PopNext(&q_when);
+      std::uint64_t expect_tag = ref.PopNext(&ref_when);
+      ASSERT_EQ(q_when, ref_when);
+      fired_tag = 0;
+      cb();
+      ASSERT_EQ(fired_tag, expect_tag);
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
+// --- leak regression ---------------------------------------------------------
+
+TEST(EventQueue, CancelledEventsDoNotAccumulateStorage) {
+  // The pre-rewrite queue left cancelled entries in the heap until their
+  // (possibly far-future) deadline: 100k RTO-style cancel+reschedule
+  // cycles grew it to 100k entries. The indexed heap removes eagerly, so
+  // storage stays bounded by the peak number of simultaneously pending
+  // events.
+  EventQueue q;
+  EventId rto = q.ScheduleAt(1'000'000'000, [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    EXPECT_TRUE(q.Cancel(rto));
+    rto = q.ScheduleAt(1'000'000'000 + i, [] {});
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LE(q.storage_slots(), 2u);
+
+  // Churn with 64 concurrent timers: footprint tracks the high-water
+  // mark of pending events, not the op count.
+  EventQueue q2;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q2.ScheduleAt(1000 + i, [] {}));
+  }
+  cruz::Rng rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    std::size_t at = rng.NextBelow(ids.size());
+    EXPECT_TRUE(q2.Cancel(ids[at]));
+    ids[at] = q2.ScheduleAt(1000 + rng.NextBelow(1 << 20), [] {});
+  }
+  EXPECT_EQ(q2.size(), 64u);
+  EXPECT_LE(q2.storage_slots(), 65u);
 }
 
 }  // namespace

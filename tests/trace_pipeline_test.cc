@@ -13,6 +13,7 @@
 #include "apps/programs.h"
 #include "cruz/cluster.h"
 #include "fault/fault.h"
+#include "golden_util.h"
 #include "obs/trace_query.h"
 
 namespace cruz {
@@ -254,6 +255,53 @@ TEST(TracePipeline, SameSeedRunsExportIdenticalTraces) {
 
   auto other = run(4321);
   EXPECT_NE(first.jsonl, other.jsonl);
+}
+
+// Cross-kernel golden: a fixed-seed checkpoint/restart scenario whose
+// Chrome-trace and JSONL exports are committed byte-for-byte. Unlike
+// SameSeedRunsExportIdenticalTraces (which only proves two runs of the
+// *same* binary agree), this pins the output across rewrites of the
+// simulator kernel itself — the event-queue/pooling perf pass must
+// change zero bytes of it. Verbose per-segment capture is on so the
+// highest-volume event class is covered too.
+TEST(TracePipeline, GoldenCheckpointRestartExports) {
+  ClusterConfig config;
+  config.seed = 20260808;
+  config.num_nodes = 3;
+  Cluster c(config);
+  c.sim().tracer().set_verbose(true);
+
+  os::PodId counter = SpawnCounterPod(c, 0, "cnt");
+  os::PodId recv_pod = c.CreatePod(2, "recv");
+  net::Ipv4Address recv_ip = c.pods(2).Find(recv_pod)->ip;
+  c.pods(2).SpawnInPod(recv_pod, "cruz.stream_receiver",
+                       apps::StreamReceiverArgs(9200));
+  c.sim().RunFor(5 * kMillisecond);
+  os::PodId send_pod = c.CreatePod(1, "send");
+  c.pods(1).SpawnInPod(send_pod, "cruz.stream_sender",
+                       apps::StreamSenderArgs(recv_ip, 9200, 192 * 1024));
+  c.sim().RunFor(100 * kMillisecond);
+
+  std::vector<coord::Coordinator::Member> members{
+      c.MemberFor(0, counter), c.MemberFor(1, send_pod),
+      c.MemberFor(2, recv_pod)};
+  auto ckpt = c.RunCheckpoint(members);
+  ASSERT_TRUE(ckpt.success);
+  c.sim().RunFor(200 * kMillisecond);
+  // Tear the pods down (simulated node failure aftermath) and roll the
+  // whole ensemble back to the checkpoint.
+  c.pods(0).DestroyPod(counter);
+  c.pods(1).DestroyPod(send_pod);
+  c.pods(2).DestroyPod(recv_pod);
+  c.sim().RunFor(50 * kMillisecond);
+  auto restart = c.RunRestart(members, ckpt.image_paths);
+  ASSERT_TRUE(restart.success);
+  c.sim().RunFor(100 * kMillisecond);
+
+  cruz::testing::ExpectMatchesGolden("ckpt_restart_trace.jsonl",
+                                     c.sim().tracer().ExportJsonl());
+  cruz::testing::ExpectMatchesGolden("ckpt_restart_chrome.json",
+                                     c.sim().tracer().ExportChromeJson());
 }
 
 }  // namespace
