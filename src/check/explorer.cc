@@ -247,9 +247,11 @@ void DestroyEverywhere(Cluster& c, os::PodId pod) {
   }
 }
 
-coord::Coordinator::Options OpOptions(const OpSpec& spec, bool tiered) {
+coord::Coordinator::Options OpOptions(const OpSpec& spec,
+                                      const Scenario& s) {
   coord::Coordinator::Options options;
-  options.tiered = tiered;
+  options.tiered = s.tiered;
+  options.fan_out = s.fan_out;
   options.variant = spec.variant;
   options.incremental = spec.incremental;
   options.copy_on_write = spec.copy_on_write;
@@ -274,6 +276,8 @@ const char* MutationName(Mutation mutation) {
     case Mutation::kDuplicateContinue: return "duplicate-continue";
     case Mutation::kLeakPartialImage: return "leak-partial-image";
     case Mutation::kDropLastReplica: return "drop-last-replica";
+    case Mutation::kShardAckWithoutForward:
+      return "shard-ack-without-forward";
   }
   return "none";
 }
@@ -289,6 +293,7 @@ bool MutationFromName(const std::string& name, Mutation& out) {
       Mutation::kDuplicateContinue,
       Mutation::kLeakPartialImage,
       Mutation::kDropLastReplica,
+      Mutation::kShardAckWithoutForward,
   };
   for (Mutation m : kAll) {
     if (name == MutationName(m)) {
@@ -321,6 +326,11 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
   if (mutation == Mutation::kDuplicateContinue) {
     c.coordinator().set_test_duplicate_continue(true);
   }
+  if (mutation == Mutation::kShardAckWithoutForward) {
+    for (std::size_t i = 0; i < c.num_nodes(); ++i) {
+      c.shard_coordinator(i).set_test_ack_without_forward(true);
+    }
+  }
 
   fault::FaultPlan plan(scenario.seed * 9176 + 0x5eed);
   if (!scenario.faults.empty()) {
@@ -332,17 +342,38 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
   SpawnWorkload(c, scenario, w);
   c.sim().RunFor(10 * kMillisecond);
 
+  // Hierarchical scenarios: one extra long-running member pod per node
+  // beyond the two workload nodes, so coordinated ops span enough
+  // members to form several shards. Not tracked by the workload driver.
+  std::vector<os::PodId> pad_pods(c.num_nodes(), os::kNoPod);
+  if (scenario.fan_out > 0) {
+    for (std::size_t n = 0; n < c.num_nodes(); ++n) {
+      if (n == w.node_a || n == w.node_b) continue;
+      pad_pods[n] = c.CreatePod(n, "hier-pad" + std::to_string(n));
+      c.pods(n).SpawnInPod(pad_pods[n], "cruz.counter",
+                           apps::CounterArgs(1u << 30));
+    }
+    c.sim().RunFor(5 * kMillisecond);
+  }
+
   std::vector<OpRecord> records;
   for (const OpSpec& spec : scenario.ops) {
     c.sim().RunFor(spec.pre_delay);
     OpRecord rec;
     rec.kind = spec.kind;
-    rec.members = 2;
     rec.variant = spec.variant;
     rec.copy_on_write = spec.copy_on_write;
-    coord::Coordinator::Options options = OpOptions(spec, scenario.tiered);
+    coord::Coordinator::Options options = OpOptions(spec, scenario);
     std::vector<coord::Coordinator::Member> members = {
         c.MemberFor(w.node_a, w.pod_a), c.MemberFor(w.node_b, w.pod_b)};
+    if (spec.kind != OpKind::kMigrate) {
+      for (std::size_t n = 0; n < pad_pods.size(); ++n) {
+        if (pad_pods[n] != os::kNoPod) {
+          members.push_back(c.MemberFor(n, pad_pods[n]));
+        }
+      }
+    }
+    rec.members = members.size();
 
     switch (spec.kind) {
       case OpKind::kCheckpoint: {
@@ -417,16 +448,30 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
           break;
         }
         std::size_t n = c.num_nodes();
-        std::size_t new_a = spec.placement_salt % n;
-        std::size_t new_b =
-            (new_a + 1 + (spec.placement_salt / 7) % (n - 1)) % n;
+        std::size_t new_a = w.node_a;
+        std::size_t new_b = w.node_b;
+        if (scenario.fan_out == 0) {
+          // Flat scenarios relocate freely. Hierarchical ones restart in
+          // place: every other node already hosts a pad member pod, and a
+          // coordinated op drives at most one pod per agent.
+          new_a = spec.placement_salt % n;
+          new_b = (new_a + 1 + (spec.placement_salt / 7) % (n - 1)) % n;
+        }
         members = {coord::Coordinator::Member{c.node(new_a).ip(), w.pod_a},
                    coord::Coordinator::Member{c.node(new_b).ip(), w.pod_b}};
+        for (std::size_t pn = 0; pn < pad_pods.size(); ++pn) {
+          if (pad_pods[pn] != os::kNoPod) {
+            members.push_back(c.MemberFor(pn, pad_pods[pn]));
+          }
+        }
         // Armed agent crashes can legitimately kill a restart attempt;
         // reset and retry until the one-shot faults are used up.
         for (int attempt = 0; attempt < 6; ++attempt) {
           DestroyEverywhere(c, w.pod_a);
           DestroyEverywhere(c, w.pod_b);
+          for (os::PodId pad : pad_pods) {
+            if (pad != os::kNoPod) DestroyEverywhere(c, pad);
+          }
           c.sim().RunFor(5 * kMillisecond);
           if (blind) {
             std::vector<ckpt::ManifestEntry> manifest =
@@ -465,7 +510,10 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
         // coordinated op); impossible on a two-node cluster.
         std::vector<std::size_t> candidates;
         for (std::size_t i = 0; i < c.num_nodes(); ++i) {
-          if (i != w.node_a && i != w.node_b) candidates.push_back(i);
+          if (i != w.node_a && i != w.node_b &&
+              pad_pods[i] == os::kNoPod) {
+            candidates.push_back(i);
+          }
         }
         if (candidates.empty()) {
           rec.attempted = false;

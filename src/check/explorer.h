@@ -35,6 +35,11 @@ enum class Mutation : std::uint8_t {
   kDropLastReplica,          // silently lose every copy of one image after
                              // the pre-restart intact check
                              // (replica-availability; tiered scenarios)
+  kShardAckWithoutForward,   // sub-coordinators ack shard requests with
+                             // fabricated <shard-done>s, never forwarding
+                             // to their agents (gen-commit: a generation
+                             // commits with zero agent saves; tiered
+                             // hierarchical scenarios)
 };
 
 const char* MutationName(Mutation mutation);

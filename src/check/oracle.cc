@@ -126,7 +126,16 @@ void CheckGenCommit(const RunContext& ctx, std::vector<Violation>& out) {
       }
       auto saves = ctx.trace->Select(
           TraceQuery::Filter{}.Name("agent.save").Op(op_id));
-      if (saves.size() == rec.members) {
+      if (saves.size() < rec.members) {
+        // A committed generation with fewer saves than members means some
+        // layer acked without doing the work (e.g. a sub-coordinator that
+        // never forwarded to its agents).
+        std::ostringstream d;
+        d << "generation " << rec.allocated_generation << " (op " << op_id
+          << ") committed with only " << saves.size() << " of "
+          << rec.members << " agent save(s) on the trace";
+        Violate(out, name, d.str());
+      } else {
         TimeNs disk_done = 0;
         for (const TraceEvent* e : saves)
           disk_done = std::max(disk_done, e->end_ts());

@@ -54,8 +54,9 @@ std::string Scenario::Summary() const {
   std::ostringstream out;
   out << "seed=" << seed << " nodes=" << num_nodes << " wl="
       << WorkloadName(workload) << " units=" << workload_units
-      << (tiered ? " tiered" : "") << " ops=" << ops.size() << " faults="
-      << faults.size();
+      << (tiered ? " tiered" : "");
+  if (fan_out > 0) out << " fanout=" << fan_out;
+  out << " ops=" << ops.size() << " faults=" << faults.size();
   return out.str();
 }
 
@@ -64,6 +65,7 @@ std::string Scenario::Encode() const {
   out << "cruzrepro1 seed=" << seed << " nodes=" << num_nodes << " wl="
       << static_cast<unsigned>(workload) << " units=" << workload_units;
   if (tiered) out << " tiered=1";
+  if (fan_out > 0) out << " fanout=" << fan_out;
   for (const OpSpec& op : ops) {
     out << " op=" << static_cast<unsigned>(op.kind) << ','
         << op.pre_delay / kMillisecond << ','
@@ -102,6 +104,9 @@ std::optional<Scenario> Scenario::Decode(const std::string& repro) {
       s.workload_units = fields[0];
     } else if (key == "tiered" && fields.size() == 1) {
       s.tiered = fields[0] != 0;
+    } else if (key == "fanout" && fields.size() == 1 && fields[0] >= 2 &&
+               fields[0] <= 256) {
+      s.fan_out = static_cast<std::uint32_t>(fields[0]);
     } else if (key == "op" && fields.size() == 7 && fields[0] <= 3 &&
                fields[2] <= 2) {
       OpSpec op;
@@ -236,6 +241,18 @@ Scenario ScenarioGenerator::FromSeed(std::uint64_t seed) {
       }
       s.faults.push_back(f);
     }
+  }
+
+  // Hierarchical coordination, drawn after everything else for the same
+  // reason as tiered mode: flat seeds keep their exact schedules.
+  // Hierarchical scenarios widen the cluster so the tree has more than
+  // one shard; the explorer pads the member list with one pod per extra
+  // node. Fault node indices stay valid (they were drawn below the
+  // original num_nodes).
+  if (rng.NextBernoulli(0.25)) {
+    s.fan_out = 2 + static_cast<std::uint32_t>(rng.NextBelow(3));  // 2..4
+    s.num_nodes = std::max(
+        s.num_nodes, 5 + static_cast<std::uint32_t>(rng.NextBelow(4)));
   }
   return s;
 }

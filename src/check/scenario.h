@@ -78,6 +78,12 @@ struct Scenario {
   // Encoded as "tiered=1"; absent = legacy netfs-only (so pre-tier repro
   // strings replay exactly as before).
   bool tiered = false;
+  // Hierarchical coordination (DESIGN.md §13): coordinated ops run
+  // through a sub-coordinator tree with this per-shard fan-out, and the
+  // explorer pads the member list with one pod per extra node so the
+  // tree has real shards to drive. Encoded as "fanout=F"; absent = flat
+  // (so pre-hierarchy repro strings replay exactly as before).
+  std::uint32_t fan_out = 0;
   std::vector<OpSpec> ops;
   std::vector<FaultSpec> faults;
 

@@ -58,6 +58,21 @@ void Coordinator::RecoverFromJournal() {
   CRUZ_WARN("coord") << "journal recovery: aborting in-flight "
                      << (intent.is_restart ? "restart" : "checkpoint")
                      << " op epoch " << intent.epoch;
+  // Hierarchical intents: the shard partition is re-derived from the
+  // journaled fan-out (it is deterministic — contiguous shards of
+  // ≤ fan_out members), so the dead op's sub-coordinators get fenced and
+  // clean their own shards too.
+  if (intent.fan_out > 0) {
+    for (std::size_t begin = 0; begin < intent.members.size();
+         begin += intent.fan_out) {
+      CoordMessage abort;
+      abort.type = MsgType::kShardAbort;
+      abort.op_id = intent.epoch;
+      abort.epoch = intent.epoch;
+      TransmitControl(net::Ipv4Address{intent.members[begin].agent_ip},
+                      abort, kShardPort);
+    }
+  }
   for (const JournalRecord::Member& m : intent.members) {
     CoordMessage abort;
     abort.type = MsgType::kAbort;
@@ -118,10 +133,41 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   stats_.replica_sets.assign(members_.size(), {});
   stats_.restore_sources.assign(members_.size(), 255);
   image_paths_ = image_paths;
+  // Hierarchical mode: contiguous shards of ≤ fan_out members, each
+  // driven by the sub-coordinator co-located with its first member. The
+  // flush baseline stays flat — its all-to-all marker traffic is the
+  // point of that comparison.
+  hierarchical_ = options_.fan_out > 0 &&
+                  options_.variant != ProtocolVariant::kFlushBaseline;
+  shards_.clear();
+  if (hierarchical_) {
+    for (std::size_t begin = 0; begin < members_.size();
+         begin += options_.fan_out) {
+      Shard shard;
+      shard.sub_ip = members_[begin].agent_ip;
+      std::size_t end =
+          std::min(members_.size(),
+                   begin + static_cast<std::size_t>(options_.fan_out));
+      for (std::size_t i = begin; i < end; ++i) {
+        shard.member_indices.push_back(i);
+      }
+      shards_.push_back(std::move(shard));
+    }
+  }
+  stats_.shard_count = static_cast<std::uint32_t>(shards_.size());
+  std::size_t max_shard_size = 0;
+  for (const Shard& s : shards_) {
+    max_shard_size = std::max(max_shard_size, s.member_indices.size());
+  }
+  stats_.max_endpoint_fanout = static_cast<std::uint32_t>(
+      hierarchical_ ? std::max(shards_.size(), max_shard_size)
+                    : members_.size());
   continue_sent_ = false;
   pending_done_.clear();
   pending_continue_done_.clear();
   pending_comm_disabled_.clear();
+  shard_messages_seen_.clear();
+  shard_done_members_.clear();
   missed_heartbeats_.clear();
   retransmit_interval_now_ = options_.retransmit_interval;
   retransmit_rounds_ = 0;
@@ -132,12 +178,14 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
   // <continue> broadcast goes out.
   obs::Tracer& tracer = node_.os().sim().tracer();
   const char* kind = is_restart ? "restart" : "checkpoint";
+  obs::TraceAttrs op_attrs;
+  op_attrs.Op(stats_.op_id)
+      .Phase("op")
+      .Agent(node_.name())
+      .Arg("members", members_.size());
+  if (hierarchical_) op_attrs.Arg("shards", shards_.size());
   op_span_ = tracer.BeginSpan("coord", std::string("coord.op.") + kind,
-                              obs::TraceAttrs{}
-                                  .Op(stats_.op_id)
-                                  .Phase("op")
-                                  .Agent(node_.name())
-                                  .Arg("members", members_.size()));
+                              std::move(op_attrs));
   freeze_span_ = tracer.BeginSpan(
       "coord", "coord.phase.freeze",
       obs::TraceAttrs{}.Op(stats_.op_id).Phase("freeze").Agent(
@@ -155,32 +203,42 @@ void Coordinator::Begin(bool is_restart, std::vector<Member> members,
     intent.members.push_back(JournalRecord::Member{
         members_[i].agent_ip.value, members_[i].pod, image_paths_[i]});
   }
+  intent.fan_out = hierarchical_ ? options_.fan_out : 0;
   journal_.Append(intent);
 
-  std::vector<std::uint32_t> peer_ips;
-  for (const Member& m : members_) peer_ips.push_back(m.agent_ip.value);
+  if (hierarchical_) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      pending_done_.insert(shards_[s].sub_ip.value);
+      pending_continue_done_.insert(shards_[s].sub_ip.value);
+      pending_comm_disabled_.insert(shards_[s].sub_ip.value);
+      SendShardRequest(s);
+    }
+  } else {
+    std::vector<std::uint32_t> peer_ips;
+    for (const Member& m : members_) peer_ips.push_back(m.agent_ip.value);
 
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    pending_done_.insert(members_[i].agent_ip.value);
-    pending_continue_done_.insert(members_[i].agent_ip.value);
-    pending_comm_disabled_.insert(members_[i].agent_ip.value);
-    CoordMessage m;
-    m.type = is_restart ? MsgType::kRestart : MsgType::kCheckpoint;
-    m.op_id = stats_.op_id;
-    m.epoch = stats_.epoch;
-    m.pod_id = members_[i].pod;
-    m.variant = options_.variant;
-    m.image_path = image_paths[i];
-    m.tiered = options_.tiered && tiered_ != nullptr;
-    if (!is_restart) {
-      m.incremental = options_.incremental;
-      m.copy_on_write = options_.copy_on_write;
-      m.compress = options_.compress;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      pending_done_.insert(members_[i].agent_ip.value);
+      pending_continue_done_.insert(members_[i].agent_ip.value);
+      pending_comm_disabled_.insert(members_[i].agent_ip.value);
+      CoordMessage m;
+      m.type = is_restart ? MsgType::kRestart : MsgType::kCheckpoint;
+      m.op_id = stats_.op_id;
+      m.epoch = stats_.epoch;
+      m.pod_id = members_[i].pod;
+      m.variant = options_.variant;
+      m.image_path = image_paths[i];
+      m.tiered = options_.tiered && tiered_ != nullptr;
+      if (!is_restart) {
+        m.incremental = options_.incremental;
+        m.copy_on_write = options_.copy_on_write;
+        m.compress = options_.compress;
+      }
+      if (options_.variant == ProtocolVariant::kFlushBaseline) {
+        m.peers = peer_ips;
+      }
+      SendToAgent(i, std::move(m));
     }
-    if (options_.variant == ProtocolVariant::kFlushBaseline) {
-      m.peers = peer_ips;
-    }
-    SendToAgent(i, std::move(m));
   }
 
   ScheduleRetransmit();
@@ -219,8 +277,69 @@ void Coordinator::SendToAgent(std::size_t member_index, CoordMessage m) {
   TransmitControl(member.agent_ip, m);
 }
 
+CoordMessage Coordinator::BuildShardRequest(const Shard& shard) const {
+  CoordMessage m;
+  m.type = is_restart_ ? MsgType::kShardRestart : MsgType::kShardCheckpoint;
+  m.op_id = stats_.op_id;
+  m.epoch = stats_.epoch;
+  m.variant = options_.variant;
+  m.tiered = options_.tiered && tiered_ != nullptr;
+  if (!is_restart_) {
+    m.incremental = options_.incremental;
+    m.copy_on_write = options_.copy_on_write;
+    m.compress = options_.compress;
+  }
+  // The sub self-cleans shortly after this deadline if the root dies.
+  m.op_timeout = options_.timeout;
+  for (std::size_t i : shard.member_indices) {
+    ShardMember sm;
+    sm.agent_ip = members_[i].agent_ip.value;
+    sm.pod = members_[i].pod;
+    sm.image_path = image_paths_[i];
+    m.shard_members.push_back(std::move(sm));
+  }
+  return m;
+}
+
+void Coordinator::AccumulateShardMessages(std::uint32_t sub_ip,
+                                          std::uint32_t cumulative) {
+  // Subs report their shard-internal traffic (sub sends + agent replies)
+  // as a cumulative count: adding only the high-water delta keeps the
+  // grand total exact under re-sent, duplicated, or reordered replies.
+  std::uint32_t& seen = shard_messages_seen_[sub_ip];
+  if (cumulative > seen) {
+    stats_.total_messages += cumulative - seen;
+    seen = cumulative;
+  }
+}
+
+void Coordinator::SendShardRequest(std::size_t shard_index) {
+  CoordMessage full = BuildShardRequest(shards_[shard_index]);
+  for (CoordMessage& frag : FragmentRoster(full)) {
+    SendToShard(shard_index, std::move(frag));
+  }
+}
+
+void Coordinator::SendToShard(std::size_t shard_index, CoordMessage m) {
+  const Shard& shard = shards_[shard_index];
+  ++stats_.coordinator_messages;
+  ++stats_.total_messages;
+  m.corr_seq = ++next_corr_seq_;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.msg.send",
+      obs::TraceAttrs{}
+          .Op(stats_.op_id)
+          .Agent(node_.name())
+          .Arg("type", MsgTypeName(m.type))
+          .Arg("corr", CorrId(m, node_.ip().ToString()))
+          .Arg("dst", shard.sub_ip.ToString()));
+  node_.os().sim().metrics().counter("coord.messages_sent").Add();
+  TransmitControl(shard.sub_ip, m, kShardPort);
+}
+
 void Coordinator::TransmitControl(net::Ipv4Address dst,
-                                  const CoordMessage& m) {
+                                  const CoordMessage& m,
+                                  std::uint16_t dst_port) {
   fault::MessageFate fate;
   if (fault_ != nullptr) {
     fate = fault_->OnControlSend(node_.name(), dst.value,
@@ -230,7 +349,7 @@ void Coordinator::TransmitControl(net::Ipv4Address dst,
 
   net::UdpDatagram dgram;
   dgram.src_port = kCoordinatorPort;
-  dgram.dst_port = kAgentPort;
+  dgram.dst_port = dst_port;
   dgram.payload = m.Encode();
   net::Ipv4Packet pkt;
   pkt.src = node_.ip();
@@ -260,14 +379,25 @@ void Coordinator::BroadcastContinue() {
           node_.name()));
   int rounds = test_duplicate_continue_ ? 2 : 1;
   for (int round = 0; round < rounds; ++round) {
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-      CoordMessage m;
-      m.type = MsgType::kContinue;
-      m.op_id = stats_.op_id;
-      m.epoch = stats_.epoch;
-      m.pod_id = members_[i].pod;
-      m.variant = options_.variant;
-      SendToAgent(i, std::move(m));
+    if (hierarchical_) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        CoordMessage m;
+        m.type = MsgType::kShardContinue;
+        m.op_id = stats_.op_id;
+        m.epoch = stats_.epoch;
+        m.variant = options_.variant;
+        SendToShard(s, std::move(m));
+      }
+    } else {
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        CoordMessage m;
+        m.type = MsgType::kContinue;
+        m.op_id = stats_.op_id;
+        m.epoch = stats_.epoch;
+        m.pod_id = members_[i].pod;
+        m.variant = options_.variant;
+        SendToAgent(i, std::move(m));
+      }
     }
   }
 }
@@ -282,6 +412,19 @@ void Coordinator::AbortOp(const std::string& reason) {
       obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg("reason",
                                                                 reason));
   node_.os().sim().metrics().counter("coord.aborts_total").Add();
+  // Hierarchical mode: abort the sub-coordinators (they fence and clean
+  // their shards) AND every agent directly — a crashed sub must not be
+  // able to leave its shard frozen behind a dead op.
+  if (hierarchical_) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      CoordMessage abort;
+      abort.type = MsgType::kShardAbort;
+      abort.op_id = stats_.op_id;
+      abort.epoch = stats_.epoch;
+      ++stats_.aborts;
+      SendToShard(s, std::move(abort));
+    }
+  }
   for (std::size_t i = 0; i < members_.size(); ++i) {
     CoordMessage abort;
     abort.type = MsgType::kAbort;
@@ -376,6 +519,7 @@ void Coordinator::OnDatagram(net::Endpoint from,
       }
       break;
     case MsgType::kPong:
+    case MsgType::kShardPong:
       missed_heartbeats_[from.ip.value] = 0;
       break;
     case MsgType::kFailed:
@@ -383,6 +527,61 @@ void Coordinator::OnDatagram(net::Endpoint from,
       // error, unreadable image): the op can never complete — abort now
       // rather than waiting out the timeout.
       AbortOp("member " + std::to_string(from.ip.value) + " failed");
+      break;
+    case MsgType::kShardCommDisabled:
+      // Fig. 4, aggregated: this shard has communication disabled on
+      // every member.
+      if (options_.variant == ProtocolVariant::kOptimized) {
+        pending_comm_disabled_.erase(from.ip.value);
+        if (pending_comm_disabled_.empty()) {
+          BroadcastContinue();
+        }
+      }
+      break;
+    case MsgType::kShardDone: {
+      if (pending_done_.count(from.ip.value) == 0) break;  // dup/settled
+      AccumulateShardMessages(from.ip.value, m.extra_messages);
+      stats_.max_local = std::max(stats_.max_local, m.local_duration);
+      stats_.max_downtime = std::max(stats_.max_downtime, m.downtime);
+      for (const ShardMember& sm : m.shard_members) {
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (members_[i].agent_ip.value == sm.agent_ip) {
+            stats_.replica_sets[i] = sm.replicas;
+            stats_.restore_sources[i] = sm.restore_source;
+            break;
+          }
+        }
+      }
+      // The aggregated report may arrive in roster fragments (tiered
+      // per-member reports can exceed the MTU): the shard settles only
+      // once member_total distinct member reports are in.
+      std::set<std::uint32_t>& seen = shard_done_members_[from.ip.value];
+      for (const ShardMember& sm : m.shard_members) seen.insert(sm.agent_ip);
+      if (seen.size() < m.member_total) break;
+      pending_done_.erase(from.ip.value);
+      if (pending_done_.empty()) {
+        stats_.checkpoint_latency = node_.os().sim().Now() - op_start_;
+        node_.os().sim().tracer().EndSpan(freeze_span_);
+        freeze_span_ = obs::kInvalidSpanId;
+        BroadcastContinue();
+        if (pending_continue_done_.empty()) Finish(true);
+      }
+      break;
+    }
+    case MsgType::kShardContinueDone:
+      if (pending_continue_done_.erase(from.ip.value) != 0) {
+        stats_.max_continue =
+            std::max(stats_.max_continue, m.local_duration);
+        AccumulateShardMessages(from.ip.value, m.extra_messages);
+        if (pending_continue_done_.empty() && pending_done_.empty()) {
+          Finish(true);
+        }
+      }
+      break;
+    case MsgType::kShardFailed:
+      // A sub-coordinator gave up on its shard (dead agent, retry cap,
+      // self-clean): the op can never complete.
+      AbortOp("shard " + std::to_string(from.ip.value) + " failed");
       break;
     default:
       break;
@@ -420,6 +619,38 @@ void Coordinator::ScheduleRetransmit() {
 }
 
 void Coordinator::RetransmitPending() {
+  if (hierarchical_) {
+    // Re-send the phase-appropriate shard request to every shard that
+    // has not answered it. Sub-coordinators deduplicate by op id and
+    // answer completed ops from their reply cache.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::uint32_t key = shards_[s].sub_ip.value;
+      if (pending_done_.count(key) != 0) {
+        ++stats_.retransmits;
+        node_.os().sim().tracer().Instant(
+            "coord", "coord.retransmit",
+            obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
+                "type", is_restart_ ? "shard-restart" : "shard-checkpoint"));
+        node_.os().sim().metrics().counter("coord.retransmits_total").Add();
+        SendShardRequest(s);
+      } else if (continue_sent_ &&
+                 pending_continue_done_.count(key) != 0) {
+        CoordMessage m;
+        m.type = MsgType::kShardContinue;
+        m.op_id = stats_.op_id;
+        m.epoch = stats_.epoch;
+        m.variant = options_.variant;
+        ++stats_.retransmits;
+        node_.os().sim().tracer().Instant(
+            "coord", "coord.retransmit",
+            obs::TraceAttrs{}.Op(stats_.op_id).Agent(node_.name()).Arg(
+                "type", MsgTypeName(m.type)));
+        node_.os().sim().metrics().counter("coord.retransmits_total").Add();
+        SendToShard(s, std::move(m));
+      }
+    }
+    return;
+  }
   // Re-send the phase-appropriate request to every member that has not
   // answered it. Agents deduplicate by op id and re-send lost replies.
   for (std::size_t i = 0; i < members_.size(); ++i) {
@@ -474,6 +705,30 @@ void Coordinator::ScheduleHeartbeat() {
 }
 
 void Coordinator::HeartbeatTick() {
+  if (hierarchical_) {
+    // Probe the sub-coordinators, not the agents: each sub probes its own
+    // shard (a dead agent surfaces as the sub's <shard-failed>), so a
+    // silent sub here means the sub itself is dead.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::uint32_t key = shards_[s].sub_ip.value;
+      if (pending_done_.count(key) == 0 &&
+          pending_continue_done_.count(key) == 0) {
+        continue;
+      }
+      std::uint32_t missed = ++missed_heartbeats_[key];
+      if (missed > options_.max_missed_heartbeats) {
+        AbortOp("shard " + std::to_string(key) + " unresponsive");
+        return;
+      }
+      CoordMessage ping;
+      ping.type = MsgType::kPing;
+      ping.op_id = stats_.op_id;
+      ping.epoch = stats_.epoch;
+      SendToShard(s, std::move(ping));
+    }
+    ScheduleHeartbeat();
+    return;
+  }
   for (std::size_t i = 0; i < members_.size(); ++i) {
     std::uint32_t key = members_[i].agent_ip.value;
     if (pending_done_.count(key) == 0 &&

@@ -101,6 +101,13 @@ class Coordinator {
     // (netfs flush in the background) and restarts resolve across the
     // tier hierarchy. Requires a TieredStore passed at construction.
     bool tiered = false;
+    // Hierarchical coordination (DESIGN.md §13): partition the members
+    // into contiguous shards of at most fan_out agents, each driven by
+    // the sub-coordinator on the shard's first node, so the root
+    // addresses ⌈N/fan_out⌉ endpoints instead of N. 0 = flat. Ignored
+    // by the flush baseline (its all-to-all marker traffic is the point
+    // of that comparison).
+    std::uint32_t fan_out = 0;
   };
 
   struct OpStats {
@@ -133,6 +140,12 @@ class Coordinator {
     // 255 = unset).
     std::vector<std::vector<ckpt::Replica>> replica_sets;
     std::vector<std::uint8_t> restore_sources;
+    // Hierarchical mode: number of shards (0 = flat) and the maximum
+    // number of distinct destinations any single endpoint addressed
+    // during the op (flat: N at the root; hierarchical: the larger of
+    // the shard count and the largest shard).
+    std::uint32_t shard_count = 0;
+    std::uint32_t max_endpoint_fanout = 0;
   };
 
   // What a restarted coordinator found in its intent journal.
@@ -184,12 +197,32 @@ class Coordinator {
   }
 
  private:
+  // One shard of the hierarchical tree: the sub-coordinator's node plus
+  // the member indices it drives.
+  struct Shard {
+    net::Ipv4Address sub_ip;
+    std::vector<std::size_t> member_indices;
+  };
+
   void Begin(bool is_restart, std::vector<Member> members,
              std::vector<std::string> image_paths, Options options,
              DoneFn done);
   void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
   void SendToAgent(std::size_t member_index, CoordMessage m);
-  void TransmitControl(net::Ipv4Address dst, const CoordMessage& m);
+  void SendToShard(std::size_t shard_index, CoordMessage m);
+  // Downward shard request (kShardCheckpoint/kShardRestart) for one
+  // shard, carrying the roster and per-member parameters.
+  CoordMessage BuildShardRequest(const Shard& shard) const;
+  // Sends the shard request, splitting the roster across datagrams so no
+  // fragment exceeds the Ethernet MTU (the stack does not IP-fragment);
+  // the sub starts once it holds member_total distinct members.
+  void SendShardRequest(std::size_t shard_index);
+  // Folds a sub-coordinator's cumulative shard-internal message count
+  // into the grand total (high-water delta: exact under re-sent replies).
+  void AccumulateShardMessages(std::uint32_t sub_ip,
+                               std::uint32_t cumulative);
+  void TransmitControl(net::Ipv4Address dst, const CoordMessage& m,
+                       std::uint16_t dst_port = kAgentPort);
   void BroadcastContinue();
   void AbortOp(const std::string& reason);
   void Finish(bool success);
@@ -216,14 +249,22 @@ class Coordinator {
 
   bool op_active_ = false;
   bool is_restart_ = false;
+  bool hierarchical_ = false;
+  std::vector<Shard> shards_;
   Options options_;
   std::vector<Member> members_;
   OpStats stats_;
   DoneFn done_fn_;
   TimeNs op_start_ = 0;
-  std::set<std::uint32_t> pending_done_;           // agent ips
-  std::set<std::uint32_t> pending_continue_done_;  // agent ips
+  // Keyed by agent ip (flat) or sub-coordinator ip (hierarchical).
+  std::set<std::uint32_t> pending_done_;
+  std::set<std::uint32_t> pending_continue_done_;
   std::set<std::uint32_t> pending_comm_disabled_;  // Fig. 4
+  // Hierarchical bookkeeping, keyed by sub-coordinator ip: cumulative
+  // shard-internal message counts (see AccumulateShardMessages) and the
+  // distinct member reports received from fragmented <shard-done>s.
+  std::map<std::uint32_t, std::uint32_t> shard_messages_seen_;
+  std::map<std::uint32_t, std::set<std::uint32_t>> shard_done_members_;
   bool continue_sent_ = false;
   std::vector<std::string> image_paths_;
   sim::EventId timeout_event_ = sim::kInvalidEventId;

@@ -18,6 +18,7 @@ void IntentJournal::Append(const JournalRecord& record) {
     payload.PutU32(m.pod);
     payload.PutString(m.image_path);
   }
+  payload.PutU32(record.fan_out);
   cruz::Bytes body = payload.Take();
   cruz::ByteWriter framed;
   framed.PutU32(static_cast<std::uint32_t>(body.size()));
@@ -57,6 +58,8 @@ std::vector<JournalRecord> IntentJournal::ReadAll() const {
         m.image_path = br.GetString();
         rec.members.push_back(std::move(m));
       }
+      // Absent in records written before hierarchical mode existed.
+      rec.fan_out = br.remaining() >= 4 ? br.GetU32() : 0;
     } catch (const cruz::CodecError&) {
       // Torn tail: the previous coordinator died mid-append. Everything
       // before this point is intact; the partial record carries no

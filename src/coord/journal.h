@@ -36,6 +36,9 @@ struct JournalRecord {
   std::uint64_t epoch = 0;
   bool is_restart = false;
   std::vector<Member> members;  // intent records only
+  // Hierarchical mode: the shard fan-out the op ran with (0 = flat), so
+  // recovery can re-derive the sub-coordinator set and fence it too.
+  std::uint32_t fan_out = 0;
 };
 
 class IntentJournal {

@@ -18,6 +18,15 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kFailed: return "failed";
     case MsgType::kPing: return "ping";
     case MsgType::kPong: return "pong";
+    case MsgType::kShardCheckpoint: return "shard-checkpoint";
+    case MsgType::kShardRestart: return "shard-restart";
+    case MsgType::kShardContinue: return "shard-continue";
+    case MsgType::kShardAbort: return "shard-abort";
+    case MsgType::kShardDone: return "shard-done";
+    case MsgType::kShardContinueDone: return "shard-continue-done";
+    case MsgType::kShardCommDisabled: return "shard-comm-disabled";
+    case MsgType::kShardFailed: return "shard-failed";
+    case MsgType::kShardPong: return "shard-pong";
   }
   return "unknown";
 }
@@ -54,6 +63,22 @@ cruz::Bytes CoordMessage::Encode() const {
     w.PutU64(rep.size);
     w.PutU32(rep.crc32);
   }
+  w.PutU32(static_cast<std::uint32_t>(shard_members.size()));
+  for (const ShardMember& sm : shard_members) {
+    w.PutU32(sm.agent_ip);
+    w.PutU32(sm.pod);
+    w.PutString(sm.image_path);
+    w.PutU8(sm.restore_source);
+    w.PutU32(static_cast<std::uint32_t>(sm.replicas.size()));
+    for (const ckpt::Replica& rep : sm.replicas) {
+      w.PutU8(static_cast<std::uint8_t>(rep.tier));
+      w.PutU32(rep.node_index);
+      w.PutU64(rep.size);
+      w.PutU32(rep.crc32);
+    }
+  }
+  w.PutU64(static_cast<std::uint64_t>(op_timeout));
+  w.PutU32(member_total);
   return w.Take();
 }
 
@@ -61,7 +86,7 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   cruz::ByteReader r(wire);
   CoordMessage m;
   std::uint8_t type = r.GetU8();
-  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kPong)) {
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kShardPong)) {
     throw cruz::CodecError("invalid coordination message type");
   }
   m.type = static_cast<MsgType>(type);
@@ -95,7 +120,63 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
     rep.crc32 = r.GetU32();
     m.replicas.push_back(rep);
   }
+  std::uint32_t members = r.GetU32();
+  for (std::uint32_t i = 0; i < members; ++i) {
+    ShardMember sm;
+    sm.agent_ip = r.GetU32();
+    sm.pod = r.GetU32();
+    sm.image_path = r.GetString();
+    sm.restore_source = r.GetU8();
+    std::uint32_t reps = r.GetU32();
+    for (std::uint32_t j = 0; j < reps; ++j) {
+      ckpt::Replica rep;
+      rep.tier = static_cast<ckpt::Tier>(r.GetU8());
+      rep.node_index = r.GetU32();
+      rep.size = r.GetU64();
+      rep.crc32 = r.GetU32();
+      sm.replicas.push_back(rep);
+    }
+    m.shard_members.push_back(sm);
+  }
+  m.op_timeout = static_cast<DurationNs>(r.GetU64());
+  m.member_total = r.GetU32();
   return m;
+}
+
+std::vector<CoordMessage> FragmentRoster(const CoordMessage& full) {
+  std::vector<CoordMessage> out;
+  if (full.shard_members.empty()) {
+    out.push_back(full);
+    return out;
+  }
+  // Greedy byte-budget packing: per member the wire cost is ~17 bytes of
+  // fixed fields plus the image path plus 17 per replica; 1200 bytes of
+  // roster leaves ample room for the fixed message fields under the
+  // 1500-byte MTU. A single member always fits.
+  constexpr std::size_t kRosterBytesPerDatagram = 1200;
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(full.shard_members.size());
+  std::size_t i = 0;
+  while (i < full.shard_members.size()) {
+    CoordMessage frag = full;
+    frag.shard_members.clear();
+    frag.member_total = total;
+    std::size_t bytes = 0;
+    while (i < full.shard_members.size()) {
+      const ShardMember& sm = full.shard_members[i];
+      std::size_t cost =
+          17 + sm.image_path.size() + 17 * sm.replicas.size();
+      if (!frag.shard_members.empty() &&
+          bytes + cost > kRosterBytesPerDatagram) {
+        break;
+      }
+      bytes += cost;
+      frag.shard_members.push_back(sm);
+      ++i;
+    }
+    out.push_back(std::move(frag));
+  }
+  return out;
 }
 
 }  // namespace cruz::coord

@@ -21,6 +21,9 @@ namespace cruz::coord {
 
 constexpr std::uint16_t kAgentPort = 7001;
 constexpr std::uint16_t kCoordinatorPort = 7002;
+// Hierarchical mode: every node runs a (mostly idle) sub-coordinator on
+// this port; the root addresses shards by their first member's node.
+constexpr std::uint16_t kShardPort = 7003;
 
 enum class MsgType : std::uint8_t {
   kCheckpoint = 1,    // coordinator -> agent: take a local checkpoint
@@ -38,6 +41,21 @@ enum class MsgType : std::uint8_t {
   kFailed = 10,  // agent -> coordinator: local operation failed fast
   kPing = 11,    // coordinator -> agent: liveness probe during an op
   kPong = 12,    // agent -> coordinator: liveness reply
+  // Hierarchical coordination (DESIGN.md §13): the root broadcasts each
+  // phase to per-node sub-coordinators, which fan the flat protocol out
+  // to their agent shard and return one aggregated ack. Sub-coordinator
+  // replies use distinct types from agent replies so a sub and the agent
+  // co-located on the same node can never produce colliding correlation
+  // ids (CorrId keys on op:type:sender:seq).
+  kShardCheckpoint = 13,    // root -> sub: checkpoint your shard members
+  kShardRestart = 14,       // root -> sub: restart your shard members
+  kShardContinue = 15,      // root -> sub: broadcast <continue> to shard
+  kShardAbort = 16,         // root -> sub: cancel, clean up the shard
+  kShardDone = 17,          // sub -> root: every member reported <done>
+  kShardContinueDone = 18,  // sub -> root: every member resumed
+  kShardCommDisabled = 19,  // sub -> root: Fig. 4 aggregated notification
+  kShardFailed = 20,        // sub -> root: a member failed / gave up
+  kShardPong = 21,          // sub -> root: liveness reply to kPing
 };
 
 // Human-readable message-type name (trace/metric labels).
@@ -48,6 +66,18 @@ enum class ProtocolVariant : std::uint8_t {
   kOptimized = 1,  // Fig. 4: resume as soon as local save completes,
                    // once communication is disabled everywhere
   kFlushBaseline = 2,  // CoCheck/MPVM-style all-to-all flush before saving
+};
+
+// One agent in a sub-coordinator's shard. Downward (kShardCheckpoint /
+// kShardRestart) it names the member and its per-member request
+// parameters; upward (kShardDone) it carries the member's tiered-commit
+// report so the root can assemble the generation manifest.
+struct ShardMember {
+  std::uint32_t agent_ip = 0;  // node address (Ipv4Address value)
+  std::uint32_t pod = 0;
+  std::string image_path;
+  std::uint8_t restore_source = 255;    // upward: tier that served a restart
+  std::vector<ckpt::Replica> replicas;  // upward: where the image landed
 };
 
 struct CoordMessage {
@@ -101,6 +131,17 @@ struct CoordMessage {
   // Tiered mode, kDone after a restart: which tier actually served the
   // image (ckpt::Tier; 255 = unset/legacy netfs read).
   std::uint8_t restore_source = 255;
+  // Hierarchical mode. Downward: the shard roster a sub-coordinator must
+  // drive, plus the root's op timeout so an orphaned sub can self-clean
+  // shortly after the root would have given up. Upward (kShardDone): the
+  // per-member tiered reports.
+  std::vector<ShardMember> shard_members;
+  DurationNs op_timeout = 0;
+  // Roster fragmentation: a full shard roster can exceed the Ethernet
+  // MTU (the stack does not IP-fragment), so shard requests carry the
+  // total roster size and the sub-coordinator accumulates fragments
+  // until it has this many distinct members. 0 = unfragmented.
+  std::uint32_t member_total = 0;
 
   cruz::Bytes Encode() const;
   static CoordMessage Decode(cruz::ByteSpan wire);
@@ -110,5 +151,14 @@ struct CoordMessage {
 // Both ends can compute it — the sender knows its own address, the receiver
 // reads the datagram source — so matching needs no shared state.
 std::string CorrId(const CoordMessage& m, const std::string& sender);
+
+// Splits a message whose shard roster could exceed the Ethernet MTU (the
+// stack does not IP-fragment; an oversized frame is dropped at the NIC)
+// into copies each carrying an MTU-safe slice of shard_members plus
+// member_total = the full roster size, so the receiver can tell when it
+// holds every member. A message with no roster yields one unchanged copy.
+// Used for both directions: root -> sub requests and the sub's aggregated
+// <shard-done> report.
+std::vector<CoordMessage> FragmentRoster(const CoordMessage& full);
 
 }  // namespace cruz::coord

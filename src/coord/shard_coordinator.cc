@@ -1,0 +1,652 @@
+#include "coord/shard_coordinator.h"
+
+#include <algorithm>
+
+#include "ckpt/store/tiered_store.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "sim/simulator.h"
+
+namespace cruz::coord {
+
+namespace {
+// Retransmission toward the shard's agents: faster than the root's
+// defaults (the sub is one hop from its agents), with a round cap that
+// turns a silent agent into a prompt <shard-failed> instead of letting
+// the root eat its whole op timeout.
+constexpr DurationNs kRetransmitInterval = 500 * kMillisecond;
+constexpr double kRetransmitBackoff = 2.0;
+constexpr std::uint32_t kMaxRetransmitRounds = 8;
+// Self-clean margin past the root's op timeout: a shard orphaned by a
+// dead root aborts itself shortly after the root would have given up.
+constexpr DurationNs kSelfCleanSlack = 2 * kSecond;
+
+bool IsRootRequest(MsgType type) {
+  switch (type) {
+    case MsgType::kShardCheckpoint:
+    case MsgType::kShardRestart:
+    case MsgType::kShardContinue:
+    case MsgType::kShardAbort:
+    case MsgType::kPing:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(os::Node& node, ckpt::TieredStore* tiered)
+    : node_(node), journal_(node.os().fs(), JournalPath()), tiered_(tiered) {
+  node_.stack().RegisterUdpService(
+      kShardPort, [this](net::Endpoint from, const cruz::Bytes& payload) {
+        OnDatagram(from, payload);
+      });
+  RecoverFromJournal();
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  CancelTimers();
+  node_.stack().UnregisterUdpService(kShardPort);
+}
+
+std::string ShardCoordinator::JournalPath() const {
+  return "/coord/shard_journal_" + node_.name();
+}
+
+void ShardCoordinator::RecoverFromJournal() {
+  IntentJournal::RecoveredState state = journal_.Recover();
+  max_epoch_seen_ = std::max(max_epoch_seen_, state.last_epoch);
+  if (!state.incomplete.has_value()) return;
+
+  // A previous incarnation died driving this shard. Fence the agents
+  // (they resume their pods and drop partial state) and reap whatever
+  // images the interrupted checkpoint wrote, on every tier.
+  const JournalRecord& intent = *state.incomplete;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.shard.recovery",
+      obs::TraceAttrs{}.Op(intent.epoch).Agent(node_.name()).Arg(
+          "kind", intent.is_restart ? "restart" : "checkpoint"));
+  CRUZ_WARN("coord") << node_.name()
+                     << ": shard journal recovery: aborting in-flight op "
+                     << intent.epoch;
+  last_aborted_op_ = std::max(last_aborted_op_, intent.epoch);
+  for (const JournalRecord::Member& m : intent.members) {
+    CoordMessage abort;
+    abort.type = MsgType::kAbort;
+    abort.op_id = intent.epoch;
+    abort.epoch = intent.epoch;
+    abort.pod_id = m.pod;
+    Send(net::Endpoint{net::Ipv4Address{m.agent_ip}, kAgentPort}, abort);
+    if (!intent.is_restart && !m.image_path.empty()) {
+      node_.os().fs().Remove(m.image_path);
+      if (tiered_ != nullptr) tiered_->RemoveEverywhere(m.image_path);
+    }
+  }
+  JournalRecord outcome;
+  outcome.type = JournalRecord::Type::kAbort;
+  outcome.epoch = intent.epoch;
+  outcome.is_restart = intent.is_restart;
+  journal_.Append(outcome);
+}
+
+void ShardCoordinator::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // A dead process fires no timers: without this the retransmit/self-clean
+  // events would keep acting (sending aborts!) from beyond the grave.
+  CancelTimers();
+  EndOpSpan("sub-crash");
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.shard.crash", obs::TraceAttrs{}.Agent(node_.name()));
+  CRUZ_WARN("coord") << node_.name() << ": sub-coordinator CRASHED";
+}
+
+void ShardCoordinator::Reset() {
+  crashed_ = false;
+  CancelTimers();
+  op_active_ = false;
+  op_ = ActiveOp{};
+  // Volatile state does not survive a process restart; the journal
+  // restores the fencing epoch and aborts the interrupted op.
+  max_epoch_seen_ = 0;
+  last_completed_op_ = 0;
+  last_aborted_op_ = 0;
+  last_had_continue_done_ = false;
+  RecoverFromJournal();
+  CRUZ_INFO("coord") << node_.name() << ": sub-coordinator restarted";
+}
+
+void ShardCoordinator::CancelTimers() {
+  if (retransmit_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(retransmit_event_);
+    retransmit_event_ = sim::kInvalidEventId;
+  }
+  if (timeout_event_ != sim::kInvalidEventId) {
+    node_.os().sim().Cancel(timeout_event_);
+    timeout_event_ = sim::kInvalidEventId;
+  }
+}
+
+void ShardCoordinator::EndOpSpan(const char* outcome) {
+  if (op_.op_span == obs::kInvalidSpanId) return;
+  node_.os().sim().tracer().EndSpan(
+      op_.op_span, {{"outcome", outcome},
+                    {"shard_messages", std::to_string(op_.messages)}});
+  op_.op_span = obs::kInvalidSpanId;
+}
+
+void ShardCoordinator::Send(net::Endpoint to, CoordMessage m) {
+  // Same correlation discipline as the root and the agents: stamp before
+  // the fault layer so a dropped transmission still leaves a send
+  // instant, and a wire duplicate shares the corr id.
+  m.corr_seq = ++next_corr_seq_;
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.msg.send",
+      obs::TraceAttrs{}
+          .Op(m.op_id)
+          .Agent(node_.name())
+          .Arg("type", MsgTypeName(m.type))
+          .Arg("corr", CorrId(m, node_.ip().ToString()))
+          .Arg("dst", to.ip.ToString()));
+  node_.os().sim().metrics().counter("coord.shard.messages_sent").Add();
+  fault::MessageFate fate;
+  if (fault_ != nullptr) {
+    fate = fault_->OnControlSend(node_.name(), to.ip.value,
+                                 static_cast<std::uint8_t>(m.type));
+  }
+  if (fate.drop) return;
+
+  net::UdpDatagram dgram;
+  dgram.src_port = kShardPort;
+  dgram.dst_port = to.port;
+  dgram.payload = m.Encode();
+  net::Ipv4Packet pkt;
+  pkt.src = node_.ip();
+  pkt.dst = to.ip;
+  pkt.proto = net::IpProto::kUdp;
+  pkt.payload = dgram.Encode();
+  int copies = fate.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    if (fate.delay > 0) {
+      os::NetworkStack* stack = &node_.stack();
+      node_.os().sim().Schedule(fate.delay,
+                                [stack, pkt] { stack->SendIpv4(pkt); });
+    } else {
+      node_.stack().SendIpv4(pkt);
+    }
+  }
+}
+
+void ShardCoordinator::OnDatagram(net::Endpoint from,
+                                  const cruz::Bytes& payload) {
+  if (crashed_) return;  // a dead sub-coordinator hears nothing
+  CoordMessage m;
+  try {
+    m = CoordMessage::Decode(payload);
+  } catch (const cruz::CodecError&) {
+    return;
+  }
+  {
+    obs::TraceAttrs attrs;
+    attrs.Op(m.op_id).Agent(node_.name()).Arg("type", MsgTypeName(m.type));
+    if (m.corr_seq != 0) {
+      attrs.Arg("corr", CorrId(m, from.ip.ToString()));
+    }
+    attrs.Arg("src", from.ip.ToString());
+    node_.os().sim().tracer().Instant("coord", "coord.msg.recv",
+                                      std::move(attrs));
+  }
+  // Epoch fencing, same rule as the agents: requests below the observed
+  // high-water mark come from a dead root incarnation.
+  if (IsRootRequest(m.type)) {
+    if (m.epoch < max_epoch_seen_) {
+      CRUZ_WARN("coord") << node_.name() << ": fenced stale shard request "
+                         << MsgTypeName(m.type) << " (epoch " << m.epoch
+                         << " < " << max_epoch_seen_ << ")";
+      return;
+    }
+    max_epoch_seen_ = m.epoch;
+  }
+  switch (m.type) {
+    case MsgType::kShardCheckpoint:
+    case MsgType::kShardRestart:
+      HandleShardRequest(m, from);
+      break;
+    case MsgType::kShardContinue:
+      HandleShardContinue(m, from);
+      break;
+    case MsgType::kShardAbort:
+      HandleShardAbort(m);
+      break;
+    case MsgType::kPing: {
+      // Liveness: answered even mid-op (the probe asks "is the process
+      // alive", not "is the shard finished").
+      CoordMessage pong;
+      pong.type = MsgType::kShardPong;
+      pong.op_id = m.op_id;
+      pong.epoch = m.epoch;
+      Send(from, pong);
+      break;
+    }
+    case MsgType::kDone:
+    case MsgType::kContinueDone:
+    case MsgType::kCommDisabled:
+    case MsgType::kFailed:
+      HandleAgentReply(m, from);
+      break;
+    default:
+      break;
+  }
+}
+
+void ShardCoordinator::HandleShardRequest(const CoordMessage& m,
+                                          net::Endpoint from) {
+  if (op_active_ && op_.op_id == m.op_id) {
+    if (op_.started) {
+      // A re-request after our <shard-done> went out means the reply was
+      // lost (the completed-op cache below only covers finished ops):
+      // re-answer. Before <shard-done> the root is just impatient.
+      if (op_.done_sent) SendReply(from, last_done_reply_);
+      return;
+    }
+    // Another roster fragment (or a retransmitted one — the dedup below
+    // absorbs duplicates).
+    for (const ShardMember& sm : m.shard_members) {
+      bool known = false;
+      for (const ShardMember& have : op_.members) {
+        if (have.agent_ip == sm.agent_ip) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) op_.members.push_back(sm);
+    }
+    if (op_.members.size() >= op_.member_total) StartShardOp();
+    return;
+  }
+  if (m.op_id == last_completed_op_ && last_completed_op_ != 0) {
+    // The root retransmitted a request we already served: the original
+    // <shard-done> was lost. Re-answer from the cache.
+    SendReply(from, last_done_reply_);
+    return;
+  }
+  if (m.op_id <= last_aborted_op_) return;  // overtaken by its abort
+  if (op_active_) {
+    // A newer epoch supersedes the in-flight op: the root gave up on it
+    // (we missed the abort) and moved on.
+    if (m.epoch <= op_.epoch) return;
+    AbortShardOp("superseded", /*notify_root=*/false);
+  }
+  CRUZ_CHECK(!m.shard_members.empty(), "shard request with no members");
+
+  op_active_ = true;
+  op_ = ActiveOp{};
+  op_.op_id = m.op_id;
+  op_.epoch = m.epoch;
+  op_.is_restart = m.type == MsgType::kShardRestart;
+  op_.variant = m.variant;
+  op_.root = from;
+  op_.request = m;
+  op_.members = m.shard_members;
+  op_.member_total = std::max(
+      m.member_total, static_cast<std::uint32_t>(m.shard_members.size()));
+  // Self-clean armed on the first fragment: a roster half-delivered by a
+  // dying root must not stay active forever either.
+  if (m.op_timeout > 0) {
+    timeout_event_ = node_.os().sim().Schedule(
+        m.op_timeout + kSelfCleanSlack, [this] {
+          timeout_event_ = sim::kInvalidEventId;
+          if (!op_active_) return;
+          // Orphaned shard: the root would have timed out already. Do
+          // not leave pods frozen behind a dead root — abort locally.
+          AbortShardOp("self-clean timeout", /*notify_root=*/true);
+        });
+  }
+  if (op_.members.size() < op_.member_total) return;  // await fragments
+  StartShardOp();
+}
+
+void ShardCoordinator::StartShardOp() {
+  op_.started = true;
+  op_.op_span = node_.os().sim().tracer().BeginSpan(
+      "coord", "coord.shard.op",
+      obs::TraceAttrs{}
+          .Op(op_.op_id)
+          .Phase("shard")
+          .Agent(node_.name())
+          .Arg("kind", op_.is_restart ? "restart" : "checkpoint")
+          .Arg("shard_size", op_.members.size()));
+  node_.os().sim().metrics().counter("coord.shard.ops_total").Add();
+
+  // Write-ahead intent: a sub-coordinator that dies here must know, on
+  // restart, which agents to fence and which images to reap.
+  JournalRecord intent;
+  intent.type = JournalRecord::Type::kIntent;
+  intent.epoch = op_.epoch;
+  intent.is_restart = op_.is_restart;
+  for (const ShardMember& sm : op_.members) {
+    intent.members.push_back(
+        JournalRecord::Member{sm.agent_ip, sm.pod, sm.image_path});
+  }
+  journal_.Append(intent);
+
+  if (test_ack_without_forward_) {
+    // Sabotage: lie upward. Fabricate plausible per-member reports and
+    // acknowledge without ever contacting an agent; no pod freezes, no
+    // image is written. The gen-commit invariant must catch the commit
+    // with zero agent saves.
+    for (ShardMember& sm : op_.members) {
+      if (!op_.is_restart) {
+        sm.replicas = {ckpt::Replica{ckpt::Tier::kLocal, node_.index(),
+                                     0, 0}};
+      } else {
+        sm.restore_source =
+            static_cast<std::uint8_t>(ckpt::Tier::kLocal);
+      }
+    }
+    op_.max_local = 1 * kMillisecond;
+    op_.max_downtime = 1 * kMillisecond;
+    if (op_.variant == ProtocolVariant::kOptimized) {
+      CoordMessage cd;
+      cd.type = MsgType::kShardCommDisabled;
+      cd.op_id = op_.op_id;
+      cd.epoch = op_.epoch;
+      Send(op_.root, cd);
+      op_.comm_disabled_sent = true;
+    }
+    SendShardDone();
+    return;
+  }
+
+  for (const ShardMember& sm : op_.members) {
+    op_.pending_done.insert(sm.agent_ip);
+    op_.pending_continue_done.insert(sm.agent_ip);
+    op_.pending_comm_disabled.insert(sm.agent_ip);
+    ForwardRequestTo(sm);
+  }
+  retransmit_interval_now_ = kRetransmitInterval;
+  retransmit_rounds_ = 0;
+  ScheduleRetransmit();
+}
+
+void ShardCoordinator::ForwardRequestTo(const ShardMember& member) {
+  const CoordMessage& req = op_.request;
+  CoordMessage m;
+  m.type = op_.is_restart ? MsgType::kRestart : MsgType::kCheckpoint;
+  m.op_id = op_.op_id;
+  m.epoch = op_.epoch;
+  m.pod_id = member.pod;
+  m.variant = op_.variant;
+  m.image_path = member.image_path;
+  m.tiered = req.tiered;
+  if (!op_.is_restart) {
+    m.incremental = req.incremental;
+    m.copy_on_write = req.copy_on_write;
+    m.compress = req.compress;
+  }
+  ++op_.messages;
+  Send(net::Endpoint{net::Ipv4Address{member.agent_ip}, kAgentPort},
+       std::move(m));
+}
+
+void ShardCoordinator::BroadcastContinue() {
+  if (op_.continue_broadcast) return;
+  op_.continue_broadcast = true;
+  if (test_ack_without_forward_) return;  // nothing was ever frozen
+  for (const ShardMember& sm : op_.members) {
+    CoordMessage m;
+    m.type = MsgType::kContinue;
+    m.op_id = op_.op_id;
+    m.epoch = op_.epoch;
+    m.pod_id = sm.pod;
+    m.variant = op_.variant;
+    ++op_.messages;
+    Send(net::Endpoint{net::Ipv4Address{sm.agent_ip}, kAgentPort},
+         std::move(m));
+  }
+}
+
+void ShardCoordinator::HandleShardContinue(const CoordMessage& m,
+                                           net::Endpoint from) {
+  if (!op_active_ || op_.op_id != m.op_id) {
+    if (m.op_id == last_completed_op_ && last_completed_op_ != 0 &&
+        last_had_continue_done_) {
+      CoordMessage reply = last_continue_done_reply_;
+      Send(from, reply);
+    }
+    return;
+  }
+  if (!op_.started) return;  // roster still assembling; <continue> is stale
+  BroadcastContinue();
+  if (op_.pending_continue_done.empty()) {
+    if (!op_.continue_done_sent) {
+      SendShardContinueDone();
+    } else {
+      // Copy-on-write overtake: <continue-done> already went out (and was
+      // lost — the root is re-asking) while <done> is still pending.
+      Send(from, last_continue_done_reply_);
+    }
+  }
+}
+
+void ShardCoordinator::HandleShardAbort(const CoordMessage& m) {
+  last_aborted_op_ = std::max(last_aborted_op_, m.op_id);
+  if (op_active_ && op_.op_id == m.op_id) {
+    AbortShardOp("root abort", /*notify_root=*/false);
+  }
+}
+
+void ShardCoordinator::HandleAgentReply(const CoordMessage& m,
+                                        net::Endpoint from) {
+  if (!op_active_ || op_.op_id != m.op_id) return;
+  ++op_.messages;
+  switch (m.type) {
+    case MsgType::kCommDisabled:
+      if (op_.variant == ProtocolVariant::kOptimized &&
+          op_.pending_comm_disabled.erase(from.ip.value) != 0 &&
+          op_.pending_comm_disabled.empty() && !op_.comm_disabled_sent) {
+        // Fig. 4, aggregated: the whole shard has communication disabled.
+        op_.comm_disabled_sent = true;
+        CoordMessage cd;
+        cd.type = MsgType::kShardCommDisabled;
+        cd.op_id = op_.op_id;
+        cd.epoch = op_.epoch;
+        Send(op_.root, cd);
+      }
+      break;
+    case MsgType::kDone:
+      if (op_.pending_done.erase(from.ip.value) != 0) {
+        op_.max_local = std::max(op_.max_local, m.local_duration);
+        op_.max_downtime = std::max(op_.max_downtime, m.downtime);
+        for (ShardMember& sm : op_.members) {
+          if (sm.agent_ip == from.ip.value) {
+            sm.replicas = m.replicas;
+            sm.restore_source = m.restore_source;
+            break;
+          }
+        }
+        if (op_.pending_done.empty()) SendShardDone();
+      }
+      break;
+    case MsgType::kContinueDone:
+      if (op_.pending_continue_done.erase(from.ip.value) != 0) {
+        op_.max_continue = std::max(op_.max_continue, m.local_duration);
+        if (op_.pending_continue_done.empty() && op_.continue_broadcast) {
+          SendShardContinueDone();
+        }
+      }
+      break;
+    case MsgType::kFailed:
+      AbortShardOp("member failed", /*notify_root=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+void ShardCoordinator::SendReply(net::Endpoint to, const CoordMessage& full) {
+  // The aggregated <shard-done> can exceed the MTU just like the downward
+  // roster; the root accumulates fragments per shard.
+  for (CoordMessage& frag : FragmentRoster(full)) Send(to, std::move(frag));
+}
+
+void ShardCoordinator::SendShardDone() {
+  CoordMessage done;
+  done.type = MsgType::kShardDone;
+  done.op_id = op_.op_id;
+  done.epoch = op_.epoch;
+  done.local_duration = op_.max_local;
+  done.downtime = op_.max_downtime;
+  if (op_.request.tiered) {
+    // Per-member tiered reports (replicas / restore sources) for the
+    // root's generation manifest. The root matches members by agent ip,
+    // so the image paths stay home — fewer bytes, fewer fragments.
+    done.shard_members = op_.members;
+    for (ShardMember& sm : done.shard_members) sm.image_path.clear();
+  }
+  done.extra_messages = op_.messages;  // cumulative; root adds the delta
+  op_.done_sent = true;
+  last_done_reply_ = done;
+  SendReply(op_.root, done);
+  MaybeCompleteOp();
+}
+
+void ShardCoordinator::SendShardContinueDone() {
+  CoordMessage cd;
+  cd.type = MsgType::kShardContinueDone;
+  cd.op_id = op_.op_id;
+  cd.epoch = op_.epoch;
+  cd.local_duration = op_.max_continue;
+  cd.extra_messages = op_.messages;  // cumulative; root adds the delta
+  last_continue_done_reply_ = cd;
+  last_had_continue_done_ = true;
+  Send(op_.root, std::move(cd));
+  op_.pending_continue_done.clear();
+  op_.continue_done_sent = true;
+  MaybeCompleteOp();
+}
+
+void ShardCoordinator::MaybeCompleteOp() {
+  // Completion: both aggregated acks are out (copy-on-write lets the
+  // <continue-done>s overtake the last <done>, so order is free).
+  if (!op_.done_sent || !op_.continue_done_sent) return;
+  JournalRecord outcome;
+  outcome.type = JournalRecord::Type::kCommit;
+  outcome.epoch = op_.epoch;
+  outcome.is_restart = op_.is_restart;
+  journal_.Append(outcome);
+  ++ops_served_;
+  last_completed_op_ = op_.op_id;
+  last_root_ = op_.root;
+  EndOpSpan("ok");
+  CancelTimers();
+  op_active_ = false;
+}
+
+void ShardCoordinator::AbortShardOp(const char* reason, bool notify_root) {
+  if (!op_active_) return;
+  CRUZ_WARN("coord") << node_.name() << ": shard op " << op_.op_id
+                     << " aborted (" << reason << ")";
+  node_.os().sim().tracer().Instant(
+      "coord", "coord.shard.abort",
+      obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Arg("reason",
+                                                              reason));
+  node_.os().sim().metrics().counter("coord.shard.aborts_total").Add();
+  last_aborted_op_ = std::max(last_aborted_op_, op_.op_id);
+  for (const ShardMember& sm : op_.members) {
+    CoordMessage abort;
+    abort.type = MsgType::kAbort;
+    abort.op_id = op_.op_id;
+    abort.epoch = op_.epoch;
+    abort.pod_id = sm.pod;
+    ++op_.messages;
+    Send(net::Endpoint{net::Ipv4Address{sm.agent_ip}, kAgentPort},
+         std::move(abort));
+    // The agents delete their own images too; this covers members whose
+    // agent is dead or was never reached — zero orphans on any tier.
+    if (!op_.is_restart && !sm.image_path.empty()) {
+      node_.os().fs().Remove(sm.image_path);
+      if (tiered_ != nullptr) tiered_->RemoveEverywhere(sm.image_path);
+    }
+  }
+  if (notify_root) {
+    CoordMessage failed;
+    failed.type = MsgType::kShardFailed;
+    failed.op_id = op_.op_id;
+    failed.epoch = op_.epoch;
+    Send(op_.root, failed);
+  }
+  JournalRecord outcome;
+  outcome.type = JournalRecord::Type::kAbort;
+  outcome.epoch = op_.epoch;
+  outcome.is_restart = op_.is_restart;
+  journal_.Append(outcome);
+  EndOpSpan("abort");
+  CancelTimers();
+  op_active_ = false;
+}
+
+void ShardCoordinator::ScheduleRetransmit() {
+  DurationNs base = retransmit_interval_now_;
+  DurationNs jittered =
+      base - base / 4 + node_.os().sim().rng().NextBelow(base / 2 + 1);
+  retransmit_event_ = node_.os().sim().Schedule(jittered, [this] {
+    retransmit_event_ = sim::kInvalidEventId;
+    if (!op_active_) return;
+    const bool owed =
+        !op_.pending_done.empty() ||
+        (op_.continue_broadcast && !op_.pending_continue_done.empty());
+    if (owed) {
+      ++retransmit_rounds_;
+      if (retransmit_rounds_ > kMaxRetransmitRounds) {
+        AbortShardOp("retry cap", /*notify_root=*/true);
+        return;
+      }
+      RetransmitPending();
+      DurationNs cap = 4 * kRetransmitInterval;
+      double next = static_cast<double>(retransmit_interval_now_) *
+                    kRetransmitBackoff;
+      retransmit_interval_now_ = static_cast<DurationNs>(
+          std::min(next, static_cast<double>(cap)));
+    } else {
+      // The agents owe us nothing — we are waiting on the root (lost
+      // upward replies are healed by the root's own retransmits, and an
+      // orphaned shard is bounded by the self-clean timeout), so the
+      // retry cap must not tick.
+      retransmit_rounds_ = 0;
+      retransmit_interval_now_ = kRetransmitInterval;
+    }
+    ScheduleRetransmit();
+  });
+}
+
+void ShardCoordinator::RetransmitPending() {
+  for (const ShardMember& sm : op_.members) {
+    if (op_.pending_done.count(sm.agent_ip) != 0) {
+      node_.os().sim().tracer().Instant(
+          "coord", "coord.retransmit",
+          obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Arg(
+              "type", op_.is_restart ? "restart" : "checkpoint"));
+      node_.os().sim().metrics().counter("coord.retransmits_total").Add();
+      ForwardRequestTo(sm);
+    } else if (op_.continue_broadcast &&
+               op_.pending_continue_done.count(sm.agent_ip) != 0) {
+      CoordMessage m;
+      m.type = MsgType::kContinue;
+      m.op_id = op_.op_id;
+      m.epoch = op_.epoch;
+      m.pod_id = sm.pod;
+      m.variant = op_.variant;
+      node_.os().sim().tracer().Instant(
+          "coord", "coord.retransmit",
+          obs::TraceAttrs{}.Op(op_.op_id).Agent(node_.name()).Arg(
+              "type", MsgTypeName(m.type)));
+      node_.os().sim().metrics().counter("coord.retransmits_total").Add();
+      ++op_.messages;
+      Send(net::Endpoint{net::Ipv4Address{sm.agent_ip}, kAgentPort},
+           std::move(m));
+    }
+  }
+}
+
+}  // namespace cruz::coord

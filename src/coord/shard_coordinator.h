@@ -1,0 +1,171 @@
+// Per-node sub-coordinator for hierarchical checkpoints (DESIGN.md §13).
+//
+// At ~1000 nodes a flat coordinator must address every agent itself: the
+// message count stays O(N) but the *per-endpoint* fan-out grows linearly,
+// and the root's serialized datagram processing becomes the scaling wall.
+// Hierarchical mode bounds the fan-out at every endpoint: the root talks
+// to ⌈N/F⌉ sub-coordinators (one per shard of ≤ F agents), each of which
+// replays the flat Fig. 2 protocol to its own shard and answers with one
+// aggregated ack per phase.
+//
+// Every node runs a ShardCoordinator on kShardPort; it is idle (and
+// costs nothing) unless the root addresses the node as a shard head.
+// The sub-coordinator composes with the same robustness machinery as the
+// root:
+//  - epoch fencing, seeded from its own intent journal, so a stale root
+//    incarnation cannot drive a shard;
+//  - a write-ahead intent journal per node — a sub that crashes and
+//    restarts aborts the journaled in-flight shard op (fencing its agents
+//    and reaping partial images on every storage tier);
+//  - retransmission with backoff toward its agents, with a round cap that
+//    converts a silent agent into a fast <shard-failed> upward;
+//  - reply caching, so a retransmitted root request after completion is
+//    answered from the cache instead of re-running the shard;
+//  - abort fencing (a delayed <shard-checkpoint> overtaken by its
+//    <shard-abort> is ignored);
+//  - a self-clean timeout slightly past the root's op timeout, so a shard
+//    orphaned by a dead root never leaves pods frozen forever.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coord/journal.h"
+#include "coord/message.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+#include "os/node.h"
+#include "sim/event_queue.h"
+
+namespace cruz::ckpt {
+class TieredStore;
+}  // namespace cruz::ckpt
+
+namespace cruz::coord {
+
+class ShardCoordinator {
+ public:
+  // `tiered` (optional) enables cross-tier image GC on the abort and
+  // journal-recovery paths, mirroring the root coordinator.
+  explicit ShardCoordinator(os::Node& node,
+                            ckpt::TieredStore* tiered = nullptr);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  bool busy() const { return op_active_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+
+  // Deterministic fault injection (tests/benches); nullptr disables.
+  void set_fault_injector(fault::Injector* injector) { fault_ = injector; }
+
+  // Sabotage hook for oracle self-tests: acknowledge <shard-checkpoint>
+  // with a fabricated <shard-done> (and <shard-continue-done>) without
+  // ever forwarding to the shard's agents — a lying middle tier. The
+  // gen-commit invariant must catch the resulting commit with zero
+  // agent saves. Never set outside tests.
+  void set_test_ack_without_forward(bool v) { test_ack_without_forward_ = v; }
+
+  // Simulates the sub-coordinator process dying: it stops hearing
+  // messages until Reset(), which replays the journal-recovery path a
+  // restarted process would run.
+  void Crash();
+  bool crashed() const { return crashed_; }
+  void Reset();
+
+ private:
+  struct ActiveOp {
+    std::uint64_t op_id = 0;
+    std::uint64_t epoch = 0;
+    bool is_restart = false;
+    ProtocolVariant variant = ProtocolVariant::kBlocking;
+    net::Endpoint root;
+    CoordMessage request;  // original downward request (flags, roster)
+    std::vector<ShardMember> members;
+    // Roster fragmentation (the full roster can exceed the MTU): the op
+    // starts — journal intent, forward to agents — only once `members`
+    // holds member_total distinct agents.
+    std::uint32_t member_total = 0;
+    bool started = false;
+    std::set<std::uint32_t> pending_done;           // agent ips
+    std::set<std::uint32_t> pending_continue_done;  // agent ips
+    std::set<std::uint32_t> pending_comm_disabled;  // Fig. 4
+    bool continue_broadcast = false;
+    bool done_sent = false;
+    bool continue_done_sent = false;
+    bool comm_disabled_sent = false;
+    DurationNs max_local = 0;
+    DurationNs max_downtime = 0;
+    DurationNs max_continue = 0;
+    // Shard-internal message count (sub sends + agent replies received),
+    // reported upward as a cumulative count; the root adds high-water
+    // deltas so the total stays exact under re-sent replies.
+    std::uint32_t messages = 0;
+    obs::SpanId op_span = obs::kInvalidSpanId;
+  };
+
+  void OnDatagram(net::Endpoint from, const cruz::Bytes& payload);
+  void HandleShardRequest(const CoordMessage& m, net::Endpoint from);
+  // Runs once the full roster is assembled: journals the intent and
+  // forwards the request to every shard agent (or fabricates the reply
+  // under the ack-without-forward sabotage).
+  void StartShardOp();
+  void HandleShardContinue(const CoordMessage& m, net::Endpoint from);
+  void HandleShardAbort(const CoordMessage& m);
+  void HandleAgentReply(const CoordMessage& m, net::Endpoint from);
+  void ForwardRequestTo(const ShardMember& member);
+  void BroadcastContinue();
+  void MaybeCompleteOp();
+  // Sends `full` upward, fragmenting its roster under the MTU (the
+  // aggregated <shard-done> can be as oversized as the downward request).
+  void SendReply(net::Endpoint to, const CoordMessage& full);
+  void SendShardDone();
+  void SendShardContinueDone();
+  // Aborts the in-flight shard op: <abort> to every shard agent, image GC
+  // on all tiers, journal outcome; optionally reports <shard-failed>.
+  void AbortShardOp(const char* reason, bool notify_root);
+  void Send(net::Endpoint to, CoordMessage m);
+  void ScheduleRetransmit();
+  void RetransmitPending();
+  void CancelTimers();
+  void EndOpSpan(const char* outcome);
+  // Journal replay at construction / Reset(): abort a predecessor's
+  // in-flight shard op.
+  void RecoverFromJournal();
+  std::string JournalPath() const;
+
+  os::Node& node_;
+  IntentJournal journal_;
+  ckpt::TieredStore* tiered_ = nullptr;
+  fault::Injector* fault_ = nullptr;
+  bool test_ack_without_forward_ = false;
+  bool crashed_ = false;
+  bool op_active_ = false;
+  ActiveOp op_;
+  // Fencing: highest epoch observed from any root incarnation, seeded
+  // from the journal so it survives sub-coordinator restarts.
+  std::uint64_t max_epoch_seen_ = 0;
+  // Abort fencing: a delayed shard request must not outlive its abort.
+  std::uint64_t last_aborted_op_ = 0;
+  // Reply cache: a retransmitted root request for the most recently
+  // completed op is answered from here instead of re-running the shard.
+  std::uint64_t last_completed_op_ = 0;
+  CoordMessage last_done_reply_;
+  CoordMessage last_continue_done_reply_;
+  bool last_had_continue_done_ = false;
+  net::Endpoint last_root_;
+  std::uint64_t ops_served_ = 0;
+  sim::EventId retransmit_event_ = sim::kInvalidEventId;
+  sim::EventId timeout_event_ = sim::kInvalidEventId;
+  DurationNs retransmit_interval_now_ = 0;
+  std::uint32_t retransmit_rounds_ = 0;
+  // Correlation sequence for send instants; survives Reset() so trace
+  // identity stays unique across simulated process restarts.
+  std::uint32_t next_corr_seq_ = 0;
+};
+
+}  // namespace cruz::coord

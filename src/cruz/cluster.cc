@@ -13,8 +13,18 @@ Cluster::Cluster(const ClusterConfig& config) : sim_(config.seed) {
 
   for (std::uint32_t i = 0; i < config.num_nodes; ++i) {
     os::NodeConfig node_config = config.node_template;
-    node_config.ip = net::Ipv4Address::FromOctets(
-        10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    // Nodes 0..97 keep their historical 10.0.0.x addresses (the rest of
+    // the third octet is reserved: .99 coordinator, .100+ pods, .200+
+    // DHCP); larger clusters spill into 10.0.1.x and up (/16 subnet).
+    if (i < 98) {
+      node_config.ip = net::Ipv4Address::FromOctets(
+          10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    } else {
+      std::uint32_t n = i - 98;
+      node_config.ip = net::Ipv4Address::FromOctets(
+          10, 0, static_cast<std::uint8_t>(1 + n / 254),
+          static_cast<std::uint8_t>(1 + n % 254));
+    }
     auto node = std::make_unique<os::Node>(sim_, *ethernet_, fs_,
                                            "node" + std::to_string(i + 1),
                                            i + 1, node_config);
@@ -34,10 +44,20 @@ Cluster::Cluster(const ClusterConfig& config) : sim_(config.seed) {
     agents_[i]->set_tiered_store(tiered_.get());
   }
 
+  // Sub-coordinators for hierarchical mode (after tiered_: their abort /
+  // recovery paths garbage-collect images on every tier).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    shard_coordinators_.push_back(
+        std::make_unique<coord::ShardCoordinator>(*nodes_[i],
+                                                  tiered_.get()));
+  }
+
   os::NodeConfig coord_config = config.node_template;
   coord_config.ip = net::Ipv4Address::FromOctets(10, 0, 0, 99);
+  // Node index 0xFFFF keeps the coordinator's MAC clear of the worker
+  // range (workers use 1..num_nodes; 99 used to collide at >= 99 nodes).
   coordinator_node_ = std::make_unique<os::Node>(
-      sim_, *ethernet_, fs_, "coordinator", 99, coord_config);
+      sim_, *ethernet_, fs_, "coordinator", 0xFFFF, coord_config);
   coordinator_ = std::make_unique<coord::Coordinator>(
       *coordinator_node_, coord::IntentJournal::kDefaultPath,
       tiered_.get());
@@ -52,9 +72,19 @@ Cluster::Cluster(const ClusterConfig& config) : sim_(config.seed) {
 Cluster::~Cluster() = default;
 
 net::Ipv4Address Cluster::AllocatePodIp() {
-  CRUZ_CHECK(next_pod_ip_offset_ < 200, "pod address pool exhausted");
+  // The first 100 pods keep their historical 10.0.0.100..199 addresses;
+  // larger clusters spill into 10.0.100.x and up (/16 subnet), clear of
+  // the node range (10.0.1.x..) and the DHCP pool (10.0.0.200+).
+  std::uint32_t n = next_pod_ip_offset_++;
+  if (n < 200) {
+    return net::Ipv4Address::FromOctets(10, 0, 0,
+                                        static_cast<std::uint8_t>(n));
+  }
+  std::uint32_t spill = n - 200;
+  CRUZ_CHECK(spill < 100u * 254u, "pod address pool exhausted");
   return net::Ipv4Address::FromOctets(
-      10, 0, 0, static_cast<std::uint8_t>(next_pod_ip_offset_++));
+      10, 0, static_cast<std::uint8_t>(100 + spill / 254),
+      static_cast<std::uint8_t>(1 + spill % 254));
 }
 
 os::PodId Cluster::CreatePod(std::size_t i, const std::string& name,
@@ -103,6 +133,7 @@ void Cluster::ArmFaults(fault::FaultPlan& plan) {
   plan.set_tracer(&sim_.tracer());
   coordinator_->set_fault_injector(&plan);
   for (auto& agent : agents_) agent->set_fault_injector(&plan);
+  for (auto& sub : shard_coordinators_) sub->set_fault_injector(&plan);
   tiered_->set_injector(&plan);
 
   // Tier-scoped faults: local-disk loss wipes one node's tier-1 cache
@@ -138,17 +169,20 @@ void Cluster::ArmFaults(fault::FaultPlan& plan) {
                "node crash spec out of range");
     os::Node* node = nodes_[spec.node_index].get();
     coord::CheckpointAgent* agent = agents_[spec.node_index].get();
+    coord::ShardCoordinator* sub = shard_coordinators_[spec.node_index].get();
     pod::PodManager* pods = pod_managers_[spec.node_index].get();
     fault::FaultPlan* p = &plan;
     TimeNs crash_delay =
         spec.crash_at > sim_.Now() ? spec.crash_at - sim_.Now() : 0;
-    sim_.Schedule(crash_delay, [node, agent, p] {
+    sim_.Schedule(crash_delay, [node, agent, sub, p] {
       node->Fail();
       agent->Crash();
+      sub->Crash();
       p->RecordEvent(fault::FaultKind::kNodeCrash, node->name());
     });
     if (spec.reboot_after > 0) {
-      sim_.Schedule(crash_delay + spec.reboot_after, [node, agent, pods, p] {
+      sim_.Schedule(crash_delay + spec.reboot_after,
+                    [node, agent, sub, pods, p] {
         node->Reboot();
         // A power-cycled machine comes back with no processes: clear the
         // stale pod bookkeeping before the restarted agent takes over.
@@ -156,6 +190,9 @@ void Cluster::ArmFaults(fault::FaultPlan& plan) {
         for (const auto& [id, pod] : pods->pods()) stale.push_back(id);
         for (os::PodId id : stale) pods->DestroyPod(id);
         agent->Reset();
+        // The reborn sub-coordinator replays its intent journal, fencing
+        // and cleaning any shard op it was driving when the node died.
+        sub->Reset();
         p->RecordEvent(fault::FaultKind::kNodeReboot, node->name());
       });
     }

@@ -13,10 +13,13 @@ namespace {
 constexpr const char* kOpSpanPrefix = "coord.op.";
 
 // Canonical output order; also the order phase totals are rendered in.
+// "shard-wait" is hierarchical-mode only: the time a sub-coordinator
+// spent aggregating its shard (last agent reply -> upward report).
 constexpr const char* kPhaseOrder[] = {
     "freeze-wait",  "filter-install", "save-downtime",
-    "save-background", "restore",     "commit-wait",
-    "resume",       "finish",         "unattributed"};
+    "save-background", "restore",     "shard-wait",
+    "commit-wait",  "resume",         "finish",
+    "unattributed"};
 
 bool IsOpSpan(const TraceEvent& e) {
   return e.kind == EventKind::kSpan &&
@@ -194,7 +197,9 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
 
   if (b.success) {
     auto terminal = walk.LastRecv(
-        b.coordinator, {"done", "continue-done", "comm-disabled", "failed"},
+        b.coordinator,
+        {"done", "continue-done", "comm-disabled", "failed", "shard-done",
+         "shard-continue-done", "shard-comm-disabled", "shard-failed"},
         b.end);
     if (terminal.has_value()) {
       add(events[*terminal].ts, b.end, "finish", b.coordinator);
@@ -208,18 +213,43 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
         const TraceEvent& r = events[*cur];
         const std::string& type = EventArg(s, "type");
         const std::string& sender = s.attrs.agent;
-        const char* hop = TypeIn(type, {"continue", "comm-disabled"})
-                              ? "commit-wait"
-                          : type == "continue-done" ? "resume"
-                                                    : "freeze-wait";
+        const char* hop =
+            TypeIn(type, {"continue", "comm-disabled", "shard-continue",
+                          "shard-comm-disabled"})
+                ? "commit-wait"
+            : TypeIn(type, {"continue-done", "shard-continue-done"})
+                ? "resume"
+            : type == "shard-done" ? "shard-wait"
+                                   : "freeze-wait";
         add(s.ts, r.ts, hop, sender);
         if (TypeIn(type, {"checkpoint", "restart"})) {
-          // Request dispatch: whatever the coordinator spent between op
-          // start and putting this request on the wire.
+          if (sender == b.coordinator) {
+            // Request dispatch: whatever the coordinator spent between op
+            // start and putting this request on the wire.
+            add(b.begin, s.ts, "freeze-wait", b.coordinator);
+            break;
+          }
+          // Hierarchical: a sub-coordinator dispatched this request after
+          // receiving the root's shard request.
+          auto req = walk.LastRecv(
+              sender, {"shard-checkpoint", "shard-restart"}, s.ts);
+          if (req.has_value()) {
+            add(events[*req].ts, s.ts, "freeze-wait", sender);
+          }
+          cur = req;
+        } else if (TypeIn(type, {"shard-checkpoint", "shard-restart"})) {
           add(b.begin, s.ts, "freeze-wait", b.coordinator);
           break;
         } else if (TypeIn(type, {"done", "failed"})) {
           cur = local_chain(sender, s.ts, /*resume_gate=*/false);
+        } else if (TypeIn(type, {"shard-done", "shard-failed"})) {
+          // The sub's upward report follows its last shard-agent reply;
+          // the gap is the shard aggregation wait.
+          auto trigger = walk.LastRecv(sender, {"done", "failed"}, s.ts);
+          if (trigger.has_value()) {
+            add(events[*trigger].ts, s.ts, "shard-wait", sender);
+          }
+          cur = trigger;
         } else if (type == "comm-disabled") {
           auto req =
               walk.LastRecv(sender, {"checkpoint", "restart"}, s.ts);
@@ -227,11 +257,34 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
             add(events[*req].ts, s.ts, "filter-install", sender);
           }
           cur = req;
+        } else if (type == "shard-comm-disabled") {
+          auto trigger = walk.LastRecv(sender, {"comm-disabled"}, s.ts);
+          if (trigger.has_value()) {
+            add(events[*trigger].ts, s.ts, "commit-wait", sender);
+          }
+          cur = trigger;
         } else if (type == "continue") {
+          // Sender-based: the root's <continue> follows its last phase-1
+          // reply; a sub-coordinator's follows the root's <shard-continue>.
           auto trigger = walk.LastRecv(
-              b.coordinator, {"done", "comm-disabled", "failed"}, s.ts);
+              sender,
+              {"done", "comm-disabled", "failed", "shard-continue"}, s.ts);
+          if (trigger.has_value()) {
+            add(events[*trigger].ts, s.ts, "commit-wait", sender);
+          }
+          cur = trigger;
+        } else if (type == "shard-continue") {
+          auto trigger = walk.LastRecv(
+              b.coordinator,
+              {"shard-done", "shard-comm-disabled", "shard-failed"}, s.ts);
           if (trigger.has_value()) {
             add(events[*trigger].ts, s.ts, "commit-wait", b.coordinator);
+          }
+          cur = trigger;
+        } else if (type == "shard-continue-done") {
+          auto trigger = walk.LastRecv(sender, {"continue-done"}, s.ts);
+          if (trigger.has_value()) {
+            add(events[*trigger].ts, s.ts, "resume", sender);
           }
           cur = trigger;
         } else if (type == "continue-done") {

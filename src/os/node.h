@@ -23,7 +23,10 @@ namespace cruz::os {
 
 struct NodeConfig {
   net::Ipv4Address ip;
-  net::Ipv4Address netmask = net::Ipv4Address::FromOctets(255, 255, 255, 0);
+  // /16: the scale benchmarks address ~1000 nodes plus a pod per node,
+  // which overflows a /24. All historical 10.0.0.x assignments remain on
+  // the (now wider) subnet, so routing behavior is unchanged for them.
+  net::Ipv4Address netmask = net::Ipv4Address::FromOctets(255, 255, 0, 0);
   tcp::TcpConfig tcp;
   // Local disk used for checkpoint images (the paper reports checkpoint
   // latency dominated by writing state to disk; ~1 s for the slm state).

@@ -73,6 +73,13 @@ const std::vector<MutationCase>& MutationCases() {
       {Mutation::kDropLastReplica, "replica-availability",
        "cruzrepro1 seed=9 nodes=3 wl=2 units=4000 tiered=1 "
        "op=0,10,0,0,0,0,0 op=1,10,0,0,0,0,2"},
+      // Hierarchical checkpoint where every sub-coordinator acks its
+      // shard request without forwarding to the agents: the generation
+      // commits (fabricated shard-dones carry fake replicas) with zero
+      // agent saves on the trace.
+      {Mutation::kShardAckWithoutForward, "gen-commit",
+       "cruzrepro1 seed=7 nodes=6 wl=2 units=4000 tiered=1 fanout=2 "
+       "op=0,10,0,0,0,0,0"},
   };
   return kCases;
 }
@@ -118,6 +125,29 @@ TEST(ScenarioCodec, EncodeDecodeRoundTrips) {
     ASSERT_TRUE(decoded.has_value()) << original.Encode();
     EXPECT_EQ(decoded->Encode(), original.Encode());
   }
+}
+
+// Regression: the codec and topology used to top out at small clusters
+// (node/pod IPs were carved out of one /24). Scale scenarios need
+// hundreds of nodes plus a fan-out token, and old flat repro strings
+// must keep decoding with fan_out absent.
+TEST(ScenarioCodec, AcceptsLargeNodeCountsWithFanOut) {
+  std::optional<Scenario> s = Scenario::Decode(
+      "cruzrepro1 seed=1 nodes=200 wl=2 units=4000 fanout=32 "
+      "op=0,10,0,0,0,0,0");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->num_nodes, 200u);
+  EXPECT_EQ(s->fan_out, 32u);
+  EXPECT_EQ(Scenario::Decode(s->Encode())->Encode(), s->Encode());
+
+  // Out-of-range fan-outs are rejected, absent fan-out stays flat.
+  EXPECT_FALSE(Scenario::Decode(
+                   "cruzrepro1 seed=1 nodes=4 wl=0 units=1 fanout=1")
+                   .has_value());
+  EXPECT_FALSE(Scenario::Decode(
+                   "cruzrepro1 seed=1 nodes=4 wl=0 units=1 fanout=300")
+                   .has_value());
+  EXPECT_EQ(MustDecode("cruzrepro1 seed=1 nodes=4 wl=0 units=1").fan_out, 0u);
 }
 
 TEST(ScenarioCodec, RejectsMalformedRepros) {
