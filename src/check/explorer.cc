@@ -48,6 +48,16 @@ struct WorkloadDriver {
   }
 
   void Sample(Cluster& c) {
+    // Mid-migration a process may be demand-paged: reading its memory
+    // from outside throws PageFault. Skip the sample; the next tick (or
+    // the exit hook) will see the filled-in state.
+    try {
+      SampleOrFault(c);
+    } catch (const os::PageFault&) {
+    }
+  }
+
+  void SampleOrFault(Cluster& c) {
     switch (kind) {
       case WorkloadKind::kStream:
         if (os::Process* p = Live(c, node_b, pod_b, vpid_b)) {
@@ -151,6 +161,9 @@ void SpawnWorkload(Cluster& c, const Scenario& s, WorkloadDriver& w) {
     c.node(n).os().set_process_exit_hook([&c, &w, n](os::Pid p, int) {
       os::Process* proc = c.node(n).os().FindProcess(p);
       if (proc == nullptr) return;
+      // A pod torn down mid-demand-paging has unreadable missing pages;
+      // keep the last sampled progress instead of faulting.
+      if (proc->memory().HasMissingPages()) return;
       if (proc->pod() == w.pod_b) {
         switch (w.kind) {
           case WorkloadKind::kStream: {
@@ -278,6 +291,8 @@ const char* MutationName(Mutation mutation) {
     case Mutation::kDropLastReplica: return "drop-last-replica";
     case Mutation::kShardAckWithoutForward:
       return "shard-ack-without-forward";
+    case Mutation::kDropPageResponse: return "drop-page-response";
+    case Mutation::kResumeBothSides: return "resume-both-sides";
   }
   return "none";
 }
@@ -294,6 +309,8 @@ bool MutationFromName(const std::string& name, Mutation& out) {
       Mutation::kLeakPartialImage,
       Mutation::kDropLastReplica,
       Mutation::kShardAckWithoutForward,
+      Mutation::kDropPageResponse,
+      Mutation::kResumeBothSides,
   };
   for (Mutation m : kAll) {
     if (name == MutationName(m)) {
@@ -522,9 +539,23 @@ RunResult Explorer::RunScenario(const Scenario& scenario) {
         std::size_t target =
             candidates[spec.placement_salt % candidates.size()];
         bool done = false;
-        ckpt::LiveMigrator::Migrate(
-            c.pods(w.node_a), c.pods(target), w.pod_a, {},
-            [&](const ckpt::LiveMigrateStats&) { done = true; });
+        ckpt::LiveMigrateOptions mopt;
+        // Page-channel traffic goes through the scenario's fault plan
+        // (page-request loss/dup/delay exercise the retransmit path).
+        mopt.injector = &plan;
+        mopt.test_drop_page_response =
+            mutation == Mutation::kDropPageResponse;
+        mopt.test_resume_both_sides =
+            mutation == Mutation::kResumeBothSides;
+        auto mode = static_cast<ckpt::MigrateMode>(
+            scenario.migrate_mode <= 3 ? scenario.migrate_mode : 1);
+        rec.migrated_pod = w.pod_a;
+        ckpt::LiveMigrator::MigrateWithMode(
+            c.pods(w.node_a), c.pods(target), w.pod_a, mode, mopt,
+            [&](const ckpt::LiveMigrateStats& s) {
+              done = true;
+              rec.migrate = s;
+            });
         c.sim().RunWhile([&] { return done; }, c.sim().Now() + 60 * kSecond);
         rec.result.stats.success = done;
         if (done) {

@@ -40,6 +40,13 @@ enum class Mutation : std::uint8_t {
                              // to their agents (gen-commit: a generation
                              // commits with zero agent saves; tiered
                              // hierarchical scenarios)
+  kDropPageResponse,         // the migration source accounts residue
+                             // pages as delivered without sending them,
+                             // so "done" fires with pages still missing
+                             // on the target (resident-set-complete)
+  kResumeBothSides,          // skip the source-side pod destroy after the
+                             // post-copy stop: two running copies
+                             // (migration-exactly-one-running-copy)
 };
 
 const char* MutationName(Mutation mutation);

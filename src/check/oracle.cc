@@ -326,6 +326,84 @@ void CheckNoPartialState(const RunContext& ctx, std::vector<Violation>& out) {
   }
 }
 
+// Migration moves a pod; it must never fork it or lose it. After every
+// successful migrate, exactly one node in the cluster hosts the pod —
+// two copies (a source that was never released) would split brain the
+// application, zero means the pod fell through the cracks.
+void CheckMigrationExactlyOneRunningCopy(const RunContext& ctx,
+                                         std::vector<Violation>& out) {
+  const char* name = "migration-exactly-one-running-copy";
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kMigrate || !rec.attempted ||
+        !rec.result.stats.success || rec.migrated_pod == os::kNoPod) {
+      continue;
+    }
+    std::size_t copies = 0;
+    std::string holders;
+    for (std::size_t n = 0; n < ctx.cluster->num_nodes(); ++n) {
+      if (ctx.cluster->pods(n).Find(rec.migrated_pod) != nullptr) {
+        ++copies;
+        if (!holders.empty()) holders += ", ";
+        holders += ctx.cluster->node(n).name();
+      }
+    }
+    if (copies != 1) {
+      std::ostringstream d;
+      d << "migrated pod " << rec.migrated_pod << " exists on " << copies
+        << " node(s)" << (copies == 0 ? "" : " (" + holders + ")")
+        << ", expected exactly 1";
+      Violate(out, name, d.str());
+    }
+  }
+}
+
+// A migration is complete only when the target holds every page. The
+// migrator's page accounting must balance, no request may have been
+// served after the source released its frozen image, and — decisively —
+// no process of the migrated pod may still have missing (demand-paged)
+// pages at the end of the run.
+void CheckResidentSetComplete(const RunContext& ctx,
+                              std::vector<Violation>& out) {
+  const char* name = "resident-set-complete";
+  for (const OpRecord& rec : ctx.ops) {
+    if (rec.kind != OpKind::kMigrate || !rec.attempted ||
+        !rec.result.stats.success || rec.migrated_pod == os::kNoPod) {
+      continue;
+    }
+    const ckpt::LiveMigrateStats& m = rec.migrate;
+    if (m.pages_resident_at_resume + m.pages_fetched_on_demand +
+            m.pages_pushed !=
+        m.pages_total) {
+      std::ostringstream d;
+      d << "pod " << rec.migrated_pod << ": page accounting off: "
+        << m.pages_resident_at_resume << " resident + "
+        << m.pages_fetched_on_demand << " fetched + " << m.pages_pushed
+        << " pushed != " << m.pages_total << " total";
+      Violate(out, name, d.str());
+    }
+    if (m.late_serves != 0) {
+      Violate(out, name,
+              "pod " + std::to_string(rec.migrated_pod) + ": " +
+                  std::to_string(m.late_serves) +
+                  " page(s) served after the source released its image");
+    }
+    for (std::size_t n = 0; n < ctx.cluster->num_nodes(); ++n) {
+      os::Os& os = ctx.cluster->node(n).os();
+      if (ctx.cluster->pods(n).Find(rec.migrated_pod) == nullptr) continue;
+      for (os::Pid pid : os.PodProcesses(rec.migrated_pod)) {
+        os::Process* proc = os.FindProcess(pid);
+        if (proc == nullptr || !proc->memory().HasMissingPages()) continue;
+        std::ostringstream d;
+        d << "pod " << rec.migrated_pod << " process " << pid << " on "
+          << ctx.cluster->node(n).name() << " still has "
+          << proc->memory().missing_pages().size()
+          << " missing page(s) after migration reported done";
+        Violate(out, name, d.str());
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void InvariantOracle::Register(std::string name, CheckFn check) {
@@ -342,6 +420,9 @@ InvariantOracle InvariantOracle::Defaults() {
   oracle.Register("continue-exactly-once", CheckContinueExactlyOnce);
   oracle.Register("no-partial-state", CheckNoPartialState);
   oracle.Register("replica-availability", CheckReplicaAvailability);
+  oracle.Register("migration-exactly-one-running-copy",
+                  CheckMigrationExactlyOneRunningCopy);
+  oracle.Register("resident-set-complete", CheckResidentSetComplete);
   return oracle;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "check/scenario.h"
+#include "ckpt/live_migrate.h"
 #include "cruz/cluster.h"
 #include "obs/trace_query.h"
 
@@ -38,6 +39,10 @@ struct OpRecord {
   // Any agent process was in the crashed state right after the op (a
   // legitimate reason for the op to fail).
   bool any_agent_crashed = false;
+  // Live migration (kMigrate): which pod moved and the migrator's final
+  // stats snapshot (page accounting for resident-set-complete).
+  os::PodId migrated_pod = os::kNoPod;
+  ckpt::LiveMigrateStats migrate;
 };
 
 struct WorkloadResult {
@@ -73,7 +78,8 @@ class InvariantOracle {
 
   // The full catalog (see DESIGN.md §9): workload-intact, comm-silence,
   // gen-commit, restart-newest-intact, protocol-order,
-  // continue-exactly-once, no-partial-state, replica-availability.
+  // continue-exactly-once, no-partial-state, replica-availability,
+  // migration-exactly-one-running-copy, resident-set-complete.
   static InvariantOracle Defaults();
 
   // Runs every registered invariant; empty result = run passed.

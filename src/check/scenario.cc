@@ -56,6 +56,9 @@ std::string Scenario::Summary() const {
       << WorkloadName(workload) << " units=" << workload_units
       << (tiered ? " tiered" : "");
   if (fan_out > 0) out << " fanout=" << fan_out;
+  if (migrate_mode != 1) {
+    out << " migrate=" << static_cast<unsigned>(migrate_mode);
+  }
   out << " ops=" << ops.size() << " faults=" << faults.size();
   return out.str();
 }
@@ -66,6 +69,9 @@ std::string Scenario::Encode() const {
       << static_cast<unsigned>(workload) << " units=" << workload_units;
   if (tiered) out << " tiered=1";
   if (fan_out > 0) out << " fanout=" << fan_out;
+  if (migrate_mode != 1) {
+    out << " migrate=" << static_cast<unsigned>(migrate_mode);
+  }
   for (const OpSpec& op : ops) {
     out << " op=" << static_cast<unsigned>(op.kind) << ','
         << op.pre_delay / kMillisecond << ','
@@ -107,6 +113,8 @@ std::optional<Scenario> Scenario::Decode(const std::string& repro) {
     } else if (key == "fanout" && fields.size() == 1 && fields[0] >= 2 &&
                fields[0] <= 256) {
       s.fan_out = static_cast<std::uint32_t>(fields[0]);
+    } else if (key == "migrate" && fields.size() == 1 && fields[0] <= 3) {
+      s.migrate_mode = static_cast<std::uint8_t>(fields[0]);
     } else if (key == "op" && fields.size() == 7 && fields[0] <= 3 &&
                fields[2] <= 2) {
       OpSpec op;
@@ -254,6 +262,10 @@ Scenario ScenarioGenerator::FromSeed(std::uint64_t seed) {
     s.num_nodes = std::max(
         s.num_nodes, 5 + static_cast<std::uint32_t>(rng.NextBelow(4)));
   }
+
+  // Migration mode, drawn last (same reason again: earlier draws — and
+  // hence every pre-post-copy seed's schedule — stay bit-identical).
+  s.migrate_mode = static_cast<std::uint8_t>(rng.NextBelow(4));
   return s;
 }
 

@@ -84,6 +84,11 @@ struct Scenario {
   // tree has real shards to drive. Encoded as "fanout=F"; absent = flat
   // (so pre-hierarchy repro strings replay exactly as before).
   std::uint32_t fan_out = 0;
+  // Live-migration mode for kMigrate ops: the raw ckpt::MigrateMode value
+  // (0 stop-and-copy, 1 pre-copy, 2 post-copy, 3 hybrid). Encoded as
+  // "migrate=M"; absent = pre-copy, so pre-post-copy repro strings replay
+  // exactly as before.
+  std::uint8_t migrate_mode = 1;
   std::vector<OpSpec> ops;
   std::vector<FaultSpec> faults;
 

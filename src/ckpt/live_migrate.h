@@ -1,28 +1,62 @@
-// Live (pre-copy) pod migration.
+// Live pod migration: pre-copy, post-copy, and hybrid.
 //
 // The paper's migration path (§1: "reduce application downtime during
 // hardware and operating system maintenance by migrating the application
 // to a different machine") is stop-and-copy: downtime covers the whole
-// state transfer. Pre-copy — iteratively transferring memory while the
-// pod keeps running, then stopping only for the (small) final dirty set —
-// is the standard refinement, and the dirty-page tracking built for
-// incremental checkpointing (§5.2) provides exactly the machinery.
+// state transfer. Two standard refinements move work out of the downtime
+// window, in opposite directions:
 //
-// Rounds: round 1 copies all pages over the network while the pod runs;
-// each later round copies the pages dirtied during the previous round;
-// when the dirty set stops shrinking (or a round/threshold limit hits),
-// the pod is stopped, the residual state (last dirty pages + kernel
-// state: sockets, pipes, IPC) moves, and the pod resumes on the target.
-// Downtime covers only that final phase.
+//   * Pre-copy transfers memory iteratively *before* the stop — round 1
+//     copies all pages while the pod runs, each later round copies the
+//     pages dirtied during the previous round — then stops only for the
+//     (small) final dirty set. The dirty-page tracking built for
+//     incremental checkpointing (§5.2) provides exactly the machinery.
+//   * Post-copy stops the pod briefly, moves only kernel state plus a
+//     minimal hot set (the pages dirtied during a short observation
+//     window just before the stop), resumes the pod on the target, and
+//     fetches the remaining pages on demand over a page-request /
+//     page-response channel, with a background push draining the residue.
+//     Downtime is minimal; the cost reappears as *degradation* — time the
+//     resumed pod spends stalled on demand fetches.
+//   * Hybrid runs N pre-copy rounds, then post-copies the remainder: the
+//     stop transfers kernel state only, pages still dirty at the stop are
+//     demand-paged. (VM-style "pre-copy + post-copy residue".)
+//
+// The page channel is modeled on the simulated network's cost model:
+// request/response latencies and a retransmit timer, with every message
+// offered to a fault::Injector (the coord::MsgType bytes kPageRequest /
+// kPageResponse) so FaultPlan-driven chaos tests can drop, duplicate, and
+// delay page traffic. Duplicate deliveries are idempotent (os::Memory::
+// FillPage drops fills for resident pages); a request arriving after the
+// source released its frozen image is counted in `late_serves`, which
+// must stay zero in any correct run — release happens only once every
+// page is resident on the target.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "ckpt/engine.h"
+#include "fault/fault.h"
 #include "pod/pod.h"
 
 namespace cruz::ckpt {
+
+// Raw wire bytes of coord::MsgType::{kPageRequest, kPageResponse}. The
+// ckpt library deliberately does not link against coord; a static_assert
+// in tests/live_migrate_modes_test.cc pins these to the enum values.
+inline constexpr std::uint8_t kPageRequestMsgByte = 22;
+inline constexpr std::uint8_t kPageResponseMsgByte = 23;
+
+enum class MigrateMode : std::uint8_t {
+  kStopAndCopy = 0,
+  kPreCopy = 1,
+  kPostCopy = 2,
+  kHybrid = 3,
+};
+
+const char* MigrateModeName(MigrateMode mode);
 
 struct LiveMigrateOptions {
   int max_rounds = 5;
@@ -30,14 +64,62 @@ struct LiveMigrateOptions {
   std::uint64_t stop_threshold_bytes = 128 * 1024;
   // Migration-stream bandwidth (gigabit-class by default).
   std::uint64_t network_bytes_per_sec = 110 * kMiB;
+
+  // --- post-copy knobs -----------------------------------------------------
+  // Observation window before the stop: pages dirtied during it form the
+  // hot set that moves with the pod (a cheap working-set estimate).
+  DurationNs hot_window = 2 * kMillisecond;
+  // One-way page-channel latency (request and response each pay it).
+  DurationNs page_latency = 100 * kMicrosecond;
+  // Demand-fetch retransmit timer: a missing page still absent this long
+  // after its request was sent is requested again.
+  DurationNs page_request_timeout = 2 * kMillisecond;
+  // Pacing of the background residue push (one page per tick).
+  DurationNs push_interval = 50 * kMicrosecond;
+  // Consulted for every page-channel message (drop/duplicate/delay);
+  // nullptr = fault-free channel.
+  fault::Injector* injector = nullptr;
+
+  // --- test-only protocol mutations (check/explorer.h) ---------------------
+  // Skips the source-side pod destroy: both sides end up with a copy.
+  bool test_resume_both_sides = false;
+  // The source accounts pushed/served pages as delivered without sending
+  // the response: "done" fires with pages still missing on the target.
+  bool test_drop_page_response = false;
+};
+
+// One pre-copy round's work, for per-round breakdowns.
+struct MigrateRound {
+  std::uint64_t dirty_bytes = 0;  // transferred in this round
+  DurationNs duration = 0;        // wall time of this round's transfer
 };
 
 struct LiveMigrateStats {
-  int rounds = 0;                  // pre-copy rounds executed
+  MigrateMode mode = MigrateMode::kPreCopy;
+  int rounds = 0;                   // pre-copy rounds executed
+  std::vector<MigrateRound> round_breakdown;  // one entry per round
   std::uint64_t precopy_bytes = 0;  // transferred while running
   std::uint64_t final_bytes = 0;    // transferred during the stop
   DurationNs downtime = 0;          // pod stopped -> resumed on target
-  DurationNs total_duration = 0;    // start -> resumed on target
+  DurationNs total_duration = 0;    // start -> fully migrated
+  // Post-resume time the pod spent stalled on demand fetches (post-copy
+  // and hybrid; 0 for the stop-bounded modes).
+  DurationNs degradation = 0;
+
+  // --- page accounting (post-copy / hybrid) --------------------------------
+  std::uint64_t pages_total = 0;
+  std::uint64_t pages_resident_at_resume = 0;
+  std::uint64_t pages_fetched_on_demand = 0;
+  std::uint64_t pages_pushed = 0;
+  // Fills dropped because the page was already resident (retransmit or
+  // push racing a demand fetch). Benign by design, counted for tests.
+  std::uint64_t duplicate_fills_dropped = 0;
+  // Requests served after the source released its frozen image. Must be
+  // zero: release happens only at full residency.
+  std::uint64_t late_serves = 0;
+  std::uint64_t requests_retransmitted = 0;
+
+  std::uint64_t op_id = 0;          // migrate.op.* trace span op id
   os::PodId pod = os::kNoPod;       // id on the target (preserved)
 };
 
@@ -45,10 +127,10 @@ class LiveMigrator {
  public:
   using DoneFn = std::function<void(const LiveMigrateStats&)>;
 
-  // Migrates `pod` from `source`'s node to `target`'s node. Asynchronous:
-  // runs over simulated time and invokes `done` once the pod is resumed
-  // on the target. The pod id, addresses, and all connections are
-  // preserved exactly as in checkpoint-restart.
+  // Migrates `pod` from `source`'s node to `target`'s node with pre-copy
+  // rounds. Asynchronous: runs over simulated time and invokes `done`
+  // once the pod is resumed on the target. The pod id, addresses, and
+  // all connections are preserved exactly as in checkpoint-restart.
   static void Migrate(pod::PodManager& source, pod::PodManager& target,
                       os::PodId pod, const LiveMigrateOptions& options,
                       DoneFn done);
@@ -58,6 +140,25 @@ class LiveMigrator {
   static void StopAndCopy(pod::PodManager& source, pod::PodManager& target,
                           os::PodId pod, const LiveMigrateOptions& options,
                           DoneFn done);
+
+  // Post-copy: short hot-set observation window, minimal stop (kernel
+  // state + hot set), resume on target, demand-fetch + background-push
+  // the residue. `done` fires at FULL residency, not at resume.
+  static void PostCopy(pod::PodManager& source, pod::PodManager& target,
+                       os::PodId pod, const LiveMigrateOptions& options,
+                       DoneFn done);
+
+  // Hybrid: pre-copy rounds, then post-copy whatever is still dirty at
+  // the stop. Downtime covers only the kernel-state transfer.
+  static void Hybrid(pod::PodManager& source, pod::PodManager& target,
+                     os::PodId pod, const LiveMigrateOptions& options,
+                     DoneFn done);
+
+  // Mode dispatcher (harness / explorer convenience).
+  static void MigrateWithMode(pod::PodManager& source,
+                              pod::PodManager& target, os::PodId pod,
+                              MigrateMode mode,
+                              const LiveMigrateOptions& options, DoneFn done);
 };
 
 }  // namespace cruz::ckpt

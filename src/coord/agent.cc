@@ -321,6 +321,18 @@ void CheckpointAgent::StartLocalCheckpoint(const CoordMessage& m) {
     FailLocalOp(coordinator, m, "unknown pod");
     return;
   }
+  // A pod mid post-copy migration still has demand-paged (missing)
+  // pages; its memory cannot be snapshotted until the residue arrives.
+  // Fail the op cleanly instead of capturing a hole-filled image.
+  for (os::Pid pid : node_.os().PodProcesses(m.pod_id)) {
+    os::Process* proc = node_.os().FindProcess(pid);
+    if (proc != nullptr && proc->memory().HasMissingPages()) {
+      net::Endpoint coordinator = op_.coordinator;
+      op_active_ = false;
+      FailLocalOp(coordinator, m, "pod is demand-paging (migration)");
+      return;
+    }
+  }
   // Step 1: configure the packet filter (Cruz protocol; the flush baseline
   // has already drained channels and does not need it, but stopping the
   // pod still requires isolation, so both install it).

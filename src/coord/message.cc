@@ -27,6 +27,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShardCommDisabled: return "shard-comm-disabled";
     case MsgType::kShardFailed: return "shard-failed";
     case MsgType::kShardPong: return "shard-pong";
+    case MsgType::kPageRequest: return "page-request";
+    case MsgType::kPageResponse: return "page-response";
   }
   return "unknown";
 }
@@ -86,7 +88,7 @@ CoordMessage CoordMessage::Decode(cruz::ByteSpan wire) {
   cruz::ByteReader r(wire);
   CoordMessage m;
   std::uint8_t type = r.GetU8();
-  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kShardPong)) {
+  if (type < 1 || type > static_cast<std::uint8_t>(MsgType::kPageResponse)) {
     throw cruz::CodecError("invalid coordination message type");
   }
   m.type = static_cast<MsgType>(type);

@@ -56,6 +56,12 @@ enum class MsgType : std::uint8_t {
   kShardCommDisabled = 19,  // sub -> root: Fig. 4 aggregated notification
   kShardFailed = 20,        // sub -> root: a member failed / gave up
   kShardPong = 21,          // sub -> root: liveness reply to kPing
+  // Post-copy migration page-server channel (DESIGN.md §14). These flow
+  // between the migration target (requester) and the source's frozen
+  // page store; ckpt/live_migrate.cc mirrors the raw byte values so the
+  // ckpt library does not link against coord.
+  kPageRequest = 22,   // target -> source: demand-fetch one page
+  kPageResponse = 23,  // source -> target: page content delivery
 };
 
 // Human-readable message-type name (trace/metric labels).

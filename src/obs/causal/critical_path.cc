@@ -11,19 +11,31 @@ namespace cruz::obs::causal {
 namespace {
 
 constexpr const char* kOpSpanPrefix = "coord.op.";
+// Live-migration ops trace their own op spans; they are analyzed from
+// direct sub-spans (stop-copy downtime, post-copy demand fetches) rather
+// than from the coordination message graph.
+constexpr const char* kMigrateOpSpanPrefix = "migrate.op.";
 
 // Canonical output order; also the order phase totals are rendered in.
 // "shard-wait" is hierarchical-mode only: the time a sub-coordinator
 // spent aggregating its shard (last agent reply -> upward report).
+// "stop-copy" and "postcopy-fetch" are migration-only: the pod-stopped
+// transfer window and post-resume demand-fetch stalls respectively.
 constexpr const char* kPhaseOrder[] = {
     "freeze-wait",  "filter-install", "save-downtime",
     "save-background", "restore",     "shard-wait",
     "commit-wait",  "resume",         "finish",
-    "unattributed"};
+    "stop-copy",    "postcopy-fetch", "unattributed"};
+
+bool IsMigrateOpSpan(const TraceEvent& e) {
+  return e.kind == EventKind::kSpan &&
+         e.name.rfind(kMigrateOpSpanPrefix, 0) == 0;
+}
 
 bool IsOpSpan(const TraceEvent& e) {
-  return e.kind == EventKind::kSpan &&
-         e.name.rfind(kOpSpanPrefix, 0) == 0;
+  return (e.kind == EventKind::kSpan &&
+          e.name.rfind(kOpSpanPrefix, 0) == 0) ||
+         IsMigrateOpSpan(e);
 }
 
 bool TypeIn(const std::string& type,
@@ -128,11 +140,16 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
 
   OpBreakdown b;
   b.op_id = op.attrs.op;
-  b.kind = op.name.substr(std::string(kOpSpanPrefix).size());
+  const bool is_migrate = IsMigrateOpSpan(op);
+  b.kind = op.name.substr(is_migrate
+                              ? std::string(kMigrateOpSpanPrefix).size()
+                              : std::string(kOpSpanPrefix).size());
   b.coordinator = op.attrs.agent;
   b.begin = op.ts;
   b.end = op.end_ts();
-  b.success = EventArg(op, "success") == "true";
+  // Migrate op spans close only on completion; coordination spans carry
+  // an explicit success arg.
+  b.success = is_migrate || EventArg(op, "success") == "true";
 
   OpWalk walk{events, b.op_id};
   std::vector<PathSegment> raw;
@@ -195,7 +212,21 @@ OpBreakdown CriticalPathAnalyzer::AnalyzeSpan(
     return s->end_ts();
   };
 
-  if (b.success) {
+  if (is_migrate) {
+    // Migration ops are single-owner: the critical path is read straight
+    // off the migrator's own sub-spans. The stop-copy window is the
+    // downtime; each postcopy-fetch span is a demand-fetch stall of the
+    // resumed pod (they never overlap — the whole process parks on a
+    // fault — so the tiling below sums them exactly).
+    for (const TraceEvent& e : events) {
+      if (e.kind != EventKind::kSpan || e.attrs.op != b.op_id) continue;
+      if (e.name == "migrate.downtime") {
+        add(e.ts, e.end_ts(), "stop-copy", e.attrs.agent);
+      } else if (e.name == "migrate.postcopy.fetch") {
+        add(e.ts, e.end_ts(), "postcopy-fetch", e.attrs.agent);
+      }
+    }
+  } else if (b.success) {
     auto terminal = walk.LastRecv(
         b.coordinator,
         {"done", "continue-done", "comm-disabled", "failed", "shard-done",

@@ -16,6 +16,12 @@
 //   finish           final reply receipt -> op span end
 //   unattributed     wall time no causal segment explains
 //
+// `migrate.op.*` spans (live migration) are analyzed too, from the
+// migrator's own sub-spans instead of the message graph:
+//
+//   stop-copy        pod stopped: state transfer between stop and resume
+//   postcopy-fetch   post-resume demand-fetch stalls (post-copy/hybrid)
+//
 // The segments exactly tile [op begin, op end]: overlaps are clipped and
 // gaps become explicit `unattributed` segments, so the phase totals sum
 // to the coordinator-measured wall time by construction. Per phase the
@@ -57,7 +63,7 @@ struct RestoreSource {
 
 struct OpBreakdown {
   std::uint64_t op_id = 0;
-  std::string kind;  // "checkpoint" | "restart"
+  std::string kind;  // "checkpoint" | "restart" | a migrate mode name
   std::string coordinator;
   bool success = false;
   TimeNs begin = 0;

@@ -1,13 +1,42 @@
 #include "os/memory.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.h"
 
 namespace cruz::os {
 
+void Memory::MarkDirty(std::uint64_t page_index) {
+  std::uint64_t& word = dirty_words_[page_index >> 6];
+  std::uint64_t bit = 1ull << (page_index & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    dirty_cache_valid_ = false;
+  }
+}
+
+const std::set<std::uint64_t>& Memory::dirty_pages() const {
+  if (!dirty_cache_valid_) {
+    dirty_cache_.clear();
+    for (const auto& [word_index, word] : dirty_words_) {
+      std::uint64_t bits = word;
+      while (bits != 0) {
+        int bit = std::countr_zero(bits);
+        dirty_cache_.insert((word_index << 6) | static_cast<unsigned>(bit));
+        bits &= bits - 1;
+      }
+    }
+    dirty_cache_valid_ = true;
+  }
+  return dirty_cache_;
+}
+
 Memory::Page& Memory::PageForWrite(std::uint64_t page_index) {
-  dirty_.insert(page_index);
+  if (!missing_.empty() && missing_.count(page_index) != 0) {
+    throw PageFault{page_index};
+  }
+  MarkDirty(page_index);
   auto it = pages_.find(page_index);
   if (it == pages_.end()) {
     it = pages_.emplace(page_index, std::make_shared<Page>(kPageSize, 0))
@@ -22,6 +51,9 @@ Memory::Page& Memory::PageForWrite(std::uint64_t page_index) {
 }
 
 const Memory::Page* Memory::PageForRead(std::uint64_t page_index) const {
+  if (!missing_.empty() && missing_.count(page_index) != 0) {
+    throw PageFault{page_index};
+  }
   auto it = pages_.find(page_index);
   return it == pages_.end() ? nullptr : it->second.get();
 }
@@ -98,7 +130,19 @@ void Memory::InstallPage(std::uint64_t page_index, cruz::ByteSpan content) {
   CRUZ_CHECK(content.size() == kPageSize, "InstallPage: wrong size");
   pages_[page_index] =
       std::make_shared<Page>(content.begin(), content.end());
-  dirty_.insert(page_index);
+  MarkDirty(page_index);
+}
+
+void Memory::MarkMissing(std::uint64_t page_index) {
+  CRUZ_CHECK(pages_.find(page_index) == pages_.end(),
+             "MarkMissing: page is resident");
+  missing_.insert(page_index);
+}
+
+bool Memory::FillPage(std::uint64_t page_index, cruz::ByteSpan content) {
+  if (missing_.erase(page_index) == 0) return false;
+  InstallPage(page_index, content);
+  return true;
 }
 
 void Memory::DropZeroPages() {
@@ -111,6 +155,7 @@ void Memory::DropZeroPages() {
 }
 
 MemorySnapshot Memory::Snapshot() const {
+  CRUZ_CHECK(missing_.empty(), "Snapshot: demand paging in progress");
   MemorySnapshot::PageMap shared;
   for (const auto& [index, page] : pages_) {
     shared.emplace(index, page);

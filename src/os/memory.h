@@ -12,6 +12,12 @@
 // the first write to a shared page copies it privately (a "COW fault"),
 // so the snapshot stays byte-stable while the background write-out
 // serializes it, and the running pod pays only for the pages it touches.
+//
+// Post-copy live migration adds a third page state: *missing*. A missing
+// page has known-but-not-yet-transferred content living on the migration
+// source; any touch raises a PageFault so the OS can suspend the faulting
+// process until FillPage() delivers the bytes. Missing is distinct from
+// absent: absent (never-written) pages still read as zeros.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
@@ -27,6 +34,13 @@ namespace cruz::os {
 
 constexpr std::size_t kPageSize = 4096;
 constexpr std::uint64_t kPageShift = 12;
+
+// Thrown by Memory on any access to a missing (demand-paged) page. The OS
+// catches it in RunStep, rewinds the thread, and parks the whole process
+// until the page server delivers the content.
+struct PageFault {
+  std::uint64_t page_index = 0;
+};
 
 // Immutable view of a memory image at snapshot time. Pages are shared
 // with the live Memory until the pod writes to them; the snapshot keeps
@@ -76,10 +90,28 @@ class Memory {
   std::size_t PageCount() const { return pages_.size(); }
   std::size_t ResidentBytes() const { return pages_.size() * kPageSize; }
   void InstallPage(std::uint64_t page_index, cruz::ByteSpan content);
-  void Clear() { pages_.clear(); }
+  void Clear() {
+    pages_.clear();
+    missing_.clear();
+  }
 
   // Drops pages that are entirely zero (used to keep checkpoints small).
   void DropZeroPages();
+
+  // --- demand paging (post-copy migration) ---------------------------------
+  // Declares a page as known-but-not-resident: its content exists on the
+  // migration source and any touch before FillPage() raises a PageFault.
+  void MarkMissing(std::uint64_t page_index);
+  bool IsMissing(std::uint64_t page_index) const {
+    return missing_.count(page_index) != 0;
+  }
+  const std::set<std::uint64_t>& missing_pages() const { return missing_; }
+  bool HasMissingPages() const { return !missing_.empty(); }
+  // Installs `content` iff the page is still missing and returns true.
+  // A fill for a page that is already resident is dropped (false): this
+  // is what makes duplicate page responses — retransmits, background push
+  // racing a demand fetch — idempotent instead of state-corrupting.
+  bool FillPage(std::uint64_t page_index, cruz::ByteSpan content);
 
   // --- copy-on-write snapshots (forked checkpointing, paper §5.2) ----------
   // Freezes the current image by sharing every page with the returned
@@ -95,13 +127,23 @@ class Memory {
   // --- dirty tracking (incremental checkpointing, paper §5.2) -------------
   // Every write marks its pages dirty; an incremental checkpoint saves
   // only pages dirtied since the previous checkpoint cleared the set.
-  const std::set<std::uint64_t>& dirty_pages() const { return dirty_; }
-  void ClearDirty() { dirty_.clear(); }
+  // Internally a word-indexed bitmap (O(1) test-and-set on the write hot
+  // path); the std::set view is materialized lazily on demand so callers
+  // keep the exact ordered-set semantics they always had.
+  const std::set<std::uint64_t>& dirty_pages() const;
+  void ClearDirty() {
+    dirty_words_.clear();
+    dirty_cache_.clear();
+    dirty_cache_valid_ = true;
+  }
   bool IsDirty(std::uint64_t page_index) const {
-    return dirty_.count(page_index) != 0;
+    auto it = dirty_words_.find(page_index >> 6);
+    return it != dirty_words_.end() &&
+           (it->second >> (page_index & 63)) & 1u;
   }
 
  private:
+  void MarkDirty(std::uint64_t page_index);
   Page& PageForWrite(std::uint64_t page_index);
   // Returns nullptr for never-written pages (reads see zeros).
   const Page* PageForRead(std::uint64_t page_index) const;
@@ -109,7 +151,12 @@ class Memory {
   // Pages are shared with snapshots; a write that hits a shared page
   // (use_count > 1) clones it first.
   std::map<std::uint64_t, std::shared_ptr<Page>> pages_;
-  std::set<std::uint64_t> dirty_;
+  // Demand-paged pages: content pending delivery, any touch faults.
+  std::set<std::uint64_t> missing_;
+  // Dirty bitmap: page-index word (index >> 6) -> 64-page bit mask.
+  std::unordered_map<std::uint64_t, std::uint64_t> dirty_words_;
+  mutable std::set<std::uint64_t> dirty_cache_;
+  mutable bool dirty_cache_valid_ = true;
   std::uint64_t cow_faults_ = 0;
 };
 

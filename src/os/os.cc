@@ -150,7 +150,30 @@ void Os::DestroyProcess(Pid pid, int exit_code) {
   // The hook runs while the (torn-down) process is still visible so
   // observers can read its final memory image.
   if (process_exit_hook_) process_exit_hook_(pid, exit_code);
+  page_fault_handlers_.erase(pid);
   processes_.erase(pid);
+}
+
+bool Os::FillPage(Pid pid, std::uint64_t page_index, cruz::ByteSpan content) {
+  Process* proc = FindProcess(pid);
+  if (proc == nullptr) return false;
+  if (!proc->memory().FillPage(page_index, content)) return false;
+  if (proc->has_pending_fault() &&
+      proc->pending_fault_page() == page_index) {
+    Tid tid = proc->pending_fault_tid();
+    proc->ClearPendingFault();
+    MakeRunnable(ThreadRef{pid, tid});
+    // Sibling threads were runnable but gated by the process-wide fault
+    // stall; their step events may have fired and bailed, so rekick them.
+    if (proc->state() == ProcessState::kLive) {
+      for (Thread& t : proc->threads()) {
+        if (t.state == ThreadState::kRunnable && !t.step_scheduled) {
+          ScheduleStep(ThreadRef{pid, t.tid}, step_granularity_);
+        }
+      }
+    }
+  }
+  return true;
 }
 
 void Os::ReleaseFd(Process& proc,
@@ -206,10 +229,43 @@ void Os::RunStep(ThreadRef ref) {
       thread->state != ThreadState::kRunnable) {
     return;
   }
+  // Process-wide fault stall: while one thread is parked on a missing
+  // page, no sibling thread runs, so the re-executed step observes
+  // exactly the process state it saw before the fault. FillPage rekicks
+  // the stalled siblings.
+  if (proc->has_pending_fault()) return;
   CRUZ_CHECK(proc->program() != nullptr, "process without program code");
+  // While the address space has missing pages a step may abort mid-flight
+  // on a PageFault; the journal lets the re-execution replay the syscall
+  // results its aborted prefix already consumed.
+  if (proc->memory().HasMissingPages() && thread->journal == nullptr) {
+    thread->journal = std::make_shared<StepJournal>();
+  }
   ProcessCtx ctx(*this, *proc, *thread);
   pending_syscall_charge_ = 0;
-  proc->program()->Step(ctx);
+  Registers entry_regs = thread->regs;
+  try {
+    proc->program()->Step(ctx);
+  } catch (const PageFault& fault) {
+    // Rewind to the step's entry state and park the whole process until
+    // the page server delivers the page. The journal cursor resets so the
+    // re-execution replays the prefix that already ran.
+    thread->regs = entry_regs;
+    thread->state = ThreadState::kBlocked;
+    if (thread->journal == nullptr) {
+      thread->journal = std::make_shared<StepJournal>();
+    }
+    thread->journal->cursor = 0;
+    proc->SetPendingFault(ref.tid, fault.page_index);
+    ++steps_executed_;
+    auto handler = page_fault_handlers_.find(ref.pid);
+    if (handler != page_fault_handlers_.end()) {
+      handler->second(fault.page_index);
+    }
+    return;
+  }
+  // Clean completion: the step is committed, its journal is dead weight.
+  thread->journal = nullptr;
   ++steps_executed_;
 
   if (proc->state() == ProcessState::kZombie) {
@@ -820,97 +876,191 @@ void ProcessCtx::ExitProcess(int code) {
 }
 void ProcessCtx::ExitThread() { thread_.state = ThreadState::kExited; }
 
-SysResult ProcessCtx::Getpid() { return os_.SysGetpid(proc_); }
+// Every wrapper below goes through the step journal (see Intercept /
+// ReplayActive in program.h): during a post-fault re-execution the
+// recorded result is returned without re-performing the side effect,
+// which already happened in the aborted prefix. Park calls (BlockOn*,
+// Sleep) are deliberately NOT journaled — AddWaiter dedups and the
+// poll-retry program structure tolerates spurious wakeups.
+
+SysResult ProcessCtx::Getpid() {
+  return Intercept([&] { return os_.SysGetpid(proc_); });
+}
 SysResult ProcessCtx::Spawn(const std::string& program, cruz::ByteSpan args) {
-  return os_.SysSpawn(proc_, program, args);
+  return Intercept([&] { return os_.SysSpawn(proc_, program, args); });
 }
 SysResult ProcessCtx::SpawnThread(std::uint64_t pc, std::uint64_t arg) {
+  if (ReplayActive()) return ReplayNext().result;
   Registers regs;
   regs.r[0] = pc;
   regs.r[1] = arg;
   Tid tid = proc_.CreateThread(regs);
   os_.MakeRunnable(ThreadRef{proc_.pid(), tid});
+  if (Recording()) Record(tid);
   return tid;
 }
 SysResult ProcessCtx::Kill(Pid pid, int signal) {
-  return os_.SysKill(proc_, pid, signal);
+  return Intercept([&] { return os_.SysKill(proc_, pid, signal); });
 }
 SysResult ProcessCtx::Open(const std::string& path, bool create) {
-  return os_.SysOpen(proc_, path, create);
+  return Intercept([&] { return os_.SysOpen(proc_, path, create); });
 }
 SysResult ProcessCtx::Read(Fd fd, cruz::Bytes& out, std::size_t max) {
-  return os_.SysRead(proc_, fd, out, max);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    out.insert(out.end(), rec.out.begin(), rec.out.end());
+    return rec.result;
+  }
+  std::size_t before = out.size();
+  SysResult r = os_.SysRead(proc_, fd, out, max);
+  if (Recording()) {
+    Record(r).out.assign(out.begin() + static_cast<std::ptrdiff_t>(before),
+                         out.end());
+  }
+  return r;
 }
 SysResult ProcessCtx::Write(Fd fd, cruz::ByteSpan data) {
-  return os_.SysWrite(proc_, fd, data);
+  return Intercept([&] { return os_.SysWrite(proc_, fd, data); });
 }
-SysResult ProcessCtx::Close(Fd fd) { return os_.SysClose(proc_, fd); }
-SysResult ProcessCtx::Dup(Fd fd) { return os_.SysDup(proc_, fd); }
+SysResult ProcessCtx::Close(Fd fd) {
+  return Intercept([&] { return os_.SysClose(proc_, fd); });
+}
+SysResult ProcessCtx::Dup(Fd fd) {
+  return Intercept([&] { return os_.SysDup(proc_, fd); });
+}
 SysResult ProcessCtx::MakePipe(Fd* read_end, Fd* write_end) {
-  return os_.SysPipe(proc_, read_end, write_end);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    *read_end = static_cast<Fd>(rec.a);
+    *write_end = static_cast<Fd>(rec.b);
+    return rec.result;
+  }
+  SysResult r = os_.SysPipe(proc_, read_end, write_end);
+  if (Recording()) {
+    SysRecord& rec = Record(r);
+    rec.a = static_cast<std::uint64_t>(*read_end);
+    rec.b = static_cast<std::uint64_t>(*write_end);
+  }
+  return r;
 }
-SysResult ProcessCtx::SocketTcp() { return os_.SysSocketTcp(proc_); }
-SysResult ProcessCtx::SocketUdp() { return os_.SysSocketUdp(proc_); }
+SysResult ProcessCtx::SocketTcp() {
+  return Intercept([&] { return os_.SysSocketTcp(proc_); });
+}
+SysResult ProcessCtx::SocketUdp() {
+  return Intercept([&] { return os_.SysSocketUdp(proc_); });
+}
 SysResult ProcessCtx::Bind(Fd fd, net::Endpoint local) {
-  return os_.SysBind(proc_, fd, local);
+  return Intercept([&] { return os_.SysBind(proc_, fd, local); });
 }
 SysResult ProcessCtx::Listen(Fd fd, int backlog) {
-  return os_.SysListen(proc_, fd, backlog);
+  return Intercept([&] { return os_.SysListen(proc_, fd, backlog); });
 }
-SysResult ProcessCtx::Accept(Fd fd) { return os_.SysAccept(proc_, fd); }
+SysResult ProcessCtx::Accept(Fd fd) {
+  return Intercept([&] { return os_.SysAccept(proc_, fd); });
+}
 SysResult ProcessCtx::Connect(Fd fd, net::Endpoint remote) {
-  return os_.SysConnect(proc_, fd, remote);
+  return Intercept([&] { return os_.SysConnect(proc_, fd, remote); });
 }
 SysResult ProcessCtx::SendTcp(Fd fd, cruz::ByteSpan data) {
-  return os_.SysSendTcp(proc_, fd, data);
+  return Intercept([&] { return os_.SysSendTcp(proc_, fd, data); });
 }
 SysResult ProcessCtx::RecvTcp(Fd fd, cruz::Bytes& out, std::size_t max,
                               bool peek) {
-  return os_.SysRecvTcp(proc_, fd, out, max, peek);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    out.insert(out.end(), rec.out.begin(), rec.out.end());
+    return rec.result;
+  }
+  std::size_t before = out.size();
+  SysResult r = os_.SysRecvTcp(proc_, fd, out, max, peek);
+  if (Recording()) {
+    Record(r).out.assign(out.begin() + static_cast<std::ptrdiff_t>(before),
+                         out.end());
+  }
+  return r;
 }
 SysResult ProcessCtx::SendToUdp(Fd fd, net::Endpoint remote,
                                 cruz::ByteSpan data) {
-  return os_.SysSendToUdp(proc_, fd, remote, data);
+  return Intercept([&] { return os_.SysSendToUdp(proc_, fd, remote, data); });
 }
 SysResult ProcessCtx::RecvFromUdp(Fd fd, cruz::Bytes& out,
                                   net::Endpoint* from) {
-  return os_.SysRecvFromUdp(proc_, fd, out, from);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    out.insert(out.end(), rec.out.begin(), rec.out.end());
+    if (from != nullptr) *from = rec.from;
+    return rec.result;
+  }
+  std::size_t before = out.size();
+  net::Endpoint src{};
+  SysResult r = os_.SysRecvFromUdp(proc_, fd, out, &src);
+  if (from != nullptr) *from = src;
+  if (Recording()) {
+    SysRecord& rec = Record(r);
+    rec.out.assign(out.begin() + static_cast<std::ptrdiff_t>(before),
+                   out.end());
+    rec.from = src;
+  }
+  return r;
 }
 SysResult ProcessCtx::SetNodelay(Fd fd, bool on) {
-  return os_.SysSetNodelay(proc_, fd, on);
+  return Intercept([&] { return os_.SysSetNodelay(proc_, fd, on); });
 }
 SysResult ProcessCtx::SetCork(Fd fd, bool on) {
-  return os_.SysSetCork(proc_, fd, on);
+  return Intercept([&] { return os_.SysSetCork(proc_, fd, on); });
 }
 SysResult ProcessCtx::ShutdownTcp(Fd fd) {
-  return os_.SysShutdownTcp(proc_, fd);
+  return Intercept([&] { return os_.SysShutdownTcp(proc_, fd); });
 }
 SysResult ProcessCtx::GetIfHwAddr(const std::string& ifname,
                                   net::MacAddress* mac) {
-  return os_.SysGetIfHwAddr(proc_, ifname, mac);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    for (int i = 0; i < 6; ++i) {
+      mac->octets[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(rec.a >> (8 * i));
+    }
+    return rec.result;
+  }
+  SysResult r = os_.SysGetIfHwAddr(proc_, ifname, mac);
+  if (Recording()) {
+    std::uint64_t packed = 0;
+    for (int i = 5; i >= 0; --i) {
+      packed = (packed << 8) | mac->octets[static_cast<std::size_t>(i)];
+    }
+    Record(r).a = packed;
+  }
+  return r;
 }
 SysResult ProcessCtx::GetIfAddr(const std::string& ifname,
                                 net::Ipv4Address* ip) {
-  return os_.SysGetIfAddr(proc_, ifname, ip);
+  if (ReplayActive()) {
+    const SysRecord& rec = ReplayNext();
+    ip->value = static_cast<std::uint32_t>(rec.a);
+    return rec.result;
+  }
+  SysResult r = os_.SysGetIfAddr(proc_, ifname, ip);
+  if (Recording()) Record(r).a = ip->value;
+  return r;
 }
 SysResult ProcessCtx::ShmGet(std::int32_t key, std::size_t size) {
-  return os_.SysShmGet(proc_, key, size);
+  return Intercept([&] { return os_.SysShmGet(proc_, key, size); });
 }
 SysResult ProcessCtx::ShmAt(ShmId id, std::uint64_t addr) {
-  return os_.SysShmAt(proc_, id, addr);
+  return Intercept([&] { return os_.SysShmAt(proc_, id, addr); });
 }
 SysResult ProcessCtx::ShmReadU64(ShmId id, std::uint64_t offset) {
-  return os_.SysShmReadU64(proc_, id, offset);
+  return Intercept([&] { return os_.SysShmReadU64(proc_, id, offset); });
 }
 SysResult ProcessCtx::ShmWriteU64(ShmId id, std::uint64_t offset,
                                   std::uint64_t v) {
-  return os_.SysShmWriteU64(proc_, id, offset, v);
+  return Intercept([&] { return os_.SysShmWriteU64(proc_, id, offset, v); });
 }
 SysResult ProcessCtx::SemGet(std::int32_t key, std::int32_t initial) {
-  return os_.SysSemGet(proc_, key, initial);
+  return Intercept([&] { return os_.SysSemGet(proc_, key, initial); });
 }
 SysResult ProcessCtx::SemOp(SemId id, std::int32_t delta) {
-  return os_.SysSemOp(proc_, id, delta);
+  return Intercept([&] { return os_.SysSemOp(proc_, id, delta); });
 }
 
 // ---------------------------------------------------------------------------

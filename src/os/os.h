@@ -100,6 +100,22 @@ class Os {
   Pid InstallProcess(std::unique_ptr<Process> proc);
   void StartProcessThreads(Pid pid);
 
+  // --- demand paging (post-copy migration) -------------------------------------
+  // Delivers the content of a missing page to `pid`. If the page was the
+  // one a thread is parked on, the thread (and the rest of the process,
+  // which stalls as a unit while a fault is pending) resumes. Returns
+  // false and installs nothing when the page is not missing — duplicate
+  // deliveries (retransmits, push racing a demand fetch) are dropped.
+  bool FillPage(Pid pid, std::uint64_t page_index, cruz::ByteSpan content);
+  // Handler invoked when a thread of `pid` touches a missing page; the
+  // migration target's page-server client uses it to issue the demand
+  // fetch. The faulting process is already parked when it runs.
+  void SetPageFaultHandler(Pid pid,
+                           std::function<void(std::uint64_t)> handler) {
+    page_fault_handlers_[pid] = std::move(handler);
+  }
+  void ClearPageFaultHandler(Pid pid) { page_fault_handlers_.erase(pid); }
+
   // --- scheduling --------------------------------------------------------------
   void MakeRunnable(ThreadRef ref);
   void WakeThreads(std::vector<ThreadRef>& refs);
@@ -187,6 +203,7 @@ class Os {
   std::function<void(Pid, int)> process_exit_hook_;
 
   std::map<Pid, std::unique_ptr<Process>> processes_;
+  std::map<Pid, std::function<void(std::uint64_t)>> page_fault_handlers_;
   Pid next_pid_ = 100;
   PipeId next_pipe_id_ = 1;
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/address.h"
 #include "os/file.h"
 #include "os/memory.h"
 #include "os/sysv_ipc.h"
@@ -41,6 +42,32 @@ enum class ThreadState : std::uint8_t {
   kExited,
 };
 
+// One recorded syscall result inside a step, for deterministic re-execution
+// after a page fault (see StepJournal).
+struct SysRecord {
+  SysResult result = 0;
+  cruz::Bytes out;         // received payload (recv/read-style calls)
+  net::Endpoint from;      // recvfrom source
+  std::uint64_t a = 0;     // extra out-params (fd pairs, mac/ip values)
+  std::uint64_t b = 0;
+};
+
+// Journal of the syscalls a partially-executed step has already performed.
+//
+// A Program::Step is atomic from the program's point of view, but a touch
+// of a missing page aborts it mid-flight (PageFault) after some syscalls
+// may already have consumed input or sent packets. When the page arrives
+// the step re-executes from its entry registers; the journal replays the
+// recorded results for the prefix that already ran (without re-performing
+// the destructive side effects), so the re-execution is bit-identical up
+// to the fault point and then continues live. The journal is transient
+// scheduling state: it exists only while the process has missing pages
+// and is never serialized (checkpointing a mid-paging pod is forbidden).
+struct StepJournal {
+  std::vector<SysRecord> records;
+  std::size_t cursor = 0;  // next record to replay on re-execution
+};
+
 struct Thread {
   Tid tid = 0;
   ThreadState state = ThreadState::kRunnable;
@@ -48,6 +75,8 @@ struct Thread {
   // True while a step event for this thread is in the simulator queue
   // (prevents double-scheduling).
   bool step_scheduled = false;
+  // Non-null only while demand paging may interrupt this thread's steps.
+  std::shared_ptr<StepJournal> journal;
 };
 
 enum class ProcessState : std::uint8_t {
@@ -104,6 +133,20 @@ class Process {
     return fds_;
   }
 
+  // --- demand paging (post-copy migration) ---------------------------------
+  // While a thread is parked on a missing page, the whole process stalls:
+  // no other thread of the process is stepped, so the re-executed step
+  // observes exactly the state it saw before the fault. At most one fault
+  // is in flight per process by construction.
+  bool has_pending_fault() const { return pending_fault_tid_ >= 0; }
+  Tid pending_fault_tid() const { return pending_fault_tid_; }
+  std::uint64_t pending_fault_page() const { return pending_fault_page_; }
+  void SetPendingFault(Tid tid, std::uint64_t page_index) {
+    pending_fault_tid_ = tid;
+    pending_fault_page_ = page_index;
+  }
+  void ClearPendingFault() { pending_fault_tid_ = -1; }
+
   // --- shm attachments -----------------------------------------------------------
   std::vector<ShmAttachment>& shm_attachments() { return shm_attachments_; }
   const std::vector<ShmAttachment>& shm_attachments() const {
@@ -125,6 +168,8 @@ class Process {
   std::map<Fd, std::shared_ptr<FileDescription>> fds_;
   Fd next_fd_ = 3;  // 0..2 conventionally reserved
   std::vector<ShmAttachment> shm_attachments_;
+  Tid pending_fault_tid_ = -1;  // < 0: no fault in flight
+  std::uint64_t pending_fault_page_ = 0;
 };
 
 }  // namespace cruz::os

@@ -110,6 +110,35 @@ class ProcessCtx {
 
  private:
   friend class Os;
+
+  // Step-journal interception (see StepJournal in process.h). While a
+  // post-fault re-execution is replaying, each syscall wrapper returns
+  // the recorded result of the aborted prefix instead of re-performing
+  // the (already applied) side effect; past the prefix, and whenever the
+  // address space has missing pages, live results are recorded. Both are
+  // no-ops on the common path (journal == nullptr).
+  bool ReplayActive() const {
+    return thread_.journal != nullptr &&
+           thread_.journal->cursor < thread_.journal->records.size();
+  }
+  const SysRecord& ReplayNext() {
+    return thread_.journal->records[thread_.journal->cursor++];
+  }
+  bool Recording() const { return thread_.journal != nullptr; }
+  SysRecord& Record(SysResult result) {
+    thread_.journal->records.push_back(SysRecord{result, {}, {}, 0, 0});
+    thread_.journal->cursor = thread_.journal->records.size();
+    return thread_.journal->records.back();
+  }
+  // Replay/record wrapper for syscalls whose only output is the result.
+  template <typename Live>
+  SysResult Intercept(Live&& live) {
+    if (ReplayActive()) return ReplayNext().result;
+    SysResult r = live();
+    if (Recording()) Record(r);
+    return r;
+  }
+
   Os& os_;
   Process& proc_;
   Thread& thread_;

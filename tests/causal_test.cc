@@ -11,8 +11,10 @@
 
 #include "apps/programs.h"
 #include "check/explorer.h"
+#include "ckpt/live_migrate.h"
 #include "cruz/cluster.h"
 #include "fault/fault.h"
+#include "migrate_harness.h"
 #include "obs/causal/causal_graph.h"
 #include "obs/causal/critical_path.h"
 #include "obs/causal/flight_recorder.h"
@@ -499,6 +501,63 @@ TEST(FlightRecorder, ExplorerViolationProducesReplayableRecording) {
   EXPECT_EQ(rerun.violations.front().invariant,
             run.violations.front().invariant);
   EXPECT_EQ(rerun.flight_record, run.flight_record);
+}
+
+// Post-copy degradation attribution: every demand-fetch stall is traced
+// as a migrate.postcopy.fetch span, and the analyzer's "postcopy-fetch"
+// phase must account for the coordinator-reported degradation within 1%
+// (the faulting process parks for the whole fetch, so spans never
+// overlap and the tiling sums exactly). The "stop-copy" phase likewise
+// reproduces the reported downtime.
+TEST(CriticalPath, PostCopyFetchStallsMatchReportedDegradation) {
+  ckpt::testing::RegisterScribbler();
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = c.CreatePod(0, "scrib");
+  c.pods(0).SpawnInPod(id, "harness.scribbler",
+                       ckpt::testing::ScribblerArgs(21, 20000, 96));
+  os::Process* scrib = c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, 1));
+  cruz::Bytes page(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    scrib->memory().InstallPage(ckpt::testing::kScribBallastPage + i, page);
+  }
+  c.sim().RunFor(5 * kMillisecond);
+  ckpt::LiveMigrateOptions options;
+  options.hot_window = 200 * kMicrosecond;
+  bool done = false;
+  ckpt::LiveMigrateStats stats;
+  ckpt::LiveMigrator::PostCopy(c.pods(0), c.pods(1), id, options,
+                               [&](const ckpt::LiveMigrateStats& s) {
+                                 stats = s;
+                                 done = true;
+                               });
+  ASSERT_TRUE(
+      c.sim().RunWhile([&] { return done; }, c.sim().Now() + 600 * kSecond));
+  ASSERT_GT(stats.degradation, 0);
+  ASSERT_GT(stats.pages_fetched_on_demand, 0u);
+
+  const auto& ring = c.sim().tracer().events();
+  CausalGraph g =
+      CausalGraph::Build(std::vector<TraceEvent>(ring.begin(), ring.end()));
+  CriticalPathAnalyzer analyzer(g);
+  auto b = analyzer.AnalyzeOp(stats.op_id);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->success);
+  EXPECT_EQ(b->kind, "post-copy");
+
+  const PhaseTotal* fetch = FindPhase(*b, "postcopy-fetch");
+  ASSERT_NE(fetch, nullptr);
+  DurationNs diff = fetch->total > stats.degradation
+                        ? fetch->total - stats.degradation
+                        : stats.degradation - fetch->total;
+  EXPECT_LE(diff * 100, stats.degradation)
+      << "postcopy-fetch=" << fetch->total
+      << " degradation=" << stats.degradation;
+
+  const PhaseTotal* stop = FindPhase(*b, "stop-copy");
+  ASSERT_NE(stop, nullptr);
+  EXPECT_EQ(stop->total, stats.downtime);
 }
 
 }  // namespace

@@ -80,6 +80,18 @@ const std::vector<MutationCase>& MutationCases() {
       {Mutation::kShardAckWithoutForward, "gen-commit",
        "cruzrepro1 seed=7 nodes=6 wl=2 units=4000 tiered=1 fanout=2 "
        "op=0,10,0,0,0,0,0"},
+      // Hybrid migration of a still-running counter: the dirty-at-stop
+      // residue is demand-paged, and the sabotaged source accounts those
+      // pages as delivered without ever sending them, so "done" fires
+      // with the counter parked on a missing page forever.
+      {Mutation::kDropPageResponse, "resident-set-complete",
+       "cruzrepro1 seed=21 nodes=3 wl=2 units=60000 migrate=3 "
+       "op=2,10,0,0,0,0,0"},
+      // Post-copy migration where the source-side destroy is skipped:
+      // the pod ends up running on both nodes at once.
+      {Mutation::kResumeBothSides, "migration-exactly-one-running-copy",
+       "cruzrepro1 seed=22 nodes=3 wl=2 units=60000 migrate=2 "
+       "op=2,10,0,0,0,0,0"},
   };
   return kCases;
 }
@@ -148,6 +160,21 @@ TEST(ScenarioCodec, AcceptsLargeNodeCountsWithFanOut) {
                    "cruzrepro1 seed=1 nodes=4 wl=0 units=1 fanout=300")
                    .has_value());
   EXPECT_EQ(MustDecode("cruzrepro1 seed=1 nodes=4 wl=0 units=1").fan_out, 0u);
+}
+
+// The migrate token selects the live-migration mode; absent = pre-copy,
+// so every pre-post-copy repro string replays exactly as before.
+TEST(ScenarioCodec, MigrateModeTokenRoundTripsAndRejects) {
+  Scenario s = MustDecode(
+      "cruzrepro1 seed=1 nodes=3 wl=2 units=4000 migrate=2 "
+      "op=2,10,0,0,0,0,0");
+  EXPECT_EQ(s.migrate_mode, 2u);
+  EXPECT_EQ(Scenario::Decode(s.Encode())->Encode(), s.Encode());
+  EXPECT_EQ(MustDecode("cruzrepro1 seed=1 nodes=2 wl=0 units=1").migrate_mode,
+            1u);
+  EXPECT_FALSE(
+      Scenario::Decode("cruzrepro1 seed=1 nodes=2 wl=0 units=1 migrate=4")
+          .has_value());
 }
 
 TEST(ScenarioCodec, RejectsMalformedRepros) {
@@ -226,6 +253,30 @@ TEST(ShrinkerTest, DropLastReplicaShrinksToCheckpointRestart) {
   EXPECT_TRUE(shrunk.minimal.faults.empty());
   EXPECT_LE(shrunk.minimal.ops.size(), 2u);
   EXPECT_TRUE(HasViolation(shrunk.violations, "replica-availability"));
+
+  Scenario replay = MustDecode(shrunk.repro);
+  EXPECT_FALSE(broken.RunScenario(replay).passed);
+}
+
+// The migration sabotage also shrinks to a minimal proof: the flanking
+// checkpoints and the channel faults are irrelevant — the mutation alone
+// breaks the lone migrate op.
+TEST(ShrinkerTest, DropPageResponseShrinksToLoneMigrate) {
+  Scenario failing = MustDecode(
+      "cruzrepro1 seed=23 nodes=3 wl=2 units=60000 migrate=3 "
+      "op=0,10,0,0,0,0,0 op=2,10,0,0,0,0,0 op=0,15,0,0,0,0,0 "
+      "fault=0,1,80,0 fault=2,2,100,5");
+
+  RunOptions options;
+  options.mutation = Mutation::kDropPageResponse;
+  Explorer broken(options);
+  ASSERT_FALSE(broken.RunScenario(failing).passed);
+
+  Shrinker shrinker(options);
+  ShrinkResult shrunk = shrinker.Shrink(failing, 100);
+  EXPECT_TRUE(shrunk.minimal.faults.empty());
+  EXPECT_LE(shrunk.minimal.ops.size(), 2u);
+  EXPECT_TRUE(HasViolation(shrunk.violations, "resident-set-complete"));
 
   Scenario replay = MustDecode(shrunk.repro);
   EXPECT_FALSE(broken.RunScenario(replay).passed);

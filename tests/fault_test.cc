@@ -9,9 +9,11 @@
 #include "check/explorer.h"
 #include "check/scenario.h"
 #include "ckpt/generation.h"
+#include "ckpt/live_migrate.h"
 #include "coord/agent.h"
 #include "cruz/cluster.h"
 #include "fault/fault.h"
+#include "migrate_harness.h"
 #include "obs/trace_query.h"
 
 namespace cruz {
@@ -621,6 +623,134 @@ TEST(Fault, AgentCrashDuringCowWriteOutLeavesStreamClean) {
       },
       c.sim().Now() + 600 * kSecond));
   EXPECT_EQ(last.mismatches, 0u);
+}
+
+// Chaos on the post-copy page channel: every page request and response
+// is subject to seeded loss, duplication, and delay. The protocol must
+// stall-then-recover — retransmit timers re-request lost fetches, the
+// push loop re-pushes lost responses — and the recovered pod's final
+// memory must still be bit-identical to the fault-free reference model.
+TEST(Fault, PageChannelLossDupDelayStallsThenRecovers) {
+  for (ckpt::MigrateMode mode :
+       {ckpt::MigrateMode::kPostCopy, ckpt::MigrateMode::kHybrid}) {
+    fault::FaultPlan plan(17);
+    plan.ArmMessageLoss(0.25);
+    plan.ArmMessageDuplication(0.25);
+    plan.ArmMessageDelay(0.25, 1 * kMillisecond);
+
+    ckpt::testing::ScribProfile profile = ckpt::testing::ProfileFromSeed(5);
+    ckpt::LiveMigrateOptions options;
+    options.hot_window = 200 * kMicrosecond;
+    options.injector = &plan;
+    ckpt::testing::ModeRun run =
+        ckpt::testing::RunScribblerMigration(profile, mode, options);
+
+    ASSERT_TRUE(run.migrated);
+    ASSERT_TRUE(run.completed);
+    // Lost requests were re-requested; the run still converged.
+    EXPECT_GT(run.stats.requests_retransmitted, 0u);
+    EXPECT_GT(plan.CountEvents(fault::FaultKind::kMessageDrop), 0u);
+    // Nothing lost, nothing served after release, accounting balanced.
+    EXPECT_EQ(run.stats.late_serves, 0u);
+    EXPECT_EQ(run.stats.pages_resident_at_resume +
+                  run.stats.pages_fetched_on_demand + run.stats.pages_pushed,
+              run.stats.pages_total);
+    // The decisive check: chaos changed timings, not contents.
+    cruz::Bytes args = ckpt::testing::ScribblerArgs(
+        profile.scribble_seed, profile.iterations, profile.pool_pages);
+    ckpt::testing::ScribExpectation expected =
+        ckpt::testing::ExpectedScribblerState(profile, args);
+    EXPECT_EQ(run.checksum, expected.checksum);
+    EXPECT_EQ(run.image, expected.image);
+  }
+}
+
+// Source-node crash in the middle of demand paging: the target pod
+// stalls cleanly (parked on its fault, no crash, no torn state), a
+// checkpoint of the half-resident pod is refused cleanly, and the pod is
+// restartable from the latest committed generation with zero orphan
+// images left behind.
+TEST(Fault, SourceCrashMidDemandPagingFailsCleanlyAndRestarts) {
+  ckpt::testing::RegisterScribbler();
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  os::PodId id = c.CreatePod(0, "scrib");
+  c.pods(0).SpawnInPod(
+      id, "harness.scribbler",
+      ckpt::testing::ScribblerArgs(3, std::uint64_t{1} << 40, 96));
+  os::Process* scrib = c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, 1));
+  cruz::Bytes page(os::kPageSize, 0x55);
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    scrib->memory().InstallPage(ckpt::testing::kScribBallastPage + i, page);
+  }
+  c.sim().RunFor(20 * kMillisecond);
+
+  // Committed safety net: generation G of the running pod.
+  auto g = c.RunGenerationCheckpoint({c.MemberFor(0, id)});
+  ASSERT_TRUE(g.stats.success);
+  ASSERT_GT(g.generation, 0u);
+
+  // Post-copy migrate 0 -> 1; kill the source right as demand paging
+  // begins (stop at +0.2 ms, hot-set transfer ~1.5 ms, so +2.5 ms is
+  // moments after the resume, with nearly all of the residue missing),
+  // rebooting later.
+  fault::FaultPlan plan(19);
+  plan.ArmNodeCrash(0, c.sim().Now() + 2500 * kMicrosecond,
+                    /*reboot_after=*/50 * kMillisecond);
+  c.ArmFaults(plan);
+  ckpt::LiveMigrateOptions options;
+  options.hot_window = 200 * kMicrosecond;
+  bool done = false;
+  ckpt::LiveMigrator::PostCopy(c.pods(0), c.pods(1), id, options,
+                               [&](const ckpt::LiveMigrateStats&) {
+                                 done = true;
+                               });
+  c.sim().RunFor(200 * kMillisecond);
+  EXPECT_EQ(plan.CountEvents(fault::FaultKind::kNodeCrash), 1u);
+  EXPECT_FALSE(done);  // the migration can never reach full residency
+
+  // The target pod exists but is parked on a demand fetch that will
+  // never be served — stalled, not crashed, not torn.
+  os::Pid real = c.pods(1).ToRealPid(id, 1);
+  ASSERT_NE(real, os::kNoPid);
+  os::Process* stuck = c.node(1).os().FindProcess(real);
+  ASSERT_NE(stuck, nullptr);
+  EXPECT_TRUE(stuck->memory().HasMissingPages());
+  std::uint64_t frozen_count = stuck->memory().ReadU64(apps::kStatusAddr);
+  c.sim().RunFor(50 * kMillisecond);
+  EXPECT_EQ(stuck->memory().ReadU64(apps::kStatusAddr), frozen_count);
+
+  // A checkpoint of the half-resident pod is refused cleanly by the
+  // agent (no partial image, no crash), leaving gen G untouched.
+  auto bad = c.RunGenerationCheckpoint({c.MemberFor(1, id)});
+  EXPECT_FALSE(bad.stats.success);
+  EXPECT_EQ(bad.latest_committed, g.generation);
+
+  // Zero orphans: everything under the generation root still belongs to
+  // the committed generation.
+  ckpt::GenerationStore store(c.fs());
+  std::string keep = store.Prefix(g.generation);
+  for (const std::string& path : c.fs().List("/ckpt/gens/")) {
+    EXPECT_TRUE(path == "/ckpt/gens/SEQ" || path.rfind(keep, 0) == 0)
+        << path;
+  }
+
+  // Recovery: abandon the stuck copy and restart from gen G on the
+  // rebooted source node. The pod must run and make progress.
+  c.pods(1).DestroyPod(id);
+  c.sim().RunFor(10 * kMillisecond);
+  ASSERT_FALSE(c.node(0).failed());  // rebooted
+  auto rs = c.RunGenerationRestart({c.MemberFor(0, id)});
+  EXPECT_TRUE(rs.stats.success);
+  EXPECT_EQ(rs.generation, g.generation);
+  os::Pid back = c.pods(0).ToRealPid(id, 1);
+  ASSERT_NE(back, os::kNoPid);
+  os::Process* proc = c.node(0).os().FindProcess(back);
+  ASSERT_NE(proc, nullptr);
+  std::uint64_t before = proc->memory().ReadU64(apps::kStatusAddr);
+  c.sim().RunFor(20 * kMillisecond);
+  EXPECT_GT(proc->memory().ReadU64(apps::kStatusAddr), before);
 }
 
 }  // namespace

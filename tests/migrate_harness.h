@@ -1,0 +1,273 @@
+// Mode-differential live-migration harness.
+//
+// The idea: a migration mode is correct iff it is *invisible* to the
+// application. To test that, the harness runs the same deterministic
+// workload under each MigrateMode and demands bit-identical outcomes.
+//
+// The workload is "harness.scribbler": a program that performs exactly
+// `iterations` pseudo-random page writes (page, slot, and value all
+// derived from a seed and the iteration counter), maintains a running
+// checksum, then parks forever. Every write is a pure function of
+// (seed, iteration), and each Step orders its accesses so that any
+// demand-paging fault lands *before* the step's first side effect — so
+// the final memory image after iteration K is one exact artifact no
+// matter how the run was interleaved with stops, restores, or post-copy
+// stalls. The harness recomputes that artifact in plain C++ (via a
+// scratch os::Memory driven by the same write sequence) and compares
+// the migrated pod's address space against it page by page.
+//
+// RunScribblerMigration() is the per-(seed, mode) building block;
+// tests/live_migrate_modes_test.cc sweeps it over >= 24 seeds x 4 modes
+// and asserts the cross-mode invariants (identical images, downtime
+// ordering, page accounting).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "apps/programs.h"
+#include "ckpt/live_migrate.h"
+#include "common/bytes.h"
+#include "common/units.h"
+#include "cruz/cluster.h"
+#include "os/memory.h"
+#include "os/program.h"
+
+namespace cruz::ckpt::testing {
+
+// Memory layout of the scribbler (all byte addresses):
+//   kStatusAddr + 0 : iterations completed (u64)
+//   kStatusAddr + 8 : running checksum (u64)
+//   pool            : kScribPoolPage .. kScribPoolPage + pool_pages
+//   ballast         : kScribBallastPage .. + ballast_pages (0x42-filled,
+//                     installed by the harness, never written again)
+inline constexpr std::uint64_t kScribPoolPage = 0x400;
+inline constexpr std::uint64_t kScribBallastPage = 0x4000;
+// Where Os::Spawn writes the args blob (kArgsAddr in os.cc).
+inline constexpr std::uint64_t kScribArgsAddr = 0x1000;
+
+inline std::uint64_t ScribMix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// The one write of iteration `i`: a u64 `value` at u64-slot `slot` of
+// pool page `page`. Shared by the program and the reference model so
+// they cannot drift apart.
+struct ScribWrite {
+  std::uint64_t page = 0;  // 0 .. pool_pages-1 (relative to the pool)
+  std::uint64_t slot = 0;  // 0 .. kPageSize/8 - 1
+  std::uint64_t value = 0;
+};
+
+inline ScribWrite ScribWriteAt(std::uint64_t seed, std::uint64_t i,
+                               std::uint64_t pool_pages) {
+  std::uint64_t h = ScribMix(seed ^ (i * 0xD1B54A32D192ED03ull));
+  ScribWrite w;
+  w.page = h % pool_pages;
+  w.slot = (h >> 24) % (os::kPageSize / 8);
+  w.value = ScribMix(h ^ 0xA0761D6478BD642Full);
+  return w;
+}
+
+// Resumable state machine; all state in memory + registers (see
+// os/program.h). Access order per step is fault-safe: the status-page
+// read and the pool-page write are the only touches that can hit a
+// missing page, and both happen before any write of that step lands.
+class ScribblerProgram : public os::Program {
+ public:
+  void Step(os::ProcessCtx& ctx) override {
+    if (ctx.Pc() == 0) {
+      cruz::Bytes args = ctx.Mem().ReadBytes(ctx.Reg(1), ctx.Reg(2));
+      cruz::ByteReader r(args);
+      ctx.Reg(3) = r.GetU64();  // seed
+      ctx.Reg(4) = r.GetU64();  // iterations
+      ctx.Reg(5) = r.GetU64();  // pool pages
+      ctx.Pc() = 1;
+      return;
+    }
+    std::uint64_t done = ctx.Mem().ReadU64(apps::kStatusAddr);
+    if (done >= ctx.Reg(4)) {
+      ctx.Sleep(10 * kSecond);  // finished: park, state frozen
+      return;
+    }
+    std::uint64_t checksum = ctx.Mem().ReadU64(apps::kStatusAddr + 8);
+    ScribWrite w = ScribWriteAt(ctx.Reg(3), done, ctx.Reg(5));
+    ctx.Mem().WriteU64(
+        (kScribPoolPage + w.page) * os::kPageSize + w.slot * 8, w.value);
+    ctx.Mem().WriteU64(apps::kStatusAddr + 8, ScribMix(checksum ^ w.value));
+    ctx.Mem().WriteU64(apps::kStatusAddr, done + 1);
+    ctx.ChargeCpu(5 * kMicrosecond);
+  }
+};
+
+inline void RegisterScribbler() {
+  static const bool once = [] {
+    os::ProgramRegistry::Instance().Register(
+        "harness.scribbler", [] { return std::make_unique<ScribblerProgram>(); });
+    return true;
+  }();
+  (void)once;
+}
+
+inline cruz::Bytes ScribblerArgs(std::uint64_t seed, std::uint64_t iterations,
+                                 std::uint64_t pool_pages) {
+  cruz::ByteWriter w;
+  w.PutU64(seed);
+  w.PutU64(iterations);
+  w.PutU64(pool_pages);
+  return w.Take();
+}
+
+// Per-seed workload shape, drawn so that the scribbler is still writing
+// for the whole span of every mode's migration (pool >= 48 pages keeps a
+// pre-copy round's dirty set above the stop threshold; iterations * 5us
+// comfortably exceeds start + the slowest stop-and-copy transfer).
+struct ScribProfile {
+  std::uint64_t scribble_seed = 0;
+  std::uint64_t iterations = 20000;
+  std::uint64_t pool_pages = 64;    // 48 .. 96
+  std::uint64_t ballast_pages = 512;  // 256 .. 768
+  TimeNs migrate_at = 5 * kMillisecond;  // 2 .. 10 ms
+};
+
+inline ScribProfile ProfileFromSeed(std::uint64_t seed) {
+  ScribProfile p;
+  p.scribble_seed = ScribMix(seed);
+  p.pool_pages = 48 + ScribMix(seed ^ 1) % 49;
+  p.ballast_pages = 256 + ScribMix(seed ^ 2) % 513;
+  p.migrate_at = static_cast<TimeNs>(2 * kMillisecond +
+                                     ScribMix(seed ^ 3) % (8 * kMillisecond));
+  return p;
+}
+
+// A normalized memory image: present, non-zero pages only. Absent pages
+// read as zeros, and capture paths may drop all-zero pages, so zero vs
+// absent is not an application-visible distinction.
+using PageImage = std::map<std::uint64_t, os::Memory::Page>;
+
+inline PageImage NormalizedImage(const os::Memory& mem) {
+  PageImage out;
+  for (const auto& [index, page] : mem.pages()) {
+    bool all_zero = true;
+    for (std::uint8_t b : *page) {
+      if (b != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) out[index] = *page;
+  }
+  return out;
+}
+
+// The reference model: replays the exact write sequence into a scratch
+// address space. What the pod's memory must equal after `iterations`,
+// under any mode, any interleaving, any number of benign duplicates.
+struct ScribExpectation {
+  PageImage image;
+  std::uint64_t checksum = 0;
+};
+
+inline ScribExpectation ExpectedScribblerState(const ScribProfile& p,
+                                               cruz::ByteSpan args) {
+  os::Memory model;
+  cruz::Bytes ballast(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < p.ballast_pages; ++i) {
+    model.InstallPage(kScribBallastPage + i, ballast);
+  }
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < p.iterations; ++i) {
+    ScribWrite w = ScribWriteAt(p.scribble_seed, i, p.pool_pages);
+    model.WriteU64((kScribPoolPage + w.page) * os::kPageSize + w.slot * 8,
+                   w.value);
+    checksum = ScribMix(checksum ^ w.value);
+  }
+  model.WriteU64(apps::kStatusAddr, p.iterations);
+  model.WriteU64(apps::kStatusAddr + 8, checksum);
+  // The spawn wrote the args blob into the address space too; mirror it
+  // at the same location so image comparison covers every page.
+  model.WriteBytes(kScribArgsAddr, args);
+  return ScribExpectation{NormalizedImage(model), checksum};
+}
+
+// Reads a u64 from a possibly demand-paging process; nullopt while the
+// page is still in flight.
+inline std::optional<std::uint64_t> TryReadU64(const os::Process& proc,
+                                               std::uint64_t addr) {
+  try {
+    return proc.memory().ReadU64(addr);
+  } catch (const os::PageFault&) {
+    return std::nullopt;
+  }
+}
+
+// Outcome of one (seed, mode) run, ready for cross-mode comparison.
+struct ModeRun {
+  bool migrated = false;    // done callback fired
+  bool completed = false;   // scribbler reached `iterations` on the target
+  bool source_empty = true;  // pod gone from the source node
+  LiveMigrateStats stats;
+  PageImage image;          // normalized final address space on the target
+  std::uint64_t checksum = 0;
+  std::uint64_t count = 0;
+};
+
+// Runs one migration mode over the seed's workload and collects the
+// final state. Everything before the MigrateWithMode call is a pure
+// function of `profile`, so two runs with different modes diverge only
+// in the migration machinery itself.
+inline ModeRun RunScribblerMigration(const ScribProfile& profile,
+                                     MigrateMode mode,
+                                     const LiveMigrateOptions& options) {
+  RegisterScribbler();
+  ClusterConfig config;
+  config.num_nodes = 2;
+  Cluster c(config);
+  cruz::Bytes args =
+      ScribblerArgs(profile.scribble_seed, profile.iterations,
+                    profile.pool_pages);
+  os::PodId id = c.CreatePod(0, "scrib");
+  os::Pid vpid = c.pods(0).SpawnInPod(id, "harness.scribbler", args);
+  os::Process* src =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, vpid));
+  cruz::Bytes ballast(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < profile.ballast_pages; ++i) {
+    src->memory().InstallPage(kScribBallastPage + i, ballast);
+  }
+  c.sim().RunFor(profile.migrate_at);
+
+  ModeRun run;
+  bool done = false;
+  LiveMigrator::MigrateWithMode(c.pods(0), c.pods(1), id, mode, options,
+                                [&](const LiveMigrateStats& s) {
+                                  run.stats = s;
+                                  done = true;
+                                });
+  if (!c.sim().RunWhile([&] { return done; }, c.sim().Now() + 600 * kSecond)) {
+    return run;
+  }
+  run.migrated = true;
+  run.source_empty = c.pods(0).Find(id) == nullptr;
+
+  os::Pid real = c.pods(1).ToRealPid(run.stats.pod, vpid);
+  os::Process* proc = c.node(1).os().FindProcess(real);
+  if (proc == nullptr) return run;
+  run.completed = c.sim().RunWhile(
+      [&] {
+        std::optional<std::uint64_t> n = TryReadU64(*proc, apps::kStatusAddr);
+        return n.has_value() && *n >= profile.iterations;
+      },
+      c.sim().Now() + 600 * kSecond);
+  if (!run.completed) return run;
+  run.count = proc->memory().ReadU64(apps::kStatusAddr);
+  run.checksum = proc->memory().ReadU64(apps::kStatusAddr + 8);
+  run.image = NormalizedImage(proc->memory());
+  return run;
+}
+
+}  // namespace cruz::ckpt::testing

@@ -582,6 +582,109 @@ TEST(OsMemory, TypedAccessAndPages) {
   EXPECT_LE(m.PageCount(), before);
 }
 
+// Differential test for the word-indexed dirty bitmap: drive a long
+// randomized sequence of writes / clears / probes through Memory while a
+// plain std::set reference model tracks what "dirty since last clear"
+// must mean; both views have to agree at every step.
+TEST(OsMemory, DirtyBitmapMatchesReferenceSet) {
+  Memory m;
+  std::set<std::uint64_t> ref;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    std::uint64_t r = next();
+    // Sparse page universe: clusters near 0, near a high base, and a few
+    // scattered singletons, so many bitmap words are exercised, including
+    // words holding a single bit.
+    std::uint64_t page;
+    switch (r % 4) {
+      case 0: page = (r >> 8) % 256; break;
+      case 1: page = 0x40000 + (r >> 8) % 256; break;
+      case 2: page = (r >> 8) % (std::uint64_t{1} << 40); break;
+      default: page = 63 + 64 * ((r >> 8) % 8); break;  // word boundaries
+    }
+    switch ((r >> 4) % 8) {
+      case 0: {  // cross-page write dirties every page it touches
+        Bytes blob(kPageSize + 64, static_cast<std::uint8_t>(r));
+        m.WriteBytes(page * kPageSize + kPageSize - 32, blob);
+        ref.insert(page);
+        ref.insert(page + 1);
+        ref.insert(page + 2);
+        break;
+      }
+      case 1:
+        m.ClearDirty();
+        ref.clear();
+        break;
+      default:
+        m.WriteU64(page * kPageSize + 8 * ((r >> 16) % 16), r);
+        ref.insert(page);
+        break;
+    }
+    EXPECT_EQ(m.IsDirty(page), ref.count(page) != 0);
+    std::uint64_t probe = next() % (std::uint64_t{1} << 40);
+    EXPECT_EQ(m.IsDirty(probe), ref.count(probe) != 0);
+    if (step % 97 == 0) {
+      EXPECT_EQ(m.dirty_pages(), ref);
+    }
+  }
+  EXPECT_EQ(m.dirty_pages(), ref);
+  m.ClearDirty();
+  EXPECT_TRUE(m.dirty_pages().empty());
+}
+
+// Demand-paging (post-copy migration) unit semantics: a missing page
+// faults on any touch, absent pages still read as zero, and fills are
+// idempotent — the first wins, duplicates are dropped.
+TEST(OsMemory, MissingPagesFaultUntilFilled) {
+  Memory m;
+  m.WriteU64(0x1000, 7);  // resident page 1
+  m.MarkMissing(5);
+  m.MarkMissing(9);
+  m.MarkMissing(9);  // re-marking is harmless
+  EXPECT_TRUE(m.HasMissingPages());
+  EXPECT_EQ(m.missing_pages(), (std::set<std::uint64_t>{5, 9}));
+  EXPECT_TRUE(m.IsMissing(5));
+  EXPECT_FALSE(m.IsMissing(1));
+
+  // Absent != missing: page 2 was never written and reads as zeros.
+  EXPECT_EQ(m.ReadU64(2 * kPageSize), 0u);
+
+  // Any touch of a missing page faults, reporting which page — reads,
+  // writes, and multi-byte accesses that merely graze the page.
+  try {
+    m.ReadU64(5 * kPageSize + 16);
+    FAIL() << "read of missing page did not fault";
+  } catch (const PageFault& f) {
+    EXPECT_EQ(f.page_index, 5u);
+  }
+  EXPECT_THROW(m.WriteU64(9 * kPageSize, 1), PageFault);
+  EXPECT_THROW(m.ReadBytes(5 * kPageSize - 4, 8), PageFault);
+
+  // First fill installs the content and clears the missing bit.
+  Bytes content(kPageSize, 0xAB);
+  EXPECT_TRUE(m.FillPage(5, content));
+  EXPECT_FALSE(m.IsMissing(5));
+  EXPECT_EQ(m.ReadBytes(5 * kPageSize, 8), Bytes(8, 0xAB));
+
+  // Duplicate fill (retransmit / push racing a fetch) is dropped and
+  // does not clobber what is already resident.
+  m.WriteU64(5 * kPageSize, 0x1234);
+  Bytes stale(kPageSize, 0xCD);
+  EXPECT_FALSE(m.FillPage(5, stale));
+  EXPECT_EQ(m.ReadU64(5 * kPageSize), 0x1234u);
+
+  EXPECT_TRUE(m.FillPage(9, content));
+  EXPECT_FALSE(m.HasMissingPages());
+  // With the residue delivered, snapshots are legal again.
+  EXPECT_EQ(m.Snapshot().PageCount(), m.PageCount());
+}
+
 TEST(OsNetfs, BasicOperations) {
   NetworkFileSystem fs;
   EXPECT_FALSE(fs.Exists("/a"));

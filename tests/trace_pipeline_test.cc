@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "apps/programs.h"
+#include "ckpt/live_migrate.h"
 #include "cruz/cluster.h"
 #include "fault/fault.h"
 #include "golden_util.h"
+#include "migrate_harness.h"
 #include "obs/trace_query.h"
 
 namespace cruz {
@@ -302,6 +304,70 @@ TEST(TracePipeline, GoldenCheckpointRestartExports) {
                                      c.sim().tracer().ExportJsonl());
   cruz::testing::ExpectMatchesGolden("ckpt_restart_chrome.json",
                                      c.sim().tracer().ExportChromeJson());
+}
+
+// Post-copy migration golden: a fixed-seed scribbler pod migrated with
+// demand paging + background push, exports pinned byte-for-byte. Two
+// same-binary runs must agree exactly (determinism of the page-channel
+// scheduling), and the committed golden pins it across kernel rewrites.
+// Covers the migrate.op.*/migrate.downtime/migrate.postcopy.* span
+// vocabulary end to end.
+TEST(TracePipeline, GoldenPostCopyMigrationExports) {
+  auto run = [] {
+    ckpt::testing::RegisterScribbler();
+    ClusterConfig config;
+    config.seed = 20260808;
+    config.num_nodes = 2;
+    Cluster c(config);
+    c.sim().tracer().set_verbose(true);
+    ckpt::testing::ScribProfile profile;
+    profile.scribble_seed = 11;
+    profile.iterations = 4000;
+    profile.pool_pages = 64;
+    profile.ballast_pages = 128;
+    profile.migrate_at = 3 * kMillisecond;
+    ckpt::LiveMigrateOptions options;
+    options.hot_window = 200 * kMicrosecond;
+    os::PodId id = c.CreatePod(0, "scrib");
+    c.pods(0).SpawnInPod(
+        id, "harness.scribbler",
+        ckpt::testing::ScribblerArgs(profile.scribble_seed,
+                                     profile.iterations,
+                                     profile.pool_pages));
+    os::Process* scrib =
+        c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, 1));
+    cruz::Bytes page(os::kPageSize, 0x42);
+    for (std::uint64_t i = 0; i < profile.ballast_pages; ++i) {
+      scrib->memory().InstallPage(ckpt::testing::kScribBallastPage + i,
+                                  page);
+    }
+    c.sim().RunFor(profile.migrate_at);
+    bool done = false;
+    ckpt::LiveMigrator::PostCopy(c.pods(0), c.pods(1), id, options,
+                                 [&](const ckpt::LiveMigrateStats&) {
+                                   done = true;
+                                 });
+    EXPECT_TRUE(c.sim().RunWhile([&] { return done; },
+                                 c.sim().Now() + 600 * kSecond));
+    c.sim().RunFor(100 * kMillisecond);
+    struct Exports {
+      std::string chrome, jsonl;
+    } out{c.sim().tracer().ExportChromeJson(),
+          c.sim().tracer().ExportJsonl()};
+    return out;
+  };
+
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.chrome, second.chrome);
+  EXPECT_EQ(first.jsonl, second.jsonl);
+  EXPECT_NE(first.jsonl.find("migrate.op.post-copy"), std::string::npos);
+  EXPECT_NE(first.jsonl.find("migrate.postcopy.fetch"), std::string::npos);
+  EXPECT_NE(first.jsonl.find("migrate.postcopy.resume"), std::string::npos);
+  cruz::testing::ExpectMatchesGolden("postcopy_migrate_trace.jsonl",
+                                     first.jsonl);
+  cruz::testing::ExpectMatchesGolden("postcopy_migrate_chrome.json",
+                                     first.chrome);
 }
 
 }  // namespace
