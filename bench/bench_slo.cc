@@ -1,0 +1,297 @@
+// SLO violation sweep: checkpoints and migrations under open-loop load.
+//
+// Every disruption mechanism in the repo — stop-the-world vs
+// copy-on-write checkpoints, and all four live-migration modes — is run
+// against the same open-loop kvstore workload (LoadGen, coordinated
+// omission impossible by construction), with an SloMonitor evaluating
+// `p95 < 5ms per 250ms window` over the completion timeline and
+// BuildSloReport joining each breached window to the responsible
+// phase + node through the causal trace. The interesting outputs are
+// the *differentials*: a stop-the-world save must breach the objective
+// while copy-on-write stays compliant, and the migration mode ladder
+// shows up as violation-window counts instead of raw downtime.
+//
+// Emits BENCH_slo.json for check_regression.py. CRUZ_BENCH_SMOKE=1
+// runs the 8 MiB pod only (committed baselines are generated in that
+// mode). On a shape-check failure the failing scenario's full trace is
+// written to slo_trace_<scenario>.jsonl so CI can upload it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/kvstore.h"
+#include "ckpt/live_migrate.h"
+#include "cruz/cluster.h"
+#include "load/loadgen.h"
+#include "obs/causal/causal_graph.h"
+#include "obs/causal/critical_path.h"
+#include "obs/causal/slo_report.h"
+#include "obs/latency/histogram.h"
+#include "obs/latency/slo.h"
+#include "obs/latency/windowed.h"
+#include "slm_sweep.h"
+
+namespace {
+
+using namespace cruz;
+
+constexpr std::uint64_t kBallastBase = 0x4000;
+constexpr DurationNs kWindow = 250 * kMillisecond;
+constexpr DurationNs kThreshold = 5 * kMillisecond;
+
+struct ScenarioSpec {
+  const char* name;        // metric prefix, e.g. "stw_checkpoint"
+  bool checkpoint;         // checkpoint when true, migration otherwise
+  bool copy_on_write;      // checkpoint flavor
+  ckpt::MigrateMode mode;  // migration flavor
+};
+
+struct ScenarioResult {
+  std::size_t violations = 0;
+  std::size_t attributed = 0;
+  double worst_p95_ms = 0;
+  double worst_p999_ms = 0;
+  double recovery_ms = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expected = 0;
+  bool disruption_ok = false;   // checkpoint/migration itself succeeded
+  bool crosscheck_ok = false;   // phases tile wall, <= 1% unattributed
+  bool op_charged = false;      // >=1 violation joined to a real phase
+  std::string report;
+  std::string trace_jsonl;
+};
+
+ScenarioResult Measure(const ScenarioSpec& spec,
+                       std::uint64_t ballast_pages) {
+  apps::RegisterKvPrograms();
+  load::RegisterLoadPrograms();
+  ScenarioResult result;
+
+  ClusterConfig config;
+  config.num_nodes = 3;
+  Cluster c(config);
+  c.sim().tracer().set_capacity(1 << 18);
+  c.sim().tracer().set_verbose(true);
+  c.sim().tracer().SetSampling(8);
+
+  os::PodId id = c.CreatePod(0, "kv");
+  net::Ipv4Address ip = c.pods(0).Find(id)->ip;
+  os::Pid vpid = c.pods(0).SpawnInPod(id, "cruz.kv_server",
+                                      apps::KvServerArgs(5432, true));
+  os::Process* server =
+      c.node(0).os().FindProcess(c.pods(0).ToRealPid(id, vpid));
+  cruz::Bytes page(os::kPageSize, 0x42);
+  for (std::uint64_t i = 0; i < ballast_pages; ++i) {
+    server->memory().InstallPage(kBallastBase + i, page);
+  }
+  c.sim().RunFor(5 * kMillisecond);
+
+  load::LoadGenOptions lo;
+  lo.server_ip = ip;
+  lo.port = 5432;
+  lo.connections = 48;
+  lo.interarrival = 24 * kMillisecond;  // aggregate 2000 req/s
+  lo.requests_per_conn = 60;
+  lo.base = c.sim().Now() + 200 * kMillisecond;
+  lo.window = kWindow;
+  load::LoadGen lg(c.node(2).os(), lo);
+  obs::SloMonitor monitor(
+      &c.sim().tracer(),
+      {obs::SloObjective{"p95<5ms", 0.95, kThreshold}});
+  std::uint64_t worst_p95 = 0;
+  std::uint64_t worst_p999 = 0;
+  lg.recorder().SetWindowCallback(
+      [&](const obs::WindowStats& w, const obs::LatencyHistogram& h) {
+        monitor.OnWindow(w, h);
+        if (w.count > 0) {
+          std::uint64_t p95 = h.Percentile(0.95);
+          if (p95 > worst_p95) worst_p95 = p95;
+          if (w.p999 > worst_p999) worst_p999 = w.p999;
+        }
+      });
+  lg.Start();
+  c.sim().RunUntil(lo.base + 600 * kMillisecond);
+
+  // The disruption, mid-load.
+  if (spec.checkpoint) {
+    coord::Coordinator::Options options;
+    options.copy_on_write = spec.copy_on_write;
+    if (spec.copy_on_write) {
+      options.variant = coord::ProtocolVariant::kOptimized;
+    }
+    options.image_prefix = "/ckpt/slo";
+    coord::Coordinator::OpStats stats =
+        c.RunCheckpoint({c.MemberFor(0, id)}, options);
+    result.disruption_ok = stats.success;
+  } else {
+    ckpt::LiveMigrateOptions options;
+    options.hot_window = 200 * kMicrosecond;
+    bool done = false;
+    ckpt::LiveMigrator::MigrateWithMode(
+        c.pods(0), c.pods(1), id, spec.mode, options,
+        [&](const ckpt::LiveMigrateStats& s) {
+          result.disruption_ok = s.downtime > 0 || s.total_duration > 0;
+          done = true;
+        });
+    c.sim().RunWhile([&] { return done; },
+                     c.sim().Now() + 600 * kSecond);
+  }
+
+  c.sim().RunWhile([&] { return lg.Done(); },
+                   c.sim().Now() + 120 * kSecond);
+  lg.Finish();
+
+  result.violations = monitor.violations().size();
+  result.worst_p95_ms = ToMillis(static_cast<DurationNs>(worst_p95));
+  result.worst_p999_ms = ToMillis(static_cast<DurationNs>(worst_p999));
+  result.recovery_ms =
+      ToMillis(monitor.RecoveryToSlo("p95<5ms"));
+  result.failures = lg.VerificationFailures();
+  result.completed = lg.completed();
+  result.expected = lg.expected();
+  result.trace_jsonl = c.sim().tracer().ExportJsonl();
+
+  const auto& ring = c.sim().tracer().events();
+  obs::causal::CausalGraph graph = obs::causal::CausalGraph::Build(
+      std::vector<obs::TraceEvent>(ring.begin(), ring.end()));
+  obs::causal::CriticalPathAnalyzer analyzer(graph);
+  std::vector<obs::causal::OpBreakdown> ops = analyzer.AnalyzeAll();
+  result.crosscheck_ok = !ops.empty();
+  for (const obs::causal::OpBreakdown& op : ops) {
+    DurationNs attributed_total = 0;
+    for (const auto& p : op.phases) attributed_total += p.total;
+    if (attributed_total != op.wall()) result.crosscheck_ok = false;
+    // The <= 1% unattributed bound applies to coordination ops, whose
+    // whole wall is protocol time. A live-migration op's wall includes
+    // the live copy rounds — time the pod runs undisturbed — which the
+    // analyzer deliberately leaves unattributed.
+    bool coordination = op.kind == "checkpoint" || op.kind == "restart";
+    if (coordination && op.unattributed * 100 > op.wall()) {
+      result.crosscheck_ok = false;
+    }
+  }
+  obs::causal::SloReport report =
+      obs::causal::BuildSloReport(graph, ops);
+  result.attributed = report.attributed;
+  result.report = obs::causal::RenderSloReport(report);
+  for (const obs::causal::SloAttribution& a : report.violations) {
+    if (a.phase != "unattributed") result.op_charged = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = cruz::bench::BenchSmoke();
+  std::printf("== SLO violation sweep (open-loop kvstore load)%s ==\n\n",
+              smoke ? " [smoke]" : "");
+  std::vector<std::uint64_t> sizes =
+      smoke ? std::vector<std::uint64_t>{2048}
+            : std::vector<std::uint64_t>{2048, 8192};
+  const ScenarioSpec kScenarios[] = {
+      {"stw_checkpoint", true, false, ckpt::MigrateMode::kStopAndCopy},
+      {"cow_checkpoint", true, true, ckpt::MigrateMode::kStopAndCopy},
+      {"stop_and_copy", false, false, ckpt::MigrateMode::kStopAndCopy},
+      {"pre_copy", false, false, ckpt::MigrateMode::kPreCopy},
+      {"post_copy", false, false, ckpt::MigrateMode::kPostCopy},
+      {"hybrid", false, false, ckpt::MigrateMode::kHybrid},
+  };
+
+  bool ok = true;
+  struct Row {
+    std::uint64_t pages;
+    const ScenarioSpec* spec;
+    ScenarioResult r;
+  };
+  std::vector<Row> rows;
+  for (std::uint64_t pages : sizes) {
+    std::printf("-- pod ballast %.0f MiB --\n",
+                static_cast<double>(pages * os::kPageSize) /
+                    static_cast<double>(kMiB));
+    std::printf("%16s %11s %14s %15s %13s %11s\n", "scenario",
+                "violations", "worst_p95(ms)", "worst_p999(ms)",
+                "recovery(ms)", "attributed");
+    ScenarioResult stw;
+    ScenarioResult cow;
+    for (const ScenarioSpec& spec : kScenarios) {
+      ScenarioResult r = Measure(spec, pages);
+      std::printf("%16s %11zu %14.3f %15.3f %13.1f %11zu\n", spec.name,
+                  r.violations, r.worst_p95_ms, r.worst_p999_ms,
+                  r.recovery_ms, r.attributed);
+      bool scenario_ok = r.disruption_ok && r.failures == 0 &&
+                         r.completed == r.expected && r.crosscheck_ok &&
+                         r.attributed == r.violations;
+      if (std::string(spec.name) == "stw_checkpoint") stw = r;
+      if (std::string(spec.name) == "cow_checkpoint") cow = r;
+      if (!scenario_ok) {
+        ok = false;
+        std::printf(
+            "  checks: disruption=%d failures=%llu completed=%llu/%llu "
+            "crosscheck=%d attributed=%zu/%zu\n",
+            r.disruption_ok,
+            static_cast<unsigned long long>(r.failures),
+            static_cast<unsigned long long>(r.completed),
+            static_cast<unsigned long long>(r.expected), r.crosscheck_ok,
+            r.attributed, r.violations);
+        std::string path =
+            std::string("slo_trace_") + spec.name + ".jsonl";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f != nullptr) {
+          std::fwrite(r.trace_jsonl.data(), 1, r.trace_jsonl.size(), f);
+          std::fclose(f);
+          std::printf("  shape check FAILED, trace -> %s\n",
+                      path.c_str());
+        }
+      }
+      rows.push_back(Row{pages, &spec, std::move(r)});
+    }
+    // The paper's differential: a stop-the-world save breaches the
+    // objective through queueing, copy-on-write must stay compliant.
+    if (stw.violations < 1 || !stw.op_charged ||
+        cow.violations >= stw.violations) {
+      ok = false;
+    }
+    for (const Row& row : rows) {
+      if (row.pages != pages || row.r.report.empty()) continue;
+      std::printf("\n%s attribution:\n%s", row.spec->name,
+                  row.r.report.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("shape check: %s\n",
+              ok ? "stop-the-world breaches and is attributed, "
+                   "copy-on-write stays compliant, every violation "
+                   "window joined to a phase, critical-path tiling "
+                   "exact, zero verification failures"
+                 : "UNEXPECTED");
+
+  std::FILE* gate = std::fopen("BENCH_slo.json", "w");
+  if (gate != nullptr) {
+    std::fprintf(gate, "{\"bench\": \"slo\", \"metrics\": [\n");
+    bool first = true;
+    auto metric = [&](const std::string& name, double value,
+                      const char* unit) {
+      std::fprintf(gate,
+                   "%s  {\"name\": \"%s\", \"value\": %.6f, "
+                   "\"unit\": \"%s\", \"direction\": \"lower\"}",
+                   first ? "" : ",\n", name.c_str(), value, unit);
+      first = false;
+    };
+    for (const Row& row : rows) {
+      std::string suffix = "_p" + std::to_string(row.pages);
+      std::string base = row.spec->name;
+      metric(base + "_violation_windows" + suffix,
+             static_cast<double>(row.r.violations), "windows");
+      metric(base + "_worst_p95_ms" + suffix, row.r.worst_p95_ms, "ms");
+      metric(base + "_worst_p999_ms" + suffix, row.r.worst_p999_ms,
+             "ms");
+      metric(base + "_recovery_ms" + suffix, row.r.recovery_ms, "ms");
+    }
+    std::fprintf(gate, "\n]}\n");
+    std::fclose(gate);
+    std::printf("wrote BENCH_slo.json\n");
+  }
+  return ok ? 0 : 1;
+}

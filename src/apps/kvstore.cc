@@ -39,29 +39,78 @@ std::uint64_t FindSlot(os::ProcessCtx& ctx, std::uint32_t key) {
   return SlotAddr(slot);  // full (cannot happen with this workload)
 }
 
+// Decodes the request staged at `io_addr`, executes it against the table
+// and stages the response at the same address. Shared by the serial loop
+// and the per-connection worker threads (the table is process-global; the
+// single-threaded simulation makes each Step burst atomic).
+void ServeRequest(os::ProcessCtx& ctx, std::uint64_t io_addr) {
+  cruz::Bytes req = ctx.Mem().ReadBytes(io_addr, kKvRequestSize);
+  cruz::ByteReader r(req);
+  std::uint8_t op = r.GetU8();
+  std::uint32_t key = r.GetU32();
+  std::uint64_t value = r.GetU64();
+  std::uint8_t status = 0;
+  std::uint64_t result = 0;
+  std::uint64_t slot = FindSlot(ctx, key);
+  if (op == 1) {  // PUT
+    ctx.Mem().WriteU64(slot, key + 1ull);
+    ctx.Mem().WriteU64(slot + 8, value);
+    status = 1;
+    result = value;
+  } else {  // GET
+    if (ctx.Mem().ReadU64(slot) == key + 1ull) {
+      status = 1;
+      result = ctx.Mem().ReadU64(slot + 8);
+    }
+  }
+  cruz::ByteWriter w;
+  w.PutU8(status);
+  w.PutU64(result);
+  ctx.Mem().WriteBytes(io_addr, w.data());
+  std::uint64_t served = ctx.Mem().ReadU64(kStatusAddr);
+  ctx.Mem().WriteU64(kStatusAddr, served + 1);
+  ctx.ChargeCpu(20 * kMicrosecond);  // request processing
+}
+
 // ---------------------------------------------------------------------------
 // cruz.kv_server
 // ---------------------------------------------------------------------------
 
 class KvServerProgram : public os::Program {
  public:
-  // Registers: r3 listen fd, r4 conn fd, r6 io progress.
+  // Registers (main thread): r3 listen fd, r4 conn fd, r5 threaded flag,
+  // r6 io progress. Worker threads (threaded mode): r3 conn fd, r6 io
+  // progress; each worker stages io at kIoAddr + tid * 64.
   void Step(os::ProcessCtx& ctx) override {
-    enum : std::uint64_t { kInit, kAccept, kReadRequest, kWriteResponse };
+    enum : std::uint64_t {
+      kInit,
+      kAccept,
+      kReadRequest,
+      kWriteResponse,
+      // Thread-per-connection mode (r5 != 0): the main thread stays in
+      // kAccept and spawns one worker per accepted connection.
+      kWorkerInit,
+      kWorkerRead,
+      kWorkerWrite,
+    };
     switch (ctx.Pc()) {
       case kInit: {
         cruz::Bytes args = ctx.Mem().ReadBytes(ctx.Reg(1), ctx.Reg(2));
         cruz::ByteReader r(args);
         std::uint16_t port = r.GetU16();
+        // Optional trailing byte (absent in legacy args): serve each
+        // connection on its own thread instead of serially.
+        bool threaded = !r.AtEnd() && r.GetU8() != 0;
         SysResult fd = ctx.SocketTcp();
         if (!SysOk(fd) ||
             !SysOk(ctx.Bind(static_cast<os::Fd>(fd),
                             net::Endpoint{net::kAnyAddress, port})) ||
-            !SysOk(ctx.Listen(static_cast<os::Fd>(fd), 8))) {
+            !SysOk(ctx.Listen(static_cast<os::Fd>(fd), threaded ? 4096 : 8))) {
           ctx.ExitProcess(10);
           return;
         }
         ctx.Reg(3) = static_cast<std::uint64_t>(fd);
+        ctx.Reg(5) = threaded ? 1 : 0;
         ctx.Pc() = kAccept;
         break;
       }
@@ -69,6 +118,10 @@ class KvServerProgram : public os::Program {
         os::Fd conn = -1;
         switch (AcceptOne(ctx, static_cast<os::Fd>(ctx.Reg(3)), &conn)) {
           case IoStatus::kDone:
+            if (ctx.Reg(5) != 0) {  // threaded: hand off, keep accepting
+              ctx.SpawnThread(kWorkerInit, static_cast<std::uint64_t>(conn));
+              break;
+            }
             ctx.Reg(4) = static_cast<std::uint64_t>(conn);
             ctx.Reg(6) = 0;
             ctx.Pc() = kReadRequest;
@@ -97,33 +150,7 @@ class KvServerProgram : public os::Program {
           ctx.ExitProcess(12);
           return;
         }
-        // Decode and execute against the in-memory table.
-        cruz::Bytes req = ctx.Mem().ReadBytes(kIoAddr, kKvRequestSize);
-        cruz::ByteReader r(req);
-        std::uint8_t op = r.GetU8();
-        std::uint32_t key = r.GetU32();
-        std::uint64_t value = r.GetU64();
-        std::uint8_t status = 0;
-        std::uint64_t result = 0;
-        std::uint64_t slot = FindSlot(ctx, key);
-        if (op == 1) {  // PUT
-          ctx.Mem().WriteU64(slot, key + 1ull);
-          ctx.Mem().WriteU64(slot + 8, value);
-          status = 1;
-          result = value;
-        } else {  // GET
-          if (ctx.Mem().ReadU64(slot) == key + 1ull) {
-            status = 1;
-            result = ctx.Mem().ReadU64(slot + 8);
-          }
-        }
-        cruz::ByteWriter w;
-        w.PutU8(status);
-        w.PutU64(result);
-        ctx.Mem().WriteBytes(kIoAddr, w.data());
-        std::uint64_t served = ctx.Mem().ReadU64(kStatusAddr);
-        ctx.Mem().WriteU64(kStatusAddr, served + 1);
-        ctx.ChargeCpu(20 * kMicrosecond);  // request processing
+        ServeRequest(ctx, kIoAddr);
         ctx.Reg(6) = 0;
         ctx.Pc() = kWriteResponse;
         break;
@@ -140,6 +167,45 @@ class KvServerProgram : public os::Program {
         }
         ctx.Reg(6) = 0;
         ctx.Pc() = kReadRequest;
+        break;
+      }
+      case kWorkerInit: {
+        ctx.Reg(3) = ctx.Reg(1);  // conn fd passed as the thread arg
+        ctx.Reg(6) = 0;
+        ctx.Pc() = kWorkerRead;
+        break;
+      }
+      case kWorkerRead: {
+        std::uint64_t io = kIoAddr + ctx.tid() * 64;
+        std::uint64_t progress = ctx.Reg(6);
+        IoStatus s = RecvAll(ctx, static_cast<os::Fd>(ctx.Reg(3)), io,
+                             kKvRequestSize, progress);
+        ctx.Reg(6) = progress;
+        if (s == IoStatus::kBlocked) return;
+        if (s != IoStatus::kDone) {  // disconnect or reset: retire worker
+          ctx.Close(static_cast<os::Fd>(ctx.Reg(3)));
+          ctx.ExitThread();
+          return;
+        }
+        ServeRequest(ctx, io);
+        ctx.Reg(6) = 0;
+        ctx.Pc() = kWorkerWrite;
+        break;
+      }
+      case kWorkerWrite: {
+        std::uint64_t io = kIoAddr + ctx.tid() * 64;
+        std::uint64_t progress = ctx.Reg(6);
+        IoStatus s = SendAll(ctx, static_cast<os::Fd>(ctx.Reg(3)), io,
+                             kKvResponseSize, progress);
+        ctx.Reg(6) = progress;
+        if (s == IoStatus::kBlocked) return;
+        if (s != IoStatus::kDone) {
+          ctx.Close(static_cast<os::Fd>(ctx.Reg(3)));
+          ctx.ExitThread();
+          return;
+        }
+        ctx.Reg(6) = 0;
+        ctx.Pc() = kWorkerRead;
         break;
       }
     }
@@ -209,6 +275,11 @@ class KvClientProgram : public os::Program {
         w.PutU32(key);
         w.PutU64(is_put ? value : 0);
         ctx.Mem().WriteBytes(kIoAddr, w.data());
+        // Issue timestamp for the latency sample reported in kVerify;
+        // lives in status memory so it survives a checkpoint/restore.
+        // The client is closed-loop, so intended send time == issue
+        // time (open-loop intended schedules live in load::LoadGen).
+        ctx.Mem().WriteU64(kStatusAddr + 16, ctx.Now());
         ctx.Reg(6) = 0;
         ctx.Pc() = kSendRequest;
         break;
@@ -270,6 +341,9 @@ class KvClientProgram : public os::Program {
         }
         ctx.Mem().WriteU64(kStatusAddr + 8, failures);
         ctx.Mem().WriteU64(kStatusAddr, index + 1);
+        // Same measurement path as LoadGen: a sampled kv.op instant on
+        // the trace plus the node's latency sink (no-op during replay).
+        ctx.ReportOpLatency(seed, ctx.Mem().ReadU64(kStatusAddr + 16));
         if (index + 1 >= operations) {
           ctx.Close(static_cast<os::Fd>(ctx.Reg(3)));
           ctx.ExitProcess(0);
@@ -288,9 +362,12 @@ class KvClientProgram : public os::Program {
 
 }  // namespace
 
-cruz::Bytes KvServerArgs(std::uint16_t port) {
+cruz::Bytes KvServerArgs(std::uint16_t port, bool threaded) {
   cruz::ByteWriter w;
   w.PutU16(port);
+  // Legacy args stay byte-identical: the mode byte is only appended when
+  // set, so serial-mode images and goldens are unchanged.
+  if (threaded) w.PutU8(1);
   return w.Take();
 }
 

@@ -14,7 +14,12 @@
 //   response: u8 status (1=ok, 0=missing), u64 value
 //
 // Programs:
-//   cruz.kv_server — args: u16 port
+//   cruz.kv_server — args: u16 port [, u8 threaded]. Serial by default
+//                    (one connection at a time, as the original tests
+//                    assume); with the threaded byte set, each accepted
+//                    connection is served by its own thread so an
+//                    open-loop load generator can hold many connections
+//                    concurrently.
 //   cruz.kv_client — args: u32 ip, u16 port, u32 operations, u64 seed,
 //                    u64 think_time_ns
 //
@@ -33,7 +38,7 @@ namespace cruz::apps {
 constexpr std::size_t kKvRequestSize = 13;
 constexpr std::size_t kKvResponseSize = 9;
 
-cruz::Bytes KvServerArgs(std::uint16_t port);
+cruz::Bytes KvServerArgs(std::uint16_t port, bool threaded = false);
 cruz::Bytes KvClientArgs(net::Ipv4Address server_ip, std::uint16_t port,
                          std::uint32_t operations, std::uint64_t seed,
                          DurationNs think_time);

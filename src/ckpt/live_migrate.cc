@@ -76,11 +76,14 @@ std::uint64_t NextMigrateOpId(sim::Simulator& sim) {
   return (1ull << 62) | ops.value();
 }
 
-obs::SpanId BeginOpSpan(sim::Simulator& sim, MigrateMode mode,
+// The op span is charged to the source node (the migrator runs there);
+// attribution reads the agent attr to name a straggler node.
+obs::SpanId BeginOpSpan(pod::PodManager& source, MigrateMode mode,
                         std::uint64_t op_id, os::PodId pod) {
-  return sim.tracer().BeginSpan(
+  os::Os& os = source.node().os();
+  return os.sim().tracer().BeginSpan(
       "migrate", std::string("migrate.op.") + MigrateModeName(mode),
-      obs::TraceAttrs{}.Op(op_id).Pod(pod));
+      obs::TraceAttrs{}.Agent(os.node_name()).Op(op_id).Pod(pod));
 }
 
 // The shared final phase of the stop-bounded modes: stop, capture, move
@@ -94,7 +97,11 @@ void FinalPhase(pod::PodManager& source, pod::PodManager& target,
   TimeNs stop_time = sim.Now();
   obs::SpanId downtime_span = sim.tracer().BeginSpan(
       "migrate", "migrate.downtime",
-      obs::TraceAttrs{}.Op(stats.op_id).Pod(id).Phase("stop-copy"));
+      obs::TraceAttrs{}
+          .Agent(source.node().os().node_name())
+          .Op(stats.op_id)
+          .Pod(id)
+          .Phase("stop-copy"));
   CheckpointEngine::StopPod(source, id);
   PodCheckpoint ck = CheckpointEngine::CapturePod(source, id);
   // Residual transfer: the final dirty pages plus the non-memory state
@@ -199,6 +206,7 @@ struct PostCopySession : std::enable_shared_from_this<PostCopySession> {
         key, sim->tracer().BeginSpan(
                  "migrate", "migrate.postcopy.fetch",
                  obs::TraceAttrs{}
+                     .Agent(target_node)
                      .Op(stats.op_id)
                      .Pod(pod_id)
                      .Phase("postcopy-fetch")
@@ -416,7 +424,11 @@ void PostCopyStop(pod::PodManager& source, pod::PodManager& target,
   TimeNs stop_time = sim.Now();
   obs::SpanId downtime_span = sim.tracer().BeginSpan(
       "migrate", "migrate.downtime",
-      obs::TraceAttrs{}.Op(stats.op_id).Pod(id).Phase("stop-copy"));
+      obs::TraceAttrs{}
+          .Agent(src_os.node_name())
+          .Op(stats.op_id)
+          .Pod(id)
+          .Phase("stop-copy"));
   CheckpointEngine::StopPod(source, id);
 
   auto session = std::make_shared<PostCopySession>();
@@ -601,7 +613,7 @@ void LiveMigrator::Migrate(pod::PodManager& source,
   LiveMigrateStats stats;
   stats.mode = MigrateMode::kPreCopy;
   stats.op_id = NextMigrateOpId(sim);
-  obs::SpanId op_span = BeginOpSpan(sim, stats.mode, stats.op_id, pod);
+  obs::SpanId op_span = BeginOpSpan(source, stats.mode, stats.op_id, pod);
   TimeNs started = sim.Now();
   PrecopyRound(source, target, pod, options, started, stats,
                [&source, &target, pod, options, started, op_span,
@@ -620,7 +632,7 @@ void LiveMigrator::StopAndCopy(pod::PodManager& source,
   LiveMigrateStats stats;
   stats.mode = MigrateMode::kStopAndCopy;
   stats.op_id = NextMigrateOpId(sim);
-  obs::SpanId op_span = BeginOpSpan(sim, stats.mode, stats.op_id, pod);
+  obs::SpanId op_span = BeginOpSpan(source, stats.mode, stats.op_id, pod);
   TimeNs started = sim.Now();
   stats.final_bytes = ResidentBytes(source, pod);
   FinalPhase(source, target, pod, options, started, std::move(stats),
@@ -635,7 +647,7 @@ void LiveMigrator::PostCopy(pod::PodManager& source,
   LiveMigrateStats stats;
   stats.mode = MigrateMode::kPostCopy;
   stats.op_id = NextMigrateOpId(sim);
-  obs::SpanId op_span = BeginOpSpan(sim, stats.mode, stats.op_id, pod);
+  obs::SpanId op_span = BeginOpSpan(source, stats.mode, stats.op_id, pod);
   TimeNs started = sim.Now();
   // Hot-set observation window: clear the dirty tracking, let the pod run
   // briefly, and take what it dirtied as the working-set estimate.
@@ -657,7 +669,7 @@ void LiveMigrator::Hybrid(pod::PodManager& source, pod::PodManager& target,
   LiveMigrateStats stats;
   stats.mode = MigrateMode::kHybrid;
   stats.op_id = NextMigrateOpId(sim);
-  obs::SpanId op_span = BeginOpSpan(sim, stats.mode, stats.op_id, pod);
+  obs::SpanId op_span = BeginOpSpan(source, stats.mode, stats.op_id, pod);
   TimeNs started = sim.Now();
   PrecopyRound(source, target, pod, options, started, stats,
                [&source, &target, pod, options, started,

@@ -1,0 +1,102 @@
+// Open-loop load generation against the kv store.
+//
+// A LoadGen drives one threaded cruz.kv_server with many concurrent
+// connections, each a `cruz.kv_loadconn` process on a client node. The
+// schedule is open-loop: connection c's k-th request has an *intended*
+// send time of
+//
+//     base + offset_c + k * interarrival
+//
+// fixed entirely by the configuration, never by the server. A connection
+// that finds itself past its intended time (because the previous response
+// stalled behind a checkpoint freeze) issues immediately, and the
+// request's latency is measured from the intended time — so the queueing
+// delay a closed-loop harness would silently absorb is charged to the
+// measurement. Coordinated omission is impossible by construction: there
+// is no code path that shifts the schedule.
+//
+// Completions flow through ProcessCtx::ReportOpLatency into the node's
+// op-latency sink, which LoadGen points at a WindowedRecorder — the
+// per-window percentile timeline that SloMonitor and `cruz_analyze --slo`
+// consume. Every connection verifies GETs against a private mirror;
+// keyspaces are partitioned per connection (key_base = conn *
+// keys_per_conn) so concurrent connections never race on a key. The
+// server table has 4096 slots and no deletion, so connections *
+// keys_per_conn must stay <= 2048 to keep the load factor sane; Start()
+// checks this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "net/address.h"
+#include "obs/latency/windowed.h"
+#include "os/os.h"
+
+namespace cruz::load {
+
+struct LoadGenOptions {
+  net::Ipv4Address server_ip{};
+  std::uint16_t port = 5432;
+  std::uint32_t connections = 256;
+  // Per-connection interarrival; aggregate arrival rate is
+  // connections / interarrival.
+  DurationNs interarrival = 10 * kMillisecond;
+  std::uint32_t requests_per_conn = 100;
+  TimeNs base = 0;  // schedule origin (and the recorder's window origin)
+  DurationNs window = 100 * kMillisecond;
+  std::uint32_t keys_per_conn = 2;
+  std::uint64_t seed = 1;
+};
+
+class LoadGen {
+ public:
+  // `client_os` is the node the connection processes run on; its
+  // op-latency sink is claimed by Start().
+  LoadGen(os::Os& client_os, const LoadGenOptions& options);
+
+  // Spawns one cruz.kv_loadconn per connection and installs the sink.
+  // Wire SLO evaluation via recorder().SetWindowCallback *before* this.
+  void Start();
+
+  // True once every connection has reported its full request quota.
+  bool Done() const { return completed_ >= expected_; }
+  // Flushes the trailing partial window; call after the run.
+  void Finish() { recorder_.Finalize(); }
+
+  obs::WindowedRecorder& recorder() { return recorder_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t expected() const { return expected_; }
+  const std::vector<os::Pid>& pids() const { return pids_; }
+  // Sums verification failures across all connection processes.
+  std::uint64_t VerificationFailures() const;
+
+ private:
+  os::Os& os_;
+  LoadGenOptions options_;
+  obs::WindowedRecorder recorder_;
+  std::vector<os::Pid> pids_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t expected_;
+};
+
+// Args for one cruz.kv_loadconn process. Exposed for tests that drive a
+// single connection without the LoadGen harness.
+cruz::Bytes KvLoadConnArgs(net::Ipv4Address server_ip, std::uint16_t port,
+                           std::uint32_t conn, TimeNs base,
+                           DurationNs interarrival, DurationNs offset,
+                           std::uint32_t requests, std::uint64_t seed,
+                           std::uint32_t key_base, std::uint32_t key_count);
+
+struct LoadConnStatus {
+  std::uint64_t requests_done = 0;
+  std::uint64_t verification_failures = 0;
+};
+LoadConnStatus ReadLoadConnStatus(const os::Process& proc);
+
+// Registers cruz.kv_loadconn (idempotent).
+void RegisterLoadPrograms();
+
+}  // namespace cruz::load

@@ -6,9 +6,17 @@
 //       critical-path breakdown — phase attribution, stragglers, match
 //       stats. --json swaps the table for machine-readable JSON.
 //
+//   cruz_analyze --trace run.jsonl --slo [--json]
+//       Join each `slo.violation` window in the trace against the
+//       per-op critical-path phase tiling and print which
+//       checkpoint/migration phase (and straggler node) each breached
+//       latency window overlaps — the "why was p99 bad at t=1.2s"
+//       report.
+//
 //   cruz_analyze --metrics metrics.json
 //       Re-expose a MetricsRegistry::ExportJson snapshot in Prometheus
-//       text-exposition format.
+//       text-exposition format (histograms gain synthesized quantile
+//       lines).
 //
 // Both inputs may be given; the trace report prints first.
 #include <cstdio>
@@ -20,6 +28,7 @@
 #include "obs/causal/causal_graph.h"
 #include "obs/causal/critical_path.h"
 #include "obs/causal/json_lite.h"
+#include "obs/causal/slo_report.h"
 #include "obs/causal/trace_io.h"
 #include "obs/metrics.h"
 
@@ -30,7 +39,7 @@ using namespace cruz::obs::causal;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cruz_analyze --trace FILE [--op N] [--json]\n"
+      "usage: cruz_analyze --trace FILE [--op N] [--slo] [--json]\n"
       "       cruz_analyze --metrics FILE\n");
   return 2;
 }
@@ -45,7 +54,7 @@ bool ReadFile(const std::string& path, std::string& out) {
 }
 
 int AnalyzeTrace(const std::string& path, std::optional<std::uint64_t> op,
-                 bool json) {
+                 bool slo, bool json) {
   std::string text;
   if (!ReadFile(path, text)) {
     std::fprintf(stderr, "cruz_analyze: cannot read %s\n", path.c_str());
@@ -64,6 +73,13 @@ int AnalyzeTrace(const std::string& path, std::optional<std::uint64_t> op,
   }
   CausalGraph graph = CausalGraph::Build(std::move(events));
   CriticalPathAnalyzer analyzer(graph);
+  if (slo) {
+    SloReport report = BuildSloReport(graph, analyzer.AnalyzeAll());
+    std::string out =
+        json ? RenderSloJson(report) : RenderSloReport(report);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
   std::vector<OpBreakdown> ops;
   if (op.has_value()) {
     std::optional<OpBreakdown> one = analyzer.AnalyzeOp(*op);
@@ -142,6 +158,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::optional<std::uint64_t> op;
+  bool slo = false;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -151,6 +168,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--op" && i + 1 < argc) {
       op = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--slo") {
+      slo = true;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -159,7 +178,7 @@ int main(int argc, char** argv) {
   }
   if (trace_path.empty() && metrics_path.empty()) return Usage();
   int rc = 0;
-  if (!trace_path.empty()) rc = AnalyzeTrace(trace_path, op, json);
+  if (!trace_path.empty()) rc = AnalyzeTrace(trace_path, op, slo, json);
   if (rc == 0 && !metrics_path.empty()) rc = ExposeMetrics(metrics_path);
   return rc;
 }

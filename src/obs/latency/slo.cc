@@ -1,0 +1,49 @@
+#include "obs/latency/slo.h"
+
+namespace cruz::obs {
+
+void SloMonitor::OnWindow(const WindowStats& window,
+                          const LatencyHistogram& hist) {
+  ++windows_evaluated_;
+  if (window.count == 0) return;
+  for (const SloObjective& objective : objectives_) {
+    std::uint64_t observed = hist.Percentile(objective.quantile);
+    if (observed <= static_cast<std::uint64_t>(objective.threshold)) {
+      continue;
+    }
+    SloViolation v;
+    v.objective = objective.name;
+    v.window_index = window.index;
+    v.begin = window.begin;
+    v.end = window.end;
+    v.observed_ns = observed;
+    v.threshold_ns = static_cast<std::uint64_t>(objective.threshold);
+    v.count = window.count;
+    violations_.push_back(v);
+    if (tracer_ != nullptr) {
+      tracer_->Instant("slo", "slo.violation",
+                       TraceAttrs{}
+                           .Arg("objective", objective.name)
+                           .Arg("window", v.window_index)
+                           .Arg("begin_ns", v.begin)
+                           .Arg("end_ns", v.end)
+                           .Arg("observed_ns", v.observed_ns)
+                           .Arg("threshold_ns", v.threshold_ns)
+                           .Arg("count", v.count));
+    }
+  }
+}
+
+DurationNs SloMonitor::RecoveryToSlo(const std::string& objective) const {
+  TimeNs first = 0, last = 0;
+  bool any = false;
+  for (const SloViolation& v : violations_) {
+    if (v.objective != objective) continue;
+    if (!any || v.begin < first) first = v.begin;
+    if (!any || v.end > last) last = v.end;
+    any = true;
+  }
+  return any ? last - first : 0;
+}
+
+}  // namespace cruz::obs

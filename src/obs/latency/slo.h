@@ -1,0 +1,75 @@
+// Windowed SLO evaluation over a latency timeline.
+//
+// An SloObjective declares what a compliant window looks like
+// ("p99 < 5 ms per 100 ms window"). The SloMonitor hangs off a
+// WindowedRecorder's rotation callback: each finished window is
+// evaluated against every objective, and each breach both accumulates
+// an SloViolation record and emits an `slo.violation` instant onto the
+// shared trace timeline — which is what lets `cruz_analyze --slo` (and
+// tests) join violation windows against checkpoint/migration phases in
+// the same causal trace, instead of eyeballing two separate files.
+//
+// The instant is stamped at the simulated time the window rotated (the
+// first completion past the window's end); the window's exact
+// [begin, end) bounds travel in the event args, so the attribution join
+// never depends on the stamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/latency/windowed.h"
+#include "obs/trace.h"
+
+namespace cruz::obs {
+
+struct SloObjective {
+  // Rendered into the violation's `objective` arg, e.g. "p99<5ms".
+  std::string name;
+  double quantile = 0.99;
+  DurationNs threshold = 5 * kMillisecond;
+};
+
+struct SloViolation {
+  std::string objective;
+  std::uint64_t window_index = 0;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  std::uint64_t observed_ns = 0;   // the window's value at the quantile
+  std::uint64_t threshold_ns = 0;
+  std::uint64_t count = 0;         // completions in the window
+};
+
+class SloMonitor {
+ public:
+  // `tracer` may be null (evaluation only, no timeline events).
+  SloMonitor(Tracer* tracer, std::vector<SloObjective> objectives)
+      : tracer_(tracer), objectives_(std::move(objectives)) {}
+
+  // Wire as the recorder's rotation callback:
+  //   recorder.SetWindowCallback([&](auto& w, auto& h) {
+  //     monitor.OnWindow(w, h); });
+  // Empty windows are compliant by definition — under a stall the spike
+  // lands in the completion window (see WindowedRecorder).
+  void OnWindow(const WindowStats& window, const LatencyHistogram& hist);
+
+  const std::vector<SloViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t windows_evaluated() const { return windows_evaluated_; }
+
+  // Violation windows for one objective, coalesced into the bench's
+  // recovery metric: time from the first violating window's begin to
+  // the last violating window's end (0 when compliant throughout).
+  DurationNs RecoveryToSlo(const std::string& objective) const;
+
+ private:
+  Tracer* tracer_;
+  std::vector<SloObjective> objectives_;
+  std::vector<SloViolation> violations_;
+  std::uint64_t windows_evaluated_ = 0;
+};
+
+}  // namespace cruz::obs

@@ -1,0 +1,43 @@
+#include "obs/latency/windowed.h"
+
+namespace cruz::obs {
+
+WindowedRecorder::WindowedRecorder(TimeNs origin, DurationNs window)
+    : origin_(origin), window_(window == 0 ? 1 : window) {}
+
+void WindowedRecorder::Record(TimeNs completion_ts,
+                              std::uint64_t latency_ns) {
+  std::uint64_t index = completion_ts < origin_
+                            ? 0
+                            : (completion_ts - origin_) / window_;
+  if (index < current_index_) {
+    ++late_samples_;  // count into the open window rather than drop
+  } else if (index > current_index_) {
+    Rotate(index);
+  }
+  current_.Record(latency_ns);
+  total_.Record(latency_ns);
+}
+
+void WindowedRecorder::Finalize() { Rotate(current_index_ + 1); }
+
+void WindowedRecorder::Rotate(std::uint64_t until_index) {
+  while (current_index_ < until_index) {
+    WindowStats stats;
+    stats.index = current_index_;
+    stats.begin = origin_ + current_index_ * window_;
+    stats.end = stats.begin + window_;
+    stats.count = current_.count();
+    stats.p50 = current_.Percentile(0.50);
+    stats.p99 = current_.Percentile(0.99);
+    stats.p999 = current_.Percentile(0.999);
+    stats.max = current_.max();
+    windows_.push_back(stats);
+    if (callback_) callback_(stats, current_);
+    if (current_.count() != 0) current_.Clear();  // zeroing 220 KiB is
+                                                  // skipped for gap windows
+    ++current_index_;
+  }
+}
+
+}  // namespace cruz::obs

@@ -1,0 +1,84 @@
+// Fixed sim-time windows over a latency stream.
+//
+// A WindowedRecorder slices completion-stamped latency samples into
+// consecutive windows of a fixed simulated-time length and rotates each
+// finished window into a compact WindowStats entry (p50/p99/p999/max
+// plus counts), building the per-window percentile timeline that SLO
+// evaluation and the `--slo` attribution join run over. Samples are
+// binned by *completion* time — a request stalled behind a checkpoint
+// freeze surfaces, with its full intended-send-to-completion latency,
+// in the window where it finally completed, so a stall is visible as a
+// latency spike right after it resolves (and the windows during the
+// stall are visibly empty).
+//
+// Rotation happens lazily when a sample lands past the current window;
+// skipped windows are materialized as zero-count entries so the
+// timeline is dense and window index i always covers
+// [origin + i*window, origin + (i+1)*window). The optional callback
+// fires once per rotated window, with the window's full histogram still
+// intact — that is the SloMonitor's evaluation hook. Finalize() flushes
+// the trailing partial window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/latency/histogram.h"
+
+namespace cruz::obs {
+
+struct WindowStats {
+  std::uint64_t index = 0;  // window number since the origin
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
+class WindowedRecorder {
+ public:
+  // Called as each window rotates: the finished stats plus the window's
+  // histogram (valid only for the duration of the call).
+  using WindowCallback =
+      std::function<void(const WindowStats&, const LatencyHistogram&)>;
+
+  WindowedRecorder(TimeNs origin, DurationNs window);
+
+  void SetWindowCallback(WindowCallback cb) { callback_ = std::move(cb); }
+
+  // Adds one sample. completion_ts must be >= origin and non-decreasing
+  // across calls up to window granularity; a sample landing before the
+  // current window (cannot happen in a single-threaded simulation) is
+  // counted into the current window and tallied in late_samples().
+  void Record(TimeNs completion_ts, std::uint64_t latency_ns);
+
+  // Flushes the in-progress window into the timeline. Call once, after
+  // the run; further Record() calls would start a fresh window.
+  void Finalize();
+
+  const std::vector<WindowStats>& windows() const { return windows_; }
+  // Whole-run distribution across every window.
+  const LatencyHistogram& total() const { return total_; }
+  DurationNs window_length() const { return window_; }
+  TimeNs origin() const { return origin_; }
+  std::uint64_t late_samples() const { return late_samples_; }
+
+ private:
+  void Rotate(std::uint64_t until_index);
+
+  TimeNs origin_;
+  DurationNs window_;
+  std::uint64_t current_index_ = 0;
+  std::uint64_t late_samples_ = 0;
+  LatencyHistogram current_;
+  LatencyHistogram total_;
+  std::vector<WindowStats> windows_;
+  WindowCallback callback_;
+};
+
+}  // namespace cruz::obs

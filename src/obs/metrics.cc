@@ -25,6 +25,23 @@ void Histogram::Record(std::uint64_t v) {
   ++buckets_[bucket];
 }
 
+std::uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      std::uint64_t upper = i == kBuckets - 1 ? ~0ull : 1ull << i;
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
 void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
@@ -125,6 +142,17 @@ std::string MetricsRegistry::ExportPrometheus() const {
     out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
     out += n + "_sum " + std::to_string(h.sum()) + "\n";
     out += n + "_count " + std::to_string(h.count()) + "\n";
+    if (h.count() > 0) {
+      // Summary-style quantile series synthesized from the buckets
+      // (bucket-upper-bound semantics, see Histogram::Percentile), so a
+      // re-exposed snapshot answers "what was p99" without the raw
+      // samples.
+      static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+      for (double q : kQuantiles) {
+        out += n + "{quantile=\"" + FormatDouble(q) + "\"} " +
+               std::to_string(h.Percentile(q)) + "\n";
+      }
+    }
   }
   return out;
 }

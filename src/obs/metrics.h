@@ -53,6 +53,15 @@ class Histogram {
   // Count of samples v with v <= 2^bucket.
   std::uint64_t bucket(int i) const { return buckets_[i]; }
 
+  // Quantile estimate from the power-of-two buckets: the upper bound
+  // (2^i) of the bucket containing the sample of rank ceil(q * count),
+  // capped at the exactly-tracked max — so Percentile(1.0) == max() and
+  // the estimate never exceeds any recorded value's true magnitude by
+  // more than the bucket width (a factor of 2). Computed purely from
+  // bucket counts, so it works on Restore()d snapshots too. 0 when
+  // empty; q is clamped to (0, 1].
+  std::uint64_t Percentile(double q) const;
+
   // Rebuild from an ExportJson snapshot (cruz_analyze re-exposition):
   // Restore the scalars, then RestoreBucket each sparse bucket entry.
   void Restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min_v,
@@ -101,9 +110,11 @@ class MetricsRegistry {
   // be re-exposed in Prometheus form by cruz_analyze.
   std::string ExportJson() const;
   // Prometheus text exposition (version 0.0.4): counters and gauges as-is,
-  // histograms as cumulative `_bucket{le="2^i"}` series plus `_sum` and
-  // `_count`. Names are prefixed "cruz_" with dots mapped to underscores.
-  // Bucket series stop at the highest non-empty bucket, then `+Inf`.
+  // histograms as cumulative `_bucket{le="2^i"}` series plus `_sum`,
+  // `_count`, and (when non-empty) synthesized `{quantile="q"}` lines
+  // computed via Percentile(). Names are prefixed "cruz_" with dots
+  // mapped to underscores. Bucket series stop at the highest non-empty
+  // bucket, then `+Inf`.
   std::string ExportPrometheus() const;
 
  private:

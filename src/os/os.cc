@@ -847,6 +847,20 @@ SysResult Os::SysSemOp(Process& proc, SemId id, std::int32_t delta) {
   return 0;
 }
 
+void Os::ReportOpLatency(std::uint64_t conn, TimeNs intended) {
+  TimeNs now = sim_.Now();
+  std::uint64_t latency = now >= intended ? now - intended : 0;
+  if (sim_.tracer().VerboseSample()) {
+    sim_.tracer().Instant("kv", "kv.op",
+                          obs::TraceAttrs{}
+                              .Agent(node_name_)
+                              .Arg("conn", conn)
+                              .Arg("intended_ns", intended)
+                              .Arg("latency_ns", latency));
+  }
+  if (op_latency_sink_) op_latency_sink_(conn, intended, now);
+}
+
 // ---------------------------------------------------------------------------
 // ProcessCtx forwarding
 // ---------------------------------------------------------------------------
@@ -875,6 +889,13 @@ void ProcessCtx::ExitProcess(int code) {
   for (Thread& t : proc_.threads()) t.state = ThreadState::kExited;
 }
 void ProcessCtx::ExitThread() { thread_.state = ThreadState::kExited; }
+
+void ProcessCtx::ReportOpLatency(std::uint64_t conn, TimeNs intended) {
+  // During post-fault re-execution the original run already reported
+  // this completion; replaying it would double-count the sample.
+  if (ReplayActive()) return;
+  os_.ReportOpLatency(conn, intended);
+}
 
 // Every wrapper below goes through the step journal (see Intercept /
 // ReplayActive in program.h): during a post-fault re-execution the

@@ -76,6 +76,18 @@ class Os {
     process_exit_hook_ = std::move(hook);
   }
 
+  // Called for every request latency a program reports via
+  // ProcessCtx::ReportOpLatency (load-generator hook). Receives the
+  // connection id, the *intended* send time and the completion time.
+  using OpLatencySink =
+      std::function<void(std::uint64_t conn, TimeNs intended, TimeNs completed)>;
+  void set_op_latency_sink(OpLatencySink sink) {
+    op_latency_sink_ = std::move(sink);
+  }
+  // Emits a sampled `kv.op` trace instant, then feeds the sink (which
+  // gets every sample — trace sampling only decimates timeline volume).
+  void ReportOpLatency(std::uint64_t conn, TimeNs intended);
+
   // --- process management ------------------------------------------------------
   // Creates a process running `program` with `args` copied into its
   // address space. Returns the real pid.
@@ -201,6 +213,7 @@ class Os {
   SysVIpc sysv_;
   SyscallInterposer* interposer_ = nullptr;
   std::function<void(Pid, int)> process_exit_hook_;
+  OpLatencySink op_latency_sink_;
 
   std::map<Pid, std::unique_ptr<Process>> processes_;
   std::map<Pid, std::function<void(std::uint64_t)>> page_fault_handlers_;

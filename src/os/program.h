@@ -62,6 +62,15 @@ class ProcessCtx {
   void ExitProcess(int code);
   void ExitThread();
 
+  // --- observability ---------------------------------------------------------
+  // Reports one completed request: latency is Now() - intended, where
+  // `intended` is the open-loop schedule's intended send time (measuring
+  // from the intended, not actual, send makes coordinated omission
+  // impossible by construction). Emits a sampled `kv.op` trace instant
+  // and feeds the node's op-latency sink. No-op during post-fault
+  // replay — the original execution already reported the sample.
+  void ReportOpLatency(std::uint64_t conn, TimeNs intended);
+
   // --- process management ----------------------------------------------------------
   SysResult Getpid();
   SysResult Spawn(const std::string& program, cruz::ByteSpan args);

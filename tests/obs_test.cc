@@ -313,11 +313,43 @@ TEST(Metrics, EmptyHistogramSummaryIsAllZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+// Quantiles from power-of-two buckets: the answer is the upper bound of
+// the bucket holding the rank-ceil(q*count) sample, capped at the exact
+// max. Documented semantics, locked here.
+TEST(Metrics, HistogramPercentileUsesBucketUpperBounds) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // empty
+  h.Record(3);    // 2^2 bucket
+  h.Record(5);    // 2^3 bucket
+  h.Record(100);  // 2^7 bucket
+  EXPECT_EQ(h.Percentile(0.01), 4u);   // rank 1 -> bucket upper bound 4
+  EXPECT_EQ(h.Percentile(0.5), 8u);    // rank 2 -> upper bound 8
+  EXPECT_EQ(h.Percentile(0.9), 100u);  // rank 3 -> 128 capped at max
+  EXPECT_EQ(h.Percentile(1.0), 100u);  // p100 is exactly the max
+
+  // Single-value histograms answer exactly at every quantile.
+  Histogram one;
+  one.Record(6);
+  EXPECT_EQ(one.Percentile(0.001), 6u);
+  EXPECT_EQ(one.Percentile(1.0), 6u);
+
+  // A restored snapshot (bucket counts + scalars, no raw samples) must
+  // answer identically — cruz_analyze re-exposition depends on it.
+  Histogram restored;
+  restored.Restore(3, 108, 3, 100);
+  restored.RestoreBucket(2, 1);
+  restored.RestoreBucket(3, 1);
+  restored.RestoreBucket(7, 1);
+  EXPECT_EQ(restored.Percentile(0.5), 8u);
+  EXPECT_EQ(restored.Percentile(1.0), 100u);
+}
+
 // Golden test for the Prometheus text exposition (format v0.0.4): names
 // sanitized under a cruz_ prefix, one # TYPE line per metric, histogram
 // buckets cumulative over the power-of-two boundaries up to the highest
-// non-empty bucket, then +Inf / _sum / _count. Byte-exact so scrapers
-// can rely on the rendering.
+// non-empty bucket, then +Inf / _sum / _count, then synthesized
+// quantile lines for non-empty histograms. Byte-exact so scrapers can
+// rely on the rendering.
 TEST(Metrics, PrometheusExpositionGolden) {
   MetricsRegistry m;
   m.counter("agent.save-errors").Add(1);  // '-' must sanitize to '_'
@@ -348,6 +380,10 @@ TEST(Metrics, PrometheusExpositionGolden) {
       "cruz_coord_downtime_us_bucket{le=\"+Inf\"} 3\n"
       "cruz_coord_downtime_us_sum 108\n"
       "cruz_coord_downtime_us_count 3\n"
+      "cruz_coord_downtime_us{quantile=\"0.5\"} 8\n"
+      "cruz_coord_downtime_us{quantile=\"0.9\"} 100\n"
+      "cruz_coord_downtime_us{quantile=\"0.99\"} 100\n"
+      "cruz_coord_downtime_us{quantile=\"0.999\"} 100\n"
       "# TYPE cruz_zz_empty histogram\n"
       "cruz_zz_empty_bucket{le=\"+Inf\"} 0\n"
       "cruz_zz_empty_sum 0\n"
